@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+// §6.3: "The runtime overhead of the dynamic checks depends significantly
+// on the specific code being compiled, but the approximate slowdown in
+// the running time of the compiler is about 1.5x."
+//
+// This bench compiles both workloads with the TreeChecker disabled and
+// enabled (global invariants + bottom-up retype + accumulated phase
+// postconditions after every group, exactly Listing 9) and reports the
+// whole-compiler slowdown.
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "frontend/Frontend.h"
+#include "frontend/TypeAssigner.h"
+#include "support/OStream.h"
+#include "support/Timer.h"
+#include "transforms/StandardPlan.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mpc;
+using namespace mpc::bench;
+
+namespace {
+
+struct CheckedRun {
+  double TotalSec = 0;
+  double TransformSec = 0;
+  uint64_t FailuresFound = 0;
+};
+
+CheckedRun runWithChecking(const WorkloadProfile &Profile, bool Check) {
+  CheckedRun R;
+  auto Sources = generateWorkload(Profile);
+
+  CompilerContext Comp;
+  Comp.options().CheckTrees = Check;
+
+  std::vector<std::string> Errors;
+  PhasePlan Plan = makeStandardPlan(/*Fuse=*/true, Errors);
+  if (!Errors.empty()) {
+    std::fprintf(stderr, "plan error: %s\n", Errors.front().c_str());
+    std::abort();
+  }
+
+  Timer Total;
+  std::vector<CompilationUnit> Units = runFrontEnd(Comp, std::move(Sources));
+  if (Comp.diags().hasErrors()) {
+    Comp.diags().printAll(errs());
+    std::abort();
+  }
+
+  TreeChecker Checker(makeRetypeChecker());
+  TransformPipeline Pipeline(Plan);
+  Timer Transform;
+  PipelineResult PR = Pipeline.run(Units, Comp, Check ? &Checker : nullptr);
+  R.TransformSec = Transform.elapsedSeconds();
+  Program Prog = generateCode(Units, Comp);
+  (void)Prog;
+  R.TotalSec = Total.elapsedSeconds();
+  R.FailuresFound = PR.CheckFailures.size();
+  return R;
+}
+
+void runWorkload(const WorkloadProfile &P) {
+  CheckedRun Off = runWithChecking(P, false);
+  CheckedRun On = runWithChecking(P, true);
+  std::printf("\n[%s]\n", P.Name.c_str());
+  std::printf("  %-28s %12s %12s %10s\n", "", "-Ycheck off", "-Ycheck on",
+              "ratio");
+  std::printf("  %-28s %11.3fs %11.3fs %9.2fx\n", "tree transformations",
+              Off.TransformSec, On.TransformSec,
+              On.TransformSec / Off.TransformSec);
+  std::printf("  %-28s %11.3fs %11.3fs %9.2fx\n", "whole compiler",
+              Off.TotalSec, On.TotalSec, On.TotalSec / Off.TotalSec);
+  std::printf("  checker failures: %llu (must be 0 on a healthy pipeline)\n",
+              (unsigned long long)On.FailuresFound);
+  if (On.FailuresFound != 0)
+    std::abort();
+}
+
+} // namespace
+
+int main() {
+  printHeader("§6.3 — dynamic-checker overhead",
+              "approximate whole-compiler slowdown about 1.5x");
+  double Scale = benchScale(0.5);
+  std::printf("workload scale: %.2f (MPC_BENCH_SCALE to change)\n", Scale);
+  runWorkload(stdlibProfile(Scale));
+  runWorkload(dottyProfile(Scale));
+  return 0;
+}

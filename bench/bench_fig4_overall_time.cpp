@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+// Figure 4: execution time of the tree-transformation pipeline, the
+// typechecker (front end) and the code-generation backend, comparing the
+// Miniphase (fused) and Megaphase (unfused) versions of the compiler on
+// the stdlib-like (34 kLOC) and dotty-like (50 kLOC) workloads.
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace mpc;
+using namespace mpc::bench;
+
+static void runWorkload(const WorkloadProfile &P) {
+  RunResult Fused =
+      runOnce(P, PipelineKind::StandardFused, StopAfter::Everything, false);
+  RunResult Unfused = runOnce(P, PipelineKind::StandardUnfused,
+                              StopAfter::Everything, false);
+
+  std::printf("\n[%s: %llu LOC, %llu nodes, %llu vs %llu traversals]\n",
+              P.Name.c_str(), (unsigned long long)Fused.Loc,
+              (unsigned long long)Fused.NodesBeforeTransforms,
+              (unsigned long long)Fused.Traversals,
+              (unsigned long long)Unfused.Traversals);
+  std::printf("  %-22s %12s %12s %10s\n", "stage", "miniphase", "megaphase",
+              "delta");
+  auto Row = [](const char *Stage, double A, double B) {
+    std::printf("  %-22s %10.3fs %10.3fs %10s\n", Stage, A, B,
+                fmtPct(A / B - 1.0).c_str());
+  };
+  Row("frontend (typer)", Fused.FrontendSec, Unfused.FrontendSec);
+  Row("tree transformations", Fused.TransformSec, Unfused.TransformSec);
+  Row("backend (codegen)", Fused.BackendSec, Unfused.BackendSec);
+  double TotalF =
+      Fused.FrontendSec + Fused.TransformSec + Fused.BackendSec;
+  double TotalU =
+      Unfused.FrontendSec + Unfused.TransformSec + Unfused.BackendSec;
+  Row("total", TotalF, TotalU);
+  std::printf("  measured transform speedup: %s   (paper: %s)\n",
+              fmtPct(Fused.TransformSec / Unfused.TransformSec - 1.0)
+                  .c_str(),
+              P.Name == "stdlib" ? "-37%" : "-34%");
+  std::printf("  measured total speedup:     %s   (paper: %s)\n",
+              fmtPct(TotalF / TotalU - 1.0).c_str(),
+              P.Name == "stdlib" ? "-15%" : "-16%");
+}
+
+int main() {
+  printHeader("Figure 4 — stage execution times, Miniphase vs Megaphase",
+              "transformations -37% (stdlib) / -34% (dotty); total "
+              "-15% / -16%");
+  double Scale = benchScale(1.0);
+  std::printf("workload scale: %.2f (MPC_BENCH_SCALE to change)\n", Scale);
+  // Warm up the allocator before measuring.
+  runOnce(stdlibProfile(0.05), PipelineKind::StandardFused,
+          StopAfter::Everything, false);
+  runWorkload(stdlibProfile(Scale));
+  runWorkload(dottyProfile(Scale));
+  return 0;
+}

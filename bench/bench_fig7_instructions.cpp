@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+// Figure 7: instructions executed, clock cycles, and stalled cycles of
+// the transformation pipeline (cache-simulator model standing in for the
+// paper's `perf` hardware counters).
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cstdio>
+
+using namespace mpc;
+using namespace mpc::bench;
+
+static void runWorkload(const WorkloadProfile &P) {
+  IsolatedTransforms Fused =
+      isolateTransforms(P, PipelineKind::StandardFused, true);
+  IsolatedTransforms Unfused =
+      isolateTransforms(P, PipelineKind::StandardUnfused, true);
+
+  std::printf("\n[%s: %llu LOC]\n", P.Name.c_str(),
+              (unsigned long long)Fused.Full.Loc);
+  std::printf("  %-16s %14s %14s %10s\n", "counter", "miniphase",
+              "megaphase", "delta");
+  auto Row = [](const char *Name, uint64_t A, uint64_t B) {
+    std::printf("  %-16s %14llu %14llu %10s\n", Name,
+                (unsigned long long)A, (unsigned long long)B,
+                fmtPct(double(A) / double(B) - 1.0).c_str());
+  };
+  Row("instructions", Fused.Perf.Instructions, Unfused.Perf.Instructions);
+  Row("cycles", Fused.Perf.Cycles, Unfused.Perf.Cycles);
+  Row("stalled-cycles", Fused.Perf.StalledCycles,
+      Unfused.Perf.StalledCycles);
+}
+
+int main() {
+  printHeader("Figure 7 — instruction and cycle counters (simulated)",
+              "instructions -10%, cycles -35%");
+  double Scale = benchScale(1.0);
+  std::printf("workload scale: %.2f (simulation; MPC_BENCH_SCALE to "
+              "change)\n",
+              Scale);
+  runWorkload(stdlibProfile(Scale));
+  runWorkload(dottyProfile(Scale));
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+// Microbenchmark (google-benchmark): raw per-node cost of fused vs
+// separate traversals as the number of miniphases grows — the mechanism
+// behind Figure 4 in isolation, on identity phases over a synthetic tree.
+//===----------------------------------------------------------------------===//
+
+#include "core/FusedBlock.h"
+#include "core/Phase.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mpc;
+
+namespace {
+
+/// A miniphase that rewrites 1/16th of Literal nodes (realistic sparsity).
+class TouchLiterals : public MiniPhase {
+public:
+  explicit TouchLiterals(int Which)
+      : MiniPhase("TouchLiterals" + std::to_string(Which), "micro"),
+        Which(Which) {
+    declareTransforms({TreeKind::Literal});
+  }
+  TreePtr transformLiteral(Literal *T, PhaseRunContext &Ctx) override {
+    const Constant &C = T->value();
+    if (C.kind() != Constant::Int || (C.intValue() & 15) != Which % 16)
+      return TreePtr(T);
+    return Ctx.trees().makeLiteral(
+        T->loc(), Constant::makeInt(C.intValue() + 1), T->type());
+  }
+  int Which;
+};
+
+/// Builds a binary-ish tree of Blocks over Int literals.
+TreePtr buildTree(CompilerContext &Comp, unsigned Leaves) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  Rng R(42);
+  TreeList Stats;
+  TreeList Pending;
+  for (unsigned I = 0; I < Leaves; ++I) {
+    Pending.push_back(Trees.makeLiteral(
+        SourceLoc(), Constant::makeInt(int64_t(R.below(1 << 20))),
+        Types.intType()));
+    if (Pending.size() == 8) {
+      TreePtr Last = std::move(Pending.back());
+      Pending.pop_back();
+      Stats.push_back(Trees.makeBlock(SourceLoc(), std::move(Pending),
+                                      std::move(Last)));
+      Pending.clear();
+    }
+  }
+  TreePtr Tail = Trees.makeLiteral(SourceLoc(), Constant::makeInt(0),
+                                   Types.intType());
+  for (TreePtr &P : Pending)
+    Stats.push_back(std::move(P));
+  return Trees.makeBlock(SourceLoc(), std::move(Stats), std::move(Tail));
+}
+
+void BM_FusedTraversal(benchmark::State &State) {
+  unsigned NumPhases = static_cast<unsigned>(State.range(0));
+  CompilerContext Comp;
+  CompilationUnit Unit;
+  Unit.Root = buildTree(Comp, 4096);
+  std::vector<std::unique_ptr<MiniPhase>> Owned;
+  std::vector<MiniPhase *> Phases;
+  for (unsigned I = 0; I < NumPhases; ++I) {
+    Owned.push_back(std::make_unique<TouchLiterals>(I));
+    Phases.push_back(Owned.back().get());
+  }
+  FusedBlock Block(Phases);
+  for (auto _ : State) {
+    Block.runOnUnit(Unit, Comp);
+    benchmark::DoNotOptimize(Unit.Root.get());
+  }
+  State.SetItemsProcessed(State.iterations() * 4096 * NumPhases);
+}
+
+void BM_SeparateTraversals(benchmark::State &State) {
+  unsigned NumPhases = static_cast<unsigned>(State.range(0));
+  CompilerContext Comp;
+  CompilationUnit Unit;
+  Unit.Root = buildTree(Comp, 4096);
+  std::vector<std::unique_ptr<MiniPhase>> Owned;
+  for (unsigned I = 0; I < NumPhases; ++I)
+    Owned.push_back(std::make_unique<TouchLiterals>(I));
+  for (auto _ : State) {
+    for (auto &P : Owned)
+      P->runOnUnit(Unit, Comp); // one traversal per phase (Listing 4)
+    benchmark::DoNotOptimize(Unit.Root.get());
+  }
+  State.SetItemsProcessed(State.iterations() * 4096 * NumPhases);
+}
+
+} // namespace
+
+BENCHMARK(BM_FusedTraversal)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(27);
+BENCHMARK(BM_SeparateTraversals)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(27);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+// The dynamic checkers at work (paper §6.3): a deliberately buggy phase
+// reintroduces a Match node after PatternMatcher eliminated them. The
+// TreeChecker, running PatternMatcher's postcondition after every later
+// group, localizes the bug to the offending phase immediately — the
+// paper's onboarding/debugging story.
+//
+//   $ ./examples/checker_lab
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "frontend/TypeAssigner.h"
+#include "support/OStream.h"
+#include "transforms/StandardPlan.h"
+
+using namespace mpc;
+
+namespace {
+
+/// A buggy phase: wraps integer literals back into single-case Match
+/// trees, violating PatternMatcher's postcondition.
+class ReintroduceMatch : public MiniPhase {
+public:
+  ReintroduceMatch()
+      : MiniPhase("ReintroduceMatch",
+                  "BUGGY: recreates Match nodes after patmat ran") {
+    declareTransforms({TreeKind::Literal});
+  }
+  TreePtr transformLiteral(Literal *T, PhaseRunContext &Ctx) override {
+    if (T->value().kind() != Constant::Int || Fired)
+      return TreePtr(T);
+    Fired = true; // one violation is enough for the demo
+    TreeContext &Trees = Ctx.trees();
+    Symbol *Wild = Ctx.syms().makeTerm(
+        Ctx.syms().std().Wildcard, Ctx.syms().rootPackage(),
+        SymFlag::Synthetic | SymFlag::Local, T->type());
+    TreePtr Pat = Trees.makeIdent(T->loc(), Wild, T->type());
+    TreePtr Case =
+        Trees.makeCaseDef(T->loc(), std::move(Pat), nullptr, TreePtr(T));
+    TreeList Cases;
+    Cases.push_back(std::move(Case));
+    return Trees.makeMatch(T->loc(), TreePtr(T), std::move(Cases),
+                           T->type());
+  }
+  bool Fired = false;
+};
+
+} // namespace
+
+int main() {
+  CompilerContext Comp;
+  Comp.options().CheckTrees = true;
+  std::vector<std::string> Errors;
+
+  // Run the standard pipeline first, then the buggy phase as its own
+  // group, re-checking the accumulated postconditions afterwards.
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"lab.scala", R"(
+object Main {
+  def pick(x: Any): Int = x match {
+    case n: Int => n
+    case _ => 7
+  }
+  def main(args: Array[String]): Unit = println(pick(3))
+}
+)"});
+  std::vector<CompilationUnit> Units =
+      runFrontEnd(Comp, std::move(Sources));
+
+  PhasePlan Standard = makeStandardPlan(true, Errors);
+  TransformPipeline Pipeline(Standard);
+  TreeChecker Checker(makeRetypeChecker());
+  PipelineResult PR = Pipeline.run(Units, Comp, &Checker);
+  outs() << "standard pipeline: " << PR.CheckFailures.size()
+         << " checker failures (expected 0)\n";
+
+  ReintroduceMatch Buggy;
+  for (CompilationUnit &U : Units)
+    Buggy.runOnUnit(U, Comp);
+
+  // Re-check all accumulated postconditions, as the between-groups
+  // checker pass would (Listing 9).
+  std::vector<Phase *> Executed = Standard.phasesUpTo(
+      Standard.groups().size() - 1);
+  auto Failures =
+      Checker.check(Units[0], Executed, Comp, Buggy.name());
+  outs() << "after the buggy phase: " << Failures.size()
+         << " failures; the first one blames:\n\n";
+  if (!Failures.empty())
+    outs() << "  [" << Failures.front().PhaseName << "] "
+           << Failures.front().Message << '\n';
+  outs() << "\n=> the postcondition of PatternMatcher failed after "
+            "running ReintroduceMatch,\n   so ReintroduceMatch is the "
+            "phase that broke the invariant (paper §6.3).\n";
+  return Failures.empty() ? 1 : 0;
+}

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+// A tour of the lowering pipeline: compiles a small program and prints
+// the tree after each fusion group, so you can watch pattern matching
+// become conditionals, lazy vals become flag+storage fields, closures
+// become classes, and so on.
+//
+//   $ ./examples/lowering_tour
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreePrinter.h"
+#include "ast/TreeUtils.h"
+#include "core/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "support/OStream.h"
+#include "transforms/StandardPlan.h"
+
+using namespace mpc;
+
+static const char *Program = R"(
+class Counter(start: Int) {
+  lazy val bonus: Int = start * 2
+  def classify(x: Any): Int = x match {
+    case n: Int => n + bonus
+    case _ => 0
+  }
+}
+)";
+
+int main() {
+  CompilerContext Comp;
+  std::vector<std::string> Errors;
+  PhasePlan Plan = makeStandardPlan(true, Errors);
+
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"tour.scala", Program});
+  std::vector<CompilationUnit> Units =
+      runFrontEnd(Comp, std::move(Sources));
+  if (Comp.diags().hasErrors()) {
+    Comp.diags().printAll(errs());
+    return 1;
+  }
+
+  PrintOptions PO;
+  PO.ShowTypes = false;
+  outs() << "=== after the front end (" << countNodes(Units[0].Root.get())
+         << " nodes) ===\n";
+  printTree(outs(), Units[0].Root.get(), PO);
+
+  for (const PhaseGroup &G : Plan.groups()) {
+    if (G.isFused()) {
+      for (CompilationUnit &U : Units)
+        G.Block->runOnUnit(U, Comp);
+    } else {
+      for (Phase *P : G.Members)
+        for (CompilationUnit &U : Units)
+          P->runOnUnit(U, Comp);
+    }
+    outs() << "\n=== after ";
+    for (size_t I = 0; I < G.Members.size(); ++I)
+      outs() << (I ? " + " : "") << G.Members[I]->name();
+    outs() << " (" << countNodes(Units[0].Root.get()) << " nodes) ===\n";
+    printTree(outs(), Units[0].Root.get(), PO);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Literal constant values carried by Literal trees (and classOf results).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_AST_CONSTANT_H
+#define MPC_AST_CONSTANT_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace mpc {
+
+class Type;
+
+/// A compile-time constant. Clazz carries a Type* payload (result of
+/// `classOf[T]`, see the ClassOf miniphase).
+class Constant {
+public:
+  enum KindTy : uint8_t { Unit, Bool, Int, Double, Str, Null, Clazz };
+
+  Constant() : K(Unit), IntVal(0) {}
+  static Constant makeUnit() { return Constant(); }
+  static Constant makeBool(bool B) {
+    Constant C;
+    C.K = Bool;
+    C.IntVal = B ? 1 : 0;
+    return C;
+  }
+  static Constant makeInt(int64_t V) {
+    Constant C;
+    C.K = Int;
+    C.IntVal = V;
+    return C;
+  }
+  static Constant makeDouble(double V) {
+    Constant C;
+    C.K = Double;
+    C.DoubleVal = V;
+    return C;
+  }
+  static Constant makeString(Name S) {
+    Constant C;
+    C.K = Str;
+    C.StrVal = S;
+    return C;
+  }
+  static Constant makeNull() {
+    Constant C;
+    C.K = Null;
+    return C;
+  }
+  static Constant makeClazz(const Type *T) {
+    Constant C;
+    C.K = Clazz;
+    C.ClazzVal = T;
+    return C;
+  }
+
+  KindTy kind() const { return K; }
+  bool boolValue() const { return IntVal != 0; }
+  int64_t intValue() const { return IntVal; }
+  double doubleValue() const { return DoubleVal; }
+  Name stringValue() const { return StrVal; }
+  const Type *clazzValue() const { return ClazzVal; }
+
+  bool operator==(const Constant &O) const {
+    if (K != O.K)
+      return false;
+    switch (K) {
+    case Unit:
+    case Null:
+      return true;
+    case Bool:
+    case Int:
+      return IntVal == O.IntVal;
+    case Double:
+      return DoubleVal == O.DoubleVal;
+    case Str:
+      return StrVal == O.StrVal;
+    case Clazz:
+      return ClazzVal == O.ClazzVal;
+    }
+    return false;
+  }
+  bool operator!=(const Constant &O) const { return !(*this == O); }
+
+private:
+  KindTy K;
+  union {
+    int64_t IntVal;
+    double DoubleVal;
+    const Type *ClazzVal;
+  };
+  Name StrVal;
+};
+
+} // namespace mpc
+
+#endif // MPC_AST_CONSTANT_H

@@ -1,0 +1,155 @@
+#include "ast/TreePrinter.h"
+
+#include "support/OStream.h"
+
+using namespace mpc;
+
+namespace {
+class Printer {
+public:
+  Printer(OStream &OS, const PrintOptions &Opts) : OS(OS), Opts(Opts) {}
+
+  void print(const Tree *T, unsigned Depth) {
+    OS.indent(Depth * 2);
+    if (!T) {
+      OS << "<empty>\n";
+      return;
+    }
+    OS << treeKindName(T->kind());
+    printPayload(T);
+    if (Opts.ShowTypes && T->type())
+      OS << " : " << T->type()->show();
+    OS << '\n';
+    if (Opts.MaxDepth && Depth + 1 >= Opts.MaxDepth)
+      return;
+    for (const TreePtr &K : T->kids())
+      print(K.get(), Depth + 1);
+  }
+
+private:
+  void printSym(const Symbol *S) {
+    if (!S) {
+      OS << " <nosym>";
+      return;
+    }
+    OS << ' ' << S->name().text();
+    if (Opts.ShowSymbolIds)
+      OS << '#' << S->id();
+  }
+
+  void printPayload(const Tree *T) {
+    switch (T->kind()) {
+    case TreeKind::Ident:
+      printSym(cast<Ident>(T)->sym());
+      break;
+    case TreeKind::Select:
+      printSym(cast<Select>(T)->sym());
+      break;
+    case TreeKind::This:
+      printSym(cast<This>(T)->cls());
+      break;
+    case TreeKind::Super:
+      printSym(cast<Super>(T)->fromClass());
+      break;
+    case TreeKind::Literal: {
+      const Constant &C = cast<Literal>(T)->value();
+      switch (C.kind()) {
+      case Constant::Unit:
+        OS << " ()";
+        break;
+      case Constant::Bool:
+        OS << ' ' << C.boolValue();
+        break;
+      case Constant::Int:
+        OS << ' ' << C.intValue();
+        break;
+      case Constant::Double:
+        OS << ' ' << C.doubleValue();
+        break;
+      case Constant::Str:
+        OS << " \"" << C.stringValue().text() << '"';
+        break;
+      case Constant::Null:
+        OS << " null";
+        break;
+      case Constant::Clazz:
+        OS << " classOf[" << C.clazzValue()->show() << ']';
+        break;
+      }
+      break;
+    }
+    case TreeKind::TypeApply: {
+      OS << " [";
+      const auto &Args = cast<TypeApply>(T)->typeArgs();
+      for (size_t I = 0; I < Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << Args[I]->show();
+      }
+      OS << ']';
+      break;
+    }
+    case TreeKind::New:
+      OS << ' ' << cast<New>(T)->classTy()->show();
+      break;
+    case TreeKind::Bind:
+      printSym(cast<Bind>(T)->sym());
+      break;
+    case TreeKind::UnApply:
+      printSym(cast<UnApply>(T)->caseClass());
+      break;
+    case TreeKind::Return:
+      printSym(cast<Return>(T)->fromMethod());
+      break;
+    case TreeKind::Labeled:
+      printSym(cast<Labeled>(T)->label());
+      break;
+    case TreeKind::Goto:
+      printSym(cast<Goto>(T)->label());
+      break;
+    case TreeKind::SeqLiteral:
+      OS << " elem=" << cast<SeqLiteral>(T)->elemType()->show();
+      break;
+    case TreeKind::ValDef: {
+      const auto *VD = cast<ValDef>(T);
+      printSym(VD->sym());
+      if (VD->sym() && VD->sym()->info())
+        OS << " : " << VD->sym()->info()->show();
+      break;
+    }
+    case TreeKind::DefDef: {
+      const auto *DD = cast<DefDef>(T);
+      printSym(DD->sym());
+      if (DD->sym() && DD->sym()->info())
+        OS << " : " << DD->sym()->info()->show();
+      break;
+    }
+    case TreeKind::ClassDef:
+      printSym(cast<ClassDef>(T)->sym());
+      break;
+    case TreeKind::PackageDef:
+      OS << ' '
+         << (cast<PackageDef>(T)->pkgName()
+                 ? cast<PackageDef>(T)->pkgName().text()
+                 : std::string_view("<empty>"));
+      break;
+    default:
+      break;
+    }
+  }
+
+  OStream &OS;
+  const PrintOptions &Opts;
+};
+} // namespace
+
+void mpc::printTree(OStream &OS, const Tree *T, const PrintOptions &Opts) {
+  Printer P(OS, Opts);
+  P.print(T, 0);
+}
+
+std::string mpc::treeToString(const Tree *T, const PrintOptions &Opts) {
+  StringOStream OS;
+  printTree(OS, T, Opts);
+  return OS.str();
+}

@@ -1,0 +1,401 @@
+#include "ast/Trees.h"
+
+#include <new>
+
+using namespace mpc;
+
+const char *mpc::treeKindName(TreeKind K) {
+  switch (K) {
+#define TREE_KIND(Name)                                                        \
+  case TreeKind::Name:                                                         \
+    return #Name;
+#include "ast/TreeKinds.def"
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation / destruction
+//===----------------------------------------------------------------------===//
+
+template <typename NodeT, typename... Args>
+GcRef<NodeT> TreeContext::allocate(size_t ExtraBytes, Args &&...CtorArgs) {
+  // The managed-heap charge approximates a JVM node: the object itself plus
+  // its child-list cells (ExtraBytes = 8 per child, mirroring cons cells).
+  size_t Charge = sizeof(NodeT) + ExtraBytes;
+  uint64_t Birth = 0;
+  void *Mem = Heap.allocate(sizeof(NodeT), Charge, Birth);
+  auto *Node = new (Mem) NodeT(*this, std::forward<Args>(CtorArgs)...);
+  Node->Birth = Birth;
+  Node->AllocSize = static_cast<uint32_t>(Charge);
+  ++NumCreated;
+  if (Cache)
+    Cache->store(reinterpret_cast<uint64_t>(Node), sizeof(NodeT));
+  return GcRef<NodeT>(Node);
+}
+
+void TreeContext::destroy(Tree *T) {
+  uint64_t Birth = T->Birth;
+  uint32_t Size = T->AllocSize;
+  switch (T->kind()) {
+#define TREE_KIND(Name)                                                        \
+  case TreeKind::Name:                                                         \
+    static_cast<Name *>(T)->~Name();                                           \
+    break;
+#include "ast/TreeKinds.def"
+  }
+  Heap.deallocate(T, Size, Birth);
+}
+
+//===----------------------------------------------------------------------===//
+// Factory methods
+//===----------------------------------------------------------------------===//
+
+GcRef<Ident> TreeContext::makeIdent(SourceLoc L, Symbol *Sym, const Type *Ty) {
+  assert(Sym && "Ident requires a symbol");
+  return allocate<Ident>(0, L, Ty, Sym);
+}
+
+GcRef<Select> TreeContext::makeSelect(SourceLoc L, TreePtr Qual, Symbol *Sym,
+                                      const Type *Ty) {
+  assert(Qual && "Select requires a qualifier");
+  assert(Sym && "Select requires a symbol");
+  return allocate<Select>(8, L, Ty, std::move(Qual), Sym);
+}
+
+GcRef<This> TreeContext::makeThis(SourceLoc L, ClassSymbol *Cls,
+                                  const Type *Ty) {
+  return allocate<This>(0, L, Ty, Cls);
+}
+
+GcRef<Super> TreeContext::makeSuper(SourceLoc L, ClassSymbol *FromCls,
+                                    ClassSymbol *Target, const Type *Ty) {
+  return allocate<Super>(0, L, Ty, FromCls, Target);
+}
+
+GcRef<Literal> TreeContext::makeLiteral(SourceLoc L, Constant V,
+                                        const Type *Ty) {
+  return allocate<Literal>(0, L, Ty, V);
+}
+
+GcRef<Apply> TreeContext::makeApply(SourceLoc L, TreePtr Fun, TreeList Args,
+                                    const Type *Ty) {
+  assert(Fun && "Apply requires a function");
+  TreeList Ks;
+  Ks.reserve(Args.size() + 1);
+  Ks.push_back(std::move(Fun));
+  for (TreePtr &A : Args) {
+    assert(A && "Apply argument must be non-null");
+    Ks.push_back(std::move(A));
+  }
+  return allocate<Apply>(8 * Ks.size(), L, Ty, std::move(Ks));
+}
+
+GcRef<TypeApply> TreeContext::makeTypeApply(SourceLoc L, TreePtr Fun,
+                                            std::vector<const Type *> TArgs,
+                                            const Type *Ty) {
+  assert(Fun && "TypeApply requires a function");
+  return allocate<TypeApply>(8, L, Ty, std::move(Fun), std::move(TArgs));
+}
+
+GcRef<New> TreeContext::makeNew(SourceLoc L, const Type *ClsTy,
+                                TreeList Args) {
+  assert(ClsTy && "New requires a class type");
+  return allocate<New>(8 * Args.size(), L, ClsTy, ClsTy, std::move(Args));
+}
+
+GcRef<Typed> TreeContext::makeTyped(SourceLoc L, TreePtr Expr,
+                                    const Type *TargetTy) {
+  assert(Expr && "Typed requires an expression");
+  return allocate<Typed>(8, L, TargetTy, std::move(Expr));
+}
+
+GcRef<Assign> TreeContext::makeAssign(SourceLoc L, TreePtr Lhs, TreePtr Rhs,
+                                      const Type *UnitTy) {
+  TreeList Ks;
+  Ks.push_back(std::move(Lhs));
+  Ks.push_back(std::move(Rhs));
+  return allocate<Assign>(16, L, UnitTy, std::move(Ks));
+}
+
+GcRef<Block> TreeContext::makeBlock(SourceLoc L, TreeList Stats,
+                                    TreePtr Expr) {
+  assert(Expr && "Block requires a result expression");
+  const Type *Ty = Expr->type();
+  TreeList Ks = std::move(Stats);
+  Ks.push_back(std::move(Expr));
+  return allocate<Block>(8 * Ks.size(), L, Ty, std::move(Ks));
+}
+
+GcRef<If> TreeContext::makeIf(SourceLoc L, TreePtr Cond, TreePtr Then,
+                              TreePtr Else, const Type *Ty) {
+  assert(Cond && Then && Else && "If requires all three children");
+  TreeList Ks;
+  Ks.push_back(std::move(Cond));
+  Ks.push_back(std::move(Then));
+  Ks.push_back(std::move(Else));
+  return allocate<If>(24, L, Ty, std::move(Ks));
+}
+
+GcRef<Closure> TreeContext::makeClosure(SourceLoc L, TreeList Params,
+                                        TreePtr Body, const Type *Ty) {
+  assert(Body && "Closure requires a body");
+  TreeList Ks = std::move(Params);
+  Ks.push_back(std::move(Body));
+  return allocate<Closure>(8 * Ks.size(), L, Ty, std::move(Ks));
+}
+
+GcRef<Match> TreeContext::makeMatch(SourceLoc L, TreePtr Sel, TreeList Cases,
+                                    const Type *Ty) {
+  assert(Sel && "Match requires a selector");
+  TreeList Ks;
+  Ks.reserve(Cases.size() + 1);
+  Ks.push_back(std::move(Sel));
+  for (TreePtr &C : Cases)
+    Ks.push_back(std::move(C));
+  return allocate<Match>(8 * Ks.size(), L, Ty, std::move(Ks));
+}
+
+GcRef<CaseDef> TreeContext::makeCaseDef(SourceLoc L, TreePtr Pat,
+                                        TreePtr Guard, TreePtr Body) {
+  assert(Pat && Body && "CaseDef requires pattern and body");
+  const Type *Ty = Body->type();
+  TreeList Ks;
+  Ks.push_back(std::move(Pat));
+  Ks.push_back(std::move(Guard)); // nullable slot
+  Ks.push_back(std::move(Body));
+  return allocate<CaseDef>(24, L, Ty, std::move(Ks));
+}
+
+GcRef<Bind> TreeContext::makeBind(SourceLoc L, Symbol *Sym, TreePtr Pat) {
+  assert(Sym && Pat && "Bind requires symbol and pattern");
+  return allocate<Bind>(8, L, Sym->info(), Sym, std::move(Pat));
+}
+
+GcRef<Alternative> TreeContext::makeAlternative(SourceLoc L, TreeList Pats,
+                                                const Type *Ty) {
+  return allocate<Alternative>(8 * Pats.size(), L, Ty, std::move(Pats));
+}
+
+GcRef<UnApply> TreeContext::makeUnApply(SourceLoc L, ClassSymbol *Cls,
+                                        TreeList Pats, const Type *Ty) {
+  assert(Cls && "UnApply requires a case class");
+  return allocate<UnApply>(8 * Pats.size(), L, Ty, Cls, std::move(Pats));
+}
+
+GcRef<Try> TreeContext::makeTry(SourceLoc L, TreePtr Body, TreeList Catches,
+                                TreePtr Finalizer, const Type *Ty) {
+  assert(Body && "Try requires a body");
+  TreeList Ks;
+  Ks.reserve(Catches.size() + 2);
+  Ks.push_back(std::move(Body));
+  Ks.push_back(std::move(Finalizer)); // nullable slot
+  for (TreePtr &C : Catches)
+    Ks.push_back(std::move(C));
+  return allocate<Try>(8 * Ks.size(), L, Ty, std::move(Ks));
+}
+
+GcRef<Throw> TreeContext::makeThrow(SourceLoc L, TreePtr Expr,
+                                    const Type *NothingTy) {
+  assert(Expr && "Throw requires an expression");
+  TreeList Ks;
+  Ks.push_back(std::move(Expr));
+  return allocate<Throw>(8, L, NothingTy, std::move(Ks));
+}
+
+GcRef<Return> TreeContext::makeReturn(SourceLoc L, TreePtr Expr,
+                                      Symbol *FromMethod,
+                                      const Type *NothingTy) {
+  TreeList Ks;
+  Ks.push_back(std::move(Expr)); // nullable slot
+  return allocate<Return>(8, L, NothingTy, FromMethod, std::move(Ks));
+}
+
+GcRef<WhileDo> TreeContext::makeWhileDo(SourceLoc L, TreePtr Cond,
+                                        TreePtr Body, const Type *UnitTy) {
+  assert(Cond && Body && "WhileDo requires condition and body");
+  TreeList Ks;
+  Ks.push_back(std::move(Cond));
+  Ks.push_back(std::move(Body));
+  return allocate<WhileDo>(16, L, UnitTy, std::move(Ks));
+}
+
+GcRef<Labeled> TreeContext::makeLabeled(SourceLoc L, Symbol *Label,
+                                        TreePtr Body, const Type *Ty) {
+  assert(Label && Body && "Labeled requires label and body");
+  TreeList Ks;
+  Ks.push_back(std::move(Body));
+  return allocate<Labeled>(8, L, Ty, Label, std::move(Ks));
+}
+
+GcRef<Goto> TreeContext::makeGoto(SourceLoc L, Symbol *Label,
+                                  const Type *NothingTy) {
+  assert(Label && "Goto requires a label");
+  return allocate<Goto>(0, L, NothingTy, Label);
+}
+
+GcRef<SeqLiteral> TreeContext::makeSeqLiteral(SourceLoc L, TreeList Elems,
+                                              const Type *ElemTy,
+                                              const Type *Ty) {
+  return allocate<SeqLiteral>(8 * Elems.size(), L, Ty, ElemTy,
+                              std::move(Elems));
+}
+
+GcRef<ValDef> TreeContext::makeValDef(SourceLoc L, Symbol *Sym, TreePtr Rhs) {
+  assert(Sym && "ValDef requires a symbol");
+  TreeList Ks;
+  Ks.push_back(std::move(Rhs)); // nullable slot
+  return allocate<ValDef>(8, L, nullptr, Sym, std::move(Ks));
+}
+
+GcRef<DefDef> TreeContext::makeDefDef(SourceLoc L, Symbol *Sym,
+                                      std::vector<uint32_t> ParamListSizes,
+                                      TreeList Params, TreePtr Rhs) {
+  assert(Sym && "DefDef requires a symbol");
+#ifndef NDEBUG
+  size_t Total = 0;
+  for (uint32_t S : ParamListSizes)
+    Total += S;
+  assert(Total == Params.size() && "param list sizes inconsistent");
+#endif
+  TreeList Ks = std::move(Params);
+  Ks.push_back(std::move(Rhs)); // nullable slot
+  return allocate<DefDef>(8 * Ks.size(), L, nullptr, Sym,
+                          std::move(ParamListSizes), std::move(Ks));
+}
+
+GcRef<ClassDef> TreeContext::makeClassDef(SourceLoc L, ClassSymbol *Sym,
+                                          TreeList Body) {
+  assert(Sym && "ClassDef requires a class symbol");
+  return allocate<ClassDef>(8 * Body.size(), L, nullptr, Sym,
+                            std::move(Body));
+}
+
+GcRef<PackageDef> TreeContext::makePackageDef(SourceLoc L, Name PkgName,
+                                              TreeList Stats) {
+  return allocate<PackageDef>(8 * Stats.size(), L, nullptr, PkgName,
+                              std::move(Stats));
+}
+
+//===----------------------------------------------------------------------===//
+// withNewChildren — the copier with the reuse optimization.
+//===----------------------------------------------------------------------===//
+
+TreePtr TreeContext::withNewChildren(Tree *T, TreeList NewKids) {
+  assert(T && "withNewChildren on null tree");
+  assert(NewKids.size() == T->numKids() &&
+         "withNewChildren must preserve arity");
+
+  bool AllSame = true;
+  for (size_t I = 0; I < NewKids.size(); ++I) {
+    if (NewKids[I].get() != T->kid(static_cast<unsigned>(I))) {
+      AllSame = false;
+      break;
+    }
+  }
+  if (AllSame) {
+    ++NumReused;
+    return TreePtr(T);
+  }
+  return withNewChildrenForced(T, std::move(NewKids));
+}
+
+TreePtr TreeContext::withNewChildrenForced(Tree *T, TreeList NewKids) {
+  assert(T && "withNewChildren on null tree");
+  assert(NewKids.size() == T->numKids() &&
+         "withNewChildren must preserve arity");
+  ++NumRebuilt;
+  return rebuildNode(T, std::move(NewKids), T->type());
+}
+
+TreePtr TreeContext::withType(Tree *T, const Type *NewTy) {
+  assert(T && "withType on null tree");
+  if (T->type() == NewTy)
+    return TreePtr(T);
+  TreeList Kids = T->kids(); // copy of the child refs
+  return rebuildNode(T, std::move(Kids), NewTy);
+}
+
+TreePtr TreeContext::rebuildNode(Tree *T, TreeList NewKids, const Type *Ty) {
+  SourceLoc L = T->loc();
+  switch (T->kind()) {
+  case TreeKind::Ident:
+    return allocate<Ident>(0, L, Ty, cast<Ident>(T)->sym());
+  case TreeKind::This:
+    return allocate<This>(0, L, Ty, cast<This>(T)->cls());
+  case TreeKind::Super:
+    return allocate<Super>(0, L, Ty, cast<Super>(T)->fromClass(),
+                           cast<Super>(T)->target());
+  case TreeKind::Literal:
+    return allocate<Literal>(0, L, Ty, cast<Literal>(T)->value());
+  case TreeKind::Goto:
+    return allocate<Goto>(0, L, Ty, cast<Goto>(T)->label());
+  case TreeKind::Select:
+    return allocate<Select>(8, L, Ty, std::move(NewKids[0]),
+                            cast<Select>(T)->sym());
+  case TreeKind::Apply:
+    return allocate<Apply>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+  case TreeKind::TypeApply:
+    return allocate<TypeApply>(8, L, Ty, std::move(NewKids[0]),
+                               cast<TypeApply>(T)->typeArgs());
+  case TreeKind::New:
+    return allocate<New>(8 * NewKids.size(), L, Ty,
+                         cast<New>(T)->classTy(), std::move(NewKids));
+  case TreeKind::Typed:
+    return allocate<Typed>(8, L, Ty, std::move(NewKids[0]));
+  case TreeKind::Assign:
+    return allocate<Assign>(16, L, Ty, std::move(NewKids));
+  case TreeKind::Block:
+    return allocate<Block>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+  case TreeKind::If:
+    return allocate<If>(24, L, Ty, std::move(NewKids));
+  case TreeKind::Closure:
+    return allocate<Closure>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+  case TreeKind::Match:
+    return allocate<Match>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+  case TreeKind::CaseDef:
+    return allocate<CaseDef>(24, L, Ty, std::move(NewKids));
+  case TreeKind::Bind:
+    return allocate<Bind>(8, L, Ty, cast<Bind>(T)->sym(),
+                          std::move(NewKids[0]));
+  case TreeKind::Alternative:
+    return allocate<Alternative>(8 * NewKids.size(), L, Ty,
+                                 std::move(NewKids));
+  case TreeKind::UnApply:
+    return allocate<UnApply>(8 * NewKids.size(), L, Ty,
+                             cast<UnApply>(T)->caseClass(),
+                             std::move(NewKids));
+  case TreeKind::Try:
+    return allocate<Try>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+  case TreeKind::Throw:
+    return allocate<Throw>(8, L, Ty, std::move(NewKids));
+  case TreeKind::Return:
+    return allocate<Return>(8, L, Ty, cast<Return>(T)->fromMethod(),
+                            std::move(NewKids));
+  case TreeKind::WhileDo:
+    return allocate<WhileDo>(16, L, Ty, std::move(NewKids));
+  case TreeKind::Labeled:
+    return allocate<Labeled>(8, L, Ty, cast<Labeled>(T)->label(),
+                             std::move(NewKids));
+  case TreeKind::SeqLiteral:
+    return allocate<SeqLiteral>(8 * NewKids.size(), L, Ty,
+                                cast<SeqLiteral>(T)->elemType(),
+                                std::move(NewKids));
+  case TreeKind::ValDef:
+    return allocate<ValDef>(8, L, Ty, cast<ValDef>(T)->sym(),
+                            std::move(NewKids));
+  case TreeKind::DefDef:
+    return allocate<DefDef>(8 * NewKids.size(), L, Ty, cast<DefDef>(T)->sym(),
+                            cast<DefDef>(T)->paramListSizes(),
+                            std::move(NewKids));
+  case TreeKind::ClassDef:
+    return allocate<ClassDef>(8 * NewKids.size(), L, Ty,
+                              cast<ClassDef>(T)->sym(), std::move(NewKids));
+  case TreeKind::PackageDef:
+    return allocate<PackageDef>(8 * NewKids.size(), L, Ty,
+                                cast<PackageDef>(T)->pkgName(),
+                                std::move(NewKids));
+  }
+  assert(false && "unhandled tree kind in rebuildNode");
+  return TreePtr(T);
+}

@@ -1,0 +1,772 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree intermediate representation (paper Listing 2, generalized).
+///
+/// Trees are immutable: phases never mutate a node, they build a new one via
+/// TreeContext and the framework rebuilds the spine (withNewChildren). The
+/// copier reuses the original node when no child changed — the paper's
+/// "optimization avoids the copying in the (quite common) case where a
+/// transform returns a tree with the same fields as its input".
+///
+/// Nodes are reference counted. Immutability rules out cycles, so counts
+/// are exact; each node records its allocation-clock birth so the
+/// ManagedHeap can attribute generational promotion (Figures 5/6).
+///
+/// Storage layout: every node keeps its children in one uniform vector
+/// (typed accessors map onto fixed slots). This lets the traversal,
+/// rebuild, equality and printing logic be generic over kinds while hooks
+/// still get fully typed node classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_AST_TREES_H
+#define MPC_AST_TREES_H
+
+#include "ast/Constant.h"
+#include "ast/Symbols.h"
+#include "ast/Types.h"
+#include "memsim/CacheSim.h"
+#include "memsim/ManagedHeap.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mpc {
+
+class Tree;
+class TreeContext;
+
+/// Kind discriminator generated from TreeKinds.def.
+enum class TreeKind : uint8_t {
+#define TREE_KIND(Name) Name,
+#include "ast/TreeKinds.def"
+};
+
+/// Number of concrete tree kinds.
+constexpr unsigned NumTreeKinds = 0
+#define TREE_KIND(Name) +1
+#include "ast/TreeKinds.def"
+    ;
+static_assert(NumTreeKinds <= 32, "KindSet uses a 32-bit mask");
+
+/// Printable kind name.
+const char *treeKindName(TreeKind K);
+
+/// A small set of tree kinds (used for phase transform/prepare masks).
+class KindSet {
+public:
+  constexpr KindSet() : Bits(0) {}
+  constexpr KindSet(std::initializer_list<TreeKind> Kinds) : Bits(0) {
+    for (TreeKind K : Kinds)
+      Bits |= bit(K);
+  }
+  static constexpr KindSet all() {
+    KindSet S;
+    S.Bits = (NumTreeKinds == 32) ? ~0u : ((1u << NumTreeKinds) - 1);
+    return S;
+  }
+  bool contains(TreeKind K) const { return (Bits & bit(K)) != 0; }
+  void insert(TreeKind K) { Bits |= bit(K); }
+  bool empty() const { return Bits == 0; }
+  uint32_t bits() const { return Bits; }
+
+private:
+  static constexpr uint32_t bit(TreeKind K) {
+    return 1u << static_cast<unsigned>(K);
+  }
+  uint32_t Bits;
+};
+
+/// Intrusive reference-counted pointer to a Tree (or subclass).
+template <typename T> class GcRef {
+public:
+  GcRef() : Ptr(nullptr) {}
+  GcRef(std::nullptr_t) : Ptr(nullptr) {}
+  GcRef(T *P) : Ptr(P) { retain(); }
+  GcRef(const GcRef &O) : Ptr(O.Ptr) { retain(); }
+  GcRef(GcRef &&O) noexcept : Ptr(O.Ptr) { O.Ptr = nullptr; }
+  /// Upcast conversion (e.g. GcRef<Apply> -> GcRef<Tree>).
+  template <typename U>
+    requires std::is_convertible_v<U *, T *>
+  GcRef(const GcRef<U> &O) : Ptr(O.get()) {
+    retain();
+  }
+  ~GcRef() { release(); }
+
+  GcRef &operator=(const GcRef &O) {
+    if (this != &O) {
+      GcRef Tmp(O);
+      std::swap(Ptr, Tmp.Ptr);
+    }
+    return *this;
+  }
+  GcRef &operator=(GcRef &&O) noexcept {
+    std::swap(Ptr, O.Ptr);
+    return *this;
+  }
+
+  T *get() const { return Ptr; }
+  T *operator->() const {
+    assert(Ptr && "dereferencing null GcRef");
+    return Ptr;
+  }
+  T &operator*() const {
+    assert(Ptr && "dereferencing null GcRef");
+    return *Ptr;
+  }
+  explicit operator bool() const { return Ptr != nullptr; }
+  bool operator==(const GcRef &O) const { return Ptr == O.Ptr; }
+  bool operator!=(const GcRef &O) const { return Ptr != O.Ptr; }
+  bool operator==(const T *P) const { return Ptr == P; }
+
+private:
+  void retain() const;
+  void release();
+  T *Ptr;
+};
+
+using TreePtr = GcRef<Tree>;
+using TreeList = std::vector<TreePtr>;
+
+/// Root of the tree hierarchy. No vtable: the kind tag plus switch-based
+/// dispatch keeps nodes compact and mirrors the paper's transform dispatch.
+class Tree {
+public:
+  TreeKind kind() const { return K; }
+  const Type *type() const { return Ty; }
+  SourceLoc loc() const { return Loc; }
+  TreeContext &context() const { return *Ctx; }
+
+  /// Children, uniformly. Entries may be null only in the documented
+  /// nullable slots (ValDef/DefDef rhs, Try finalizer, CaseDef guard).
+  unsigned numKids() const { return static_cast<unsigned>(Kids.size()); }
+  Tree *kid(unsigned I) const {
+    assert(I < Kids.size() && "child index out of range");
+    return Kids[I].get();
+  }
+  const TreeList &kids() const { return Kids; }
+
+  /// Reference count (exposed for allocation-lifetime tests).
+  uint32_t refCount() const { return RefCount; }
+
+  /// Bytes charged to the managed heap for this node.
+  uint32_t allocBytes() const { return AllocSize; }
+
+  /// Allocation-clock value at creation (ManagedHeap accounting).
+  uint64_t birthClock() const { return Birth; }
+
+  static bool classof(const Tree *) { return true; }
+
+protected:
+  Tree(TreeKind K, TreeContext &Ctx, SourceLoc Loc, const Type *Ty,
+       TreeList Kids)
+      : Ctx(&Ctx), Ty(Ty), Kids(std::move(Kids)), Loc(Loc), K(K) {}
+  ~Tree() = default;
+
+private:
+  friend class TreeContext;
+  template <typename T> friend class GcRef;
+
+  void retain() const { ++RefCount; }
+  void release(); // defined after TreeContext
+
+  TreeContext *Ctx;
+  const Type *Ty;
+  TreeList Kids;
+  uint64_t Birth = 0;
+  mutable uint32_t RefCount = 0;
+  uint32_t AllocSize = 0;
+  SourceLoc Loc;
+  TreeKind K;
+};
+
+template <typename T> void GcRef<T>::retain() const {
+  if (Ptr)
+    static_cast<const Tree *>(Ptr)->retain();
+}
+
+//===----------------------------------------------------------------------===//
+// Node classes. Each documents its child-slot layout.
+//===----------------------------------------------------------------------===//
+
+/// Reference to a definition by symbol.
+class Ident : public Tree {
+public:
+  Symbol *sym() const { return Sym; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Ident; }
+
+private:
+  friend class TreeContext;
+  Ident(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym)
+      : Tree(TreeKind::Ident, C, L, Ty, {}), Sym(Sym) {}
+  Symbol *Sym;
+};
+
+/// Member selection: kid 0 = qualifier.
+class Select : public Tree {
+public:
+  Tree *qual() const { return kid(0); }
+  Symbol *sym() const { return Sym; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Select; }
+
+private:
+  friend class TreeContext;
+  Select(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Qual,
+         Symbol *Sym)
+      : Tree(TreeKind::Select, C, L, Ty, makeKids(std::move(Qual))), Sym(Sym) {
+  }
+  static TreeList makeKids(TreePtr Q) {
+    TreeList Ks;
+    Ks.push_back(std::move(Q));
+    return Ks;
+  }
+  Symbol *Sym;
+};
+
+/// `this` of class \p cls().
+class This : public Tree {
+public:
+  ClassSymbol *cls() const { return Cls; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::This; }
+
+private:
+  friend class TreeContext;
+  This(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *Cls)
+      : Tree(TreeKind::This, C, L, Ty, {}), Cls(Cls) {}
+  ClassSymbol *Cls;
+};
+
+/// `super` qualifier; appears only as Select(Super, member).
+class Super : public Tree {
+public:
+  ClassSymbol *fromClass() const { return FromCls; }
+  ClassSymbol *target() const { return Target; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Super; }
+
+private:
+  friend class TreeContext;
+  Super(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *FromCls,
+        ClassSymbol *Target)
+      : Tree(TreeKind::Super, C, L, Ty, {}), FromCls(FromCls), Target(Target) {
+  }
+  ClassSymbol *FromCls;
+  ClassSymbol *Target;
+};
+
+/// A literal constant.
+class Literal : public Tree {
+public:
+  const Constant &value() const { return Value; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Literal; }
+
+private:
+  friend class TreeContext;
+  Literal(TreeContext &C, SourceLoc L, const Type *Ty, Constant V)
+      : Tree(TreeKind::Literal, C, L, Ty, {}), Value(V) {}
+  Constant Value;
+};
+
+/// Application: kid 0 = function, kids 1.. = arguments.
+class Apply : public Tree {
+public:
+  Tree *fun() const { return kid(0); }
+  unsigned numArgs() const { return numKids() - 1; }
+  Tree *arg(unsigned I) const { return kid(1 + I); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Apply; }
+
+private:
+  friend class TreeContext;
+  Apply(TreeContext &C, SourceLoc L, const Type *Ty, TreeList FunAndArgs)
+      : Tree(TreeKind::Apply, C, L, Ty, std::move(FunAndArgs)) {}
+};
+
+/// Type application: kid 0 = function; type arguments as types.
+class TypeApply : public Tree {
+public:
+  Tree *fun() const { return kid(0); }
+  const std::vector<const Type *> &typeArgs() const { return TypeArgs; }
+  static bool classof(const Tree *T) {
+    return T->kind() == TreeKind::TypeApply;
+  }
+
+private:
+  friend class TreeContext;
+  TypeApply(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Fun,
+            std::vector<const Type *> TypeArgs)
+      : Tree(TreeKind::TypeApply, C, L, Ty, makeKids(std::move(Fun))),
+        TypeArgs(std::move(TypeArgs)) {}
+  static TreeList makeKids(TreePtr F) {
+    TreeList Ks;
+    Ks.push_back(std::move(F));
+    return Ks;
+  }
+  std::vector<const Type *> TypeArgs;
+};
+
+/// Instance creation `new C(args)`: kids = constructor arguments.
+class New : public Tree {
+public:
+  const Type *classTy() const { return ClsTy; }
+  unsigned numArgs() const { return numKids(); }
+  Tree *arg(unsigned I) const { return kid(I); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::New; }
+
+private:
+  friend class TreeContext;
+  New(TreeContext &C, SourceLoc L, const Type *Ty, const Type *ClsTy,
+      TreeList Args)
+      : Tree(TreeKind::New, C, L, Ty, std::move(Args)), ClsTy(ClsTy) {}
+  const Type *ClsTy;
+};
+
+/// Ascription / checked cast / type pattern. The node's own type is the
+/// target type; kid 0 = expression (or inner pattern).
+class Typed : public Tree {
+public:
+  Tree *expr() const { return kid(0); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Typed; }
+
+private:
+  friend class TreeContext;
+  Typed(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Expr)
+      : Tree(TreeKind::Typed, C, L, Ty, makeKids(std::move(Expr))) {}
+  static TreeList makeKids(TreePtr E) {
+    TreeList Ks;
+    Ks.push_back(std::move(E));
+    return Ks;
+  }
+};
+
+/// Assignment: kid 0 = lhs, kid 1 = rhs.
+class Assign : public Tree {
+public:
+  Tree *lhs() const { return kid(0); }
+  Tree *rhs() const { return kid(1); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Assign; }
+
+private:
+  friend class TreeContext;
+  Assign(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Assign, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Statement sequence: kids 0..n-2 = statements, last kid = result expr.
+class Block : public Tree {
+public:
+  unsigned numStats() const { return numKids() - 1; }
+  Tree *stat(unsigned I) const { return kid(I); }
+  Tree *expr() const { return kid(numKids() - 1); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Block; }
+
+private:
+  friend class TreeContext;
+  Block(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Block, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Conditional (always has an else; the typer inserts `()` if missing).
+class If : public Tree {
+public:
+  Tree *cond() const { return kid(0); }
+  Tree *thenp() const { return kid(1); }
+  Tree *elsep() const { return kid(2); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::If; }
+
+private:
+  friend class TreeContext;
+  If(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::If, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Lambda: kids 0..n-2 = parameter ValDefs, last kid = body.
+class Closure : public Tree {
+public:
+  unsigned numParams() const { return numKids() - 1; }
+  Tree *param(unsigned I) const { return kid(I); }
+  Tree *body() const { return kid(numKids() - 1); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Closure; }
+
+private:
+  friend class TreeContext;
+  Closure(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Closure, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Pattern match: kid 0 = selector, kids 1.. = CaseDefs.
+class Match : public Tree {
+public:
+  Tree *selector() const { return kid(0); }
+  unsigned numCases() const { return numKids() - 1; }
+  Tree *caseAt(unsigned I) const { return kid(1 + I); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Match; }
+
+private:
+  friend class TreeContext;
+  Match(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Match, C, L, Ty, std::move(Ks)) {}
+};
+
+/// One case: kid 0 = pattern, kid 1 = guard (nullable), kid 2 = body.
+class CaseDef : public Tree {
+public:
+  Tree *pat() const { return kid(0); }
+  Tree *guard() const { return kid(1); }
+  Tree *body() const { return kid(2); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::CaseDef; }
+
+private:
+  friend class TreeContext;
+  CaseDef(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::CaseDef, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Pattern binder `x @ pat`: kid 0 = inner pattern.
+class Bind : public Tree {
+public:
+  Symbol *sym() const { return Sym; }
+  Tree *pat() const { return kid(0); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Bind; }
+
+private:
+  friend class TreeContext;
+  Bind(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, TreePtr Pat)
+      : Tree(TreeKind::Bind, C, L, Ty, makeKids(std::move(Pat))), Sym(Sym) {}
+  static TreeList makeKids(TreePtr P) {
+    TreeList Ks;
+    Ks.push_back(std::move(P));
+    return Ks;
+  }
+  Symbol *Sym;
+};
+
+/// Pattern alternative `p1 | p2 | ...`: kids = alternatives.
+class Alternative : public Tree {
+public:
+  static bool classof(const Tree *T) {
+    return T->kind() == TreeKind::Alternative;
+  }
+
+private:
+  friend class TreeContext;
+  Alternative(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Alternative, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Case-class extractor pattern `C(p1, ..., pn)`: kids = sub-patterns.
+class UnApply : public Tree {
+public:
+  ClassSymbol *caseClass() const { return Cls; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::UnApply; }
+
+private:
+  friend class TreeContext;
+  UnApply(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *Cls,
+          TreeList Ks)
+      : Tree(TreeKind::UnApply, C, L, Ty, std::move(Ks)), Cls(Cls) {}
+  ClassSymbol *Cls;
+};
+
+/// try/catch/finally: kid 0 = body, kid 1 = finalizer (nullable),
+/// kids 2.. = catch CaseDefs.
+class Try : public Tree {
+public:
+  Tree *body() const { return kid(0); }
+  Tree *finalizer() const { return kid(1); }
+  unsigned numCatches() const { return numKids() - 2; }
+  Tree *catchAt(unsigned I) const { return kid(2 + I); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Try; }
+
+private:
+  friend class TreeContext;
+  Try(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Try, C, L, Ty, std::move(Ks)) {}
+};
+
+/// throw: kid 0 = exception expression.
+class Throw : public Tree {
+public:
+  Tree *expr() const { return kid(0); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Throw; }
+
+private:
+  friend class TreeContext;
+  Throw(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::Throw, C, L, Ty, std::move(Ks)) {}
+};
+
+/// return from method \p fromMethod(): kid 0 = value (nullable for Unit).
+class Return : public Tree {
+public:
+  Tree *expr() const { return kid(0); }
+  Symbol *fromMethod() const { return From; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Return; }
+
+private:
+  friend class TreeContext;
+  Return(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *From,
+         TreeList Ks)
+      : Tree(TreeKind::Return, C, L, Ty, std::move(Ks)), From(From) {}
+  Symbol *From;
+};
+
+/// while loop: kid 0 = condition, kid 1 = body.
+class WhileDo : public Tree {
+public:
+  Tree *cond() const { return kid(0); }
+  Tree *body() const { return kid(1); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::WhileDo; }
+
+private:
+  friend class TreeContext;
+  WhileDo(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
+      : Tree(TreeKind::WhileDo, C, L, Ty, std::move(Ks)) {}
+};
+
+/// Labeled block (TailRec / PatternMatcher output): kid 0 = body.
+/// A Goto to the label re-enters the body (loop semantics).
+class Labeled : public Tree {
+public:
+  Symbol *label() const { return Label; }
+  Tree *body() const { return kid(0); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Labeled; }
+
+private:
+  friend class TreeContext;
+  Labeled(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Label,
+          TreeList Ks)
+      : Tree(TreeKind::Labeled, C, L, Ty, std::move(Ks)), Label(Label) {}
+  Symbol *Label;
+};
+
+/// Jump back to an enclosing Labeled.
+class Goto : public Tree {
+public:
+  Symbol *label() const { return Label; }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::Goto; }
+
+private:
+  friend class TreeContext;
+  Goto(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Label)
+      : Tree(TreeKind::Goto, C, L, Ty, {}), Label(Label) {}
+  Symbol *Label;
+};
+
+/// Sequence literal (vararg packaging, ElimRepeated): kids = elements.
+class SeqLiteral : public Tree {
+public:
+  const Type *elemType() const { return ElemTy; }
+  static bool classof(const Tree *T) {
+    return T->kind() == TreeKind::SeqLiteral;
+  }
+
+private:
+  friend class TreeContext;
+  SeqLiteral(TreeContext &C, SourceLoc L, const Type *Ty, const Type *ElemTy,
+             TreeList Ks)
+      : Tree(TreeKind::SeqLiteral, C, L, Ty, std::move(Ks)), ElemTy(ElemTy) {}
+  const Type *ElemTy;
+};
+
+/// Value definition: kid 0 = rhs (nullable for abstract/field decls).
+class ValDef : public Tree {
+public:
+  Symbol *sym() const { return Sym; }
+  Tree *rhs() const { return kid(0); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::ValDef; }
+
+private:
+  friend class TreeContext;
+  ValDef(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, TreeList Ks)
+      : Tree(TreeKind::ValDef, C, L, Ty, std::move(Ks)), Sym(Sym) {
+    Sym->setDefTree(this);
+  }
+  Symbol *Sym;
+};
+
+/// Method definition. Kids: parameter ValDefs of all lists concatenated,
+/// then the rhs (nullable for abstract methods). paramListSizes() recovers
+/// the currying structure until Uncurry flattens it.
+class DefDef : public Tree {
+public:
+  Symbol *sym() const { return Sym; }
+  const std::vector<uint32_t> &paramListSizes() const { return ParamSizes; }
+  unsigned numParamsTotal() const { return numKids() - 1; }
+  Tree *paramAt(unsigned I) const { return kid(I); }
+  Tree *rhs() const { return kid(numKids() - 1); }
+  static bool classof(const Tree *T) { return T->kind() == TreeKind::DefDef; }
+
+private:
+  friend class TreeContext;
+  DefDef(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym,
+         std::vector<uint32_t> ParamSizes, TreeList Ks)
+      : Tree(TreeKind::DefDef, C, L, Ty, std::move(Ks)), Sym(Sym),
+        ParamSizes(std::move(ParamSizes)) {
+    Sym->setDefTree(this);
+  }
+  Symbol *Sym;
+  std::vector<uint32_t> ParamSizes;
+};
+
+/// Class/trait/object-class definition: kids = body statements.
+class ClassDef : public Tree {
+public:
+  ClassSymbol *sym() const { return Sym; }
+  static bool classof(const Tree *T) {
+    return T->kind() == TreeKind::ClassDef;
+  }
+
+private:
+  friend class TreeContext;
+  ClassDef(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *Sym,
+           TreeList Ks)
+      : Tree(TreeKind::ClassDef, C, L, Ty, std::move(Ks)), Sym(Sym) {
+    Sym->setDefTree(this);
+  }
+  ClassSymbol *Sym;
+};
+
+/// Top of a compilation unit: kids = top-level definitions.
+class PackageDef : public Tree {
+public:
+  Name pkgName() const { return PkgName; }
+  static bool classof(const Tree *T) {
+    return T->kind() == TreeKind::PackageDef;
+  }
+
+private:
+  friend class TreeContext;
+  PackageDef(TreeContext &C, SourceLoc L, const Type *Ty, Name PkgName,
+             TreeList Ks)
+      : Tree(TreeKind::PackageDef, C, L, Ty, std::move(Ks)), PkgName(PkgName) {
+  }
+  Name PkgName;
+};
+
+//===----------------------------------------------------------------------===//
+// TreeContext: creation, rebuilding, and instrumentation.
+//===----------------------------------------------------------------------===//
+
+/// Creates and destroys tree nodes, charging the ManagedHeap and optionally
+/// driving the cache simulator (allocation performs stores).
+class TreeContext {
+public:
+  explicit TreeContext(ManagedHeap &Heap) : Heap(Heap) {}
+  TreeContext(const TreeContext &) = delete;
+  TreeContext &operator=(const TreeContext &) = delete;
+
+  /// Attaches/detaches the cache simulator (null = no instrumentation).
+  void setCacheSim(CacheSim *CS) { Cache = CS; }
+  CacheSim *cacheSim() const { return Cache; }
+  ManagedHeap &heap() { return Heap; }
+
+  /// Total nodes created through this context (for stats).
+  uint64_t nodesCreated() const { return NumCreated; }
+
+  // Factory methods (one per kind). All types are final; parser output goes
+  // through the frontend's own syntax representation, so every Tree is
+  // created fully attributed.
+  GcRef<Ident> makeIdent(SourceLoc L, Symbol *Sym, const Type *Ty);
+  GcRef<Select> makeSelect(SourceLoc L, TreePtr Qual, Symbol *Sym,
+                           const Type *Ty);
+  GcRef<This> makeThis(SourceLoc L, ClassSymbol *Cls, const Type *Ty);
+  GcRef<Super> makeSuper(SourceLoc L, ClassSymbol *FromCls,
+                         ClassSymbol *Target, const Type *Ty);
+  GcRef<Literal> makeLiteral(SourceLoc L, Constant V, const Type *Ty);
+  GcRef<Apply> makeApply(SourceLoc L, TreePtr Fun, TreeList Args,
+                         const Type *Ty);
+  GcRef<TypeApply> makeTypeApply(SourceLoc L, TreePtr Fun,
+                                 std::vector<const Type *> TypeArgs,
+                                 const Type *Ty);
+  GcRef<New> makeNew(SourceLoc L, const Type *ClsTy, TreeList Args);
+  GcRef<Typed> makeTyped(SourceLoc L, TreePtr Expr, const Type *TargetTy);
+  GcRef<Assign> makeAssign(SourceLoc L, TreePtr Lhs, TreePtr Rhs,
+                           const Type *UnitTy);
+  GcRef<Block> makeBlock(SourceLoc L, TreeList Stats, TreePtr Expr);
+  GcRef<If> makeIf(SourceLoc L, TreePtr Cond, TreePtr Then, TreePtr Else,
+                   const Type *Ty);
+  GcRef<Closure> makeClosure(SourceLoc L, TreeList Params, TreePtr Body,
+                             const Type *Ty);
+  GcRef<Match> makeMatch(SourceLoc L, TreePtr Sel, TreeList Cases,
+                         const Type *Ty);
+  GcRef<CaseDef> makeCaseDef(SourceLoc L, TreePtr Pat, TreePtr Guard,
+                             TreePtr Body);
+  GcRef<Bind> makeBind(SourceLoc L, Symbol *Sym, TreePtr Pat);
+  GcRef<Alternative> makeAlternative(SourceLoc L, TreeList Pats,
+                                     const Type *Ty);
+  GcRef<UnApply> makeUnApply(SourceLoc L, ClassSymbol *Cls, TreeList Pats,
+                             const Type *Ty);
+  GcRef<Try> makeTry(SourceLoc L, TreePtr Body, TreeList Catches,
+                     TreePtr Finalizer, const Type *Ty);
+  GcRef<Throw> makeThrow(SourceLoc L, TreePtr Expr, const Type *NothingTy);
+  GcRef<Return> makeReturn(SourceLoc L, TreePtr Expr, Symbol *FromMethod,
+                           const Type *NothingTy);
+  GcRef<WhileDo> makeWhileDo(SourceLoc L, TreePtr Cond, TreePtr Body,
+                             const Type *UnitTy);
+  GcRef<Labeled> makeLabeled(SourceLoc L, Symbol *Label, TreePtr Body,
+                             const Type *Ty);
+  GcRef<Goto> makeGoto(SourceLoc L, Symbol *Label, const Type *NothingTy);
+  GcRef<SeqLiteral> makeSeqLiteral(SourceLoc L, TreeList Elems,
+                                   const Type *ElemTy, const Type *Ty);
+  GcRef<ValDef> makeValDef(SourceLoc L, Symbol *Sym, TreePtr Rhs);
+  GcRef<DefDef> makeDefDef(SourceLoc L, Symbol *Sym,
+                           std::vector<uint32_t> ParamListSizes,
+                           TreeList Params, TreePtr Rhs);
+  GcRef<ClassDef> makeClassDef(SourceLoc L, ClassSymbol *Sym, TreeList Body);
+  GcRef<PackageDef> makePackageDef(SourceLoc L, Name PkgName, TreeList Stats);
+
+  /// The copier (paper: withNewChildren + reuse optimization). Returns the
+  /// original node when every child is pointer-identical; otherwise builds
+  /// a node of the same kind/payload/type with the new children.
+  TreePtr withNewChildren(Tree *T, TreeList NewKids);
+
+  /// Copier without the reuse optimization: always allocates a fresh node
+  /// (the scalac-baseline configuration of Figure 9).
+  TreePtr withNewChildrenForced(Tree *T, TreeList NewKids);
+
+  /// Copy of \p T (same payload and children) with a different type.
+  /// Used by the typer's adaptation steps.
+  TreePtr withType(Tree *T, const Type *NewTy);
+
+  /// Statistics: how often withNewChildren reused vs. rebuilt.
+  uint64_t reuseCount() const { return NumReused; }
+  uint64_t rebuildCount() const { return NumRebuilt; }
+
+private:
+  friend class Tree;
+
+  template <typename NodeT, typename... Args>
+  GcRef<NodeT> allocate(size_t ExtraBytes, Args &&...CtorArgs);
+
+  TreePtr rebuildNode(Tree *T, TreeList NewKids, const Type *Ty);
+
+  void destroy(Tree *T);
+
+  ManagedHeap &Heap;
+  CacheSim *Cache = nullptr;
+  uint64_t NumCreated = 0;
+  uint64_t NumReused = 0;
+  uint64_t NumRebuilt = 0;
+};
+
+template <typename T> void GcRef<T>::release() {
+  if (!Ptr)
+    return;
+  static_cast<Tree *>(Ptr)->release();
+  Ptr = nullptr;
+}
+
+inline void Tree::release() {
+  assert(RefCount > 0 && "over-release of tree node");
+  if (--RefCount == 0)
+    Ctx->destroy(this);
+}
+
+} // namespace mpc
+
+#endif // MPC_AST_TREES_H

@@ -1,0 +1,384 @@
+#include "ast/Types.h"
+
+#include "ast/Symbols.h"
+
+#include <cassert>
+
+using namespace mpc;
+
+bool Type::isPrim(PrimKind P) const {
+  const auto *PT = dyn_cast<PrimitiveType>(this);
+  return PT && PT->prim() == P;
+}
+
+bool Type::isValueType() const {
+  const auto *PT = dyn_cast<PrimitiveType>(this);
+  if (!PT)
+    return false;
+  switch (PT->prim()) {
+  case PrimKind::Int:
+  case PrimKind::Boolean:
+  case PrimKind::Double:
+  case PrimKind::Unit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ClassSymbol *Type::classSymbol() const {
+  if (const auto *CT = dyn_cast<ClassType>(this))
+    return CT->cls();
+  return nullptr;
+}
+
+const Type *Type::resultType() const {
+  switch (K) {
+  case TypeKind::Method:
+    return cast<MethodType>(this)->result();
+  case TypeKind::Function:
+    return cast<FunctionType>(this)->result();
+  case TypeKind::Poly:
+    return cast<PolyType>(this)->underlying()->resultType();
+  case TypeKind::Expr:
+    return cast<ExprType>(this)->result();
+  default:
+    return nullptr;
+  }
+}
+
+const Type *Type::widenByName() const {
+  if (const auto *ET = dyn_cast<ExprType>(this))
+    return ET->result();
+  return this;
+}
+
+std::string Type::show() const {
+  switch (K) {
+  case TypeKind::Primitive:
+    switch (cast<PrimitiveType>(this)->prim()) {
+    case PrimKind::Any:
+      return "Any";
+    case PrimKind::Nothing:
+      return "Nothing";
+    case PrimKind::Null:
+      return "Null";
+    case PrimKind::Unit:
+      return "Unit";
+    case PrimKind::Int:
+      return "Int";
+    case PrimKind::Boolean:
+      return "Boolean";
+    case PrimKind::Double:
+      return "Double";
+    }
+    return "?";
+  case TypeKind::Class: {
+    const auto *CT = cast<ClassType>(this);
+    std::string S(CT->cls()->name().text());
+    if (!CT->args().empty()) {
+      S += '[';
+      for (size_t I = 0; I < CT->args().size(); ++I) {
+        if (I)
+          S += ", ";
+        S += CT->args()[I]->show();
+      }
+      S += ']';
+    }
+    return S;
+  }
+  case TypeKind::Array:
+    return "Array[" + cast<ArrayType>(this)->elem()->show() + "]";
+  case TypeKind::Method: {
+    const auto *MT = cast<MethodType>(this);
+    std::string S = "(";
+    for (size_t I = 0; I < MT->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += MT->params()[I]->show();
+    }
+    S += ")";
+    S += MT->result()->show();
+    return S;
+  }
+  case TypeKind::Poly: {
+    const auto *PT = cast<PolyType>(this);
+    std::string S = "[";
+    for (size_t I = 0; I < PT->typeParams().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += PT->typeParams()[I]->name().str();
+    }
+    S += "]";
+    return S + PT->underlying()->show();
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(this);
+    std::string S = "(";
+    for (size_t I = 0; I < FT->params().size(); ++I) {
+      if (I)
+        S += ", ";
+      S += FT->params()[I]->show();
+    }
+    return S + ") => " + FT->result()->show();
+  }
+  case TypeKind::Expr:
+    return "=> " + cast<ExprType>(this)->result()->show();
+  case TypeKind::Repeated:
+    return cast<RepeatedType>(this)->elem()->show() + "*";
+  case TypeKind::Union:
+    return cast<UnionType>(this)->left()->show() + " | " +
+           cast<UnionType>(this)->right()->show();
+  case TypeKind::Intersection:
+    return cast<IntersectionType>(this)->left()->show() + " & " +
+           cast<IntersectionType>(this)->right()->show();
+  case TypeKind::TypeParam:
+    return cast<TypeParamRef>(this)->param()->name().str();
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+TypeContext::TypeContext() {
+  for (size_t I = 0; I < NumPrims; ++I)
+    Prims[I] = new PrimitiveType(static_cast<PrimKind>(I));
+}
+
+TypeContext::~TypeContext() {
+  for (const Type *P : Prims)
+    delete static_cast<const PrimitiveType *>(P);
+}
+
+template <typename T, typename... Args>
+const Type *TypeContext::intern(Key K, Args &&...CtorArgs) {
+  auto It = Interned.find(K);
+  if (It != Interned.end())
+    return It->second.get();
+  auto Owned = std::unique_ptr<Type>(new T(std::forward<Args>(CtorArgs)...));
+  const Type *Result = Owned.get();
+  Interned.emplace(std::move(K), std::move(Owned));
+  return Result;
+}
+
+static uint64_t word(const void *P) {
+  return reinterpret_cast<uint64_t>(P);
+}
+
+const Type *TypeContext::classType(ClassSymbol *Cls,
+                                   std::vector<const Type *> Args) {
+  Key K{0, {word(Cls)}};
+  for (const Type *A : Args)
+    K.Words.push_back(word(A));
+  return intern<ClassType>(std::move(K), Cls, std::move(Args));
+}
+
+const Type *TypeContext::arrayType(const Type *Elem) {
+  return intern<ArrayType>(Key{1, {word(Elem)}}, Elem);
+}
+
+const Type *TypeContext::methodType(std::vector<const Type *> Params,
+                                    const Type *Result) {
+  Key K{2, {word(Result)}};
+  for (const Type *P : Params)
+    K.Words.push_back(word(P));
+  return intern<MethodType>(std::move(K), std::move(Params), Result);
+}
+
+const Type *TypeContext::polyType(std::vector<Symbol *> TypeParams,
+                                  const Type *Underlying) {
+  Key K{3, {word(Underlying)}};
+  for (Symbol *P : TypeParams)
+    K.Words.push_back(word(P));
+  return intern<PolyType>(std::move(K), std::move(TypeParams), Underlying);
+}
+
+const Type *TypeContext::functionType(std::vector<const Type *> Params,
+                                      const Type *Result) {
+  Key K{4, {word(Result)}};
+  for (const Type *P : Params)
+    K.Words.push_back(word(P));
+  return intern<FunctionType>(std::move(K), std::move(Params), Result);
+}
+
+const Type *TypeContext::exprType(const Type *Result) {
+  return intern<ExprType>(Key{5, {word(Result)}}, Result);
+}
+
+const Type *TypeContext::repeatedType(const Type *Elem) {
+  return intern<RepeatedType>(Key{6, {word(Elem)}}, Elem);
+}
+
+const Type *TypeContext::unionType(const Type *L, const Type *R) {
+  if (L == R)
+    return L;
+  return intern<UnionType>(Key{7, {word(L), word(R)}}, L, R);
+}
+
+const Type *TypeContext::intersectionType(const Type *L, const Type *R) {
+  if (L == R)
+    return L;
+  return intern<IntersectionType>(Key{8, {word(L), word(R)}}, L, R);
+}
+
+const Type *TypeContext::typeParamRef(Symbol *Param) {
+  return intern<TypeParamRef>(Key{9, {word(Param)}}, Param);
+}
+
+const Type *TypeContext::substitute(const Type *T,
+                                    const std::vector<Symbol *> &From,
+                                    const std::vector<const Type *> &To) {
+  assert(From.size() == To.size() && "substitution arity mismatch");
+  if (From.empty() || !T)
+    return T;
+  switch (T->kind()) {
+  case TypeKind::Primitive:
+    return T;
+  case TypeKind::TypeParam: {
+    Symbol *P = cast<TypeParamRef>(T)->param();
+    for (size_t I = 0; I < From.size(); ++I)
+      if (From[I] == P)
+        return To[I];
+    return T;
+  }
+  case TypeKind::Class: {
+    const auto *CT = cast<ClassType>(T);
+    if (CT->args().empty())
+      return T;
+    std::vector<const Type *> NewArgs;
+    NewArgs.reserve(CT->args().size());
+    for (const Type *A : CT->args())
+      NewArgs.push_back(substitute(A, From, To));
+    return classType(CT->cls(), std::move(NewArgs));
+  }
+  case TypeKind::Array:
+    return arrayType(substitute(cast<ArrayType>(T)->elem(), From, To));
+  case TypeKind::Method: {
+    const auto *MT = cast<MethodType>(T);
+    std::vector<const Type *> NewParams;
+    NewParams.reserve(MT->params().size());
+    for (const Type *P : MT->params())
+      NewParams.push_back(substitute(P, From, To));
+    return methodType(std::move(NewParams),
+                      substitute(MT->result(), From, To));
+  }
+  case TypeKind::Poly: {
+    const auto *PT = cast<PolyType>(T);
+    return polyType(PT->typeParams(),
+                    substitute(PT->underlying(), From, To));
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(T);
+    std::vector<const Type *> NewParams;
+    NewParams.reserve(FT->params().size());
+    for (const Type *P : FT->params())
+      NewParams.push_back(substitute(P, From, To));
+    return functionType(std::move(NewParams),
+                        substitute(FT->result(), From, To));
+  }
+  case TypeKind::Expr:
+    return exprType(substitute(cast<ExprType>(T)->result(), From, To));
+  case TypeKind::Repeated:
+    return repeatedType(substitute(cast<RepeatedType>(T)->elem(), From, To));
+  case TypeKind::Union:
+    return unionType(substitute(cast<UnionType>(T)->left(), From, To),
+                     substitute(cast<UnionType>(T)->right(), From, To));
+  case TypeKind::Intersection:
+    return intersectionType(
+        substitute(cast<IntersectionType>(T)->left(), From, To),
+        substitute(cast<IntersectionType>(T)->right(), From, To));
+  }
+  return T;
+}
+
+bool TypeContext::isSubtype(const Type *A, const Type *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  // Nothing is a subtype of everything; everything is a subtype of Any.
+  if (A->isNothing() || B->isAny())
+    return true;
+  // Null is a subtype of all reference types.
+  if (A->isPrim(PrimKind::Null))
+    return B->kind() == TypeKind::Class || B->kind() == TypeKind::Array ||
+           B->kind() == TypeKind::Function || B->kind() == TypeKind::Union;
+  // Union left side: (A1 | A2) <: B iff both halves conform.
+  if (const auto *UA = dyn_cast<UnionType>(A))
+    return isSubtype(UA->left(), B) && isSubtype(UA->right(), B);
+  // Union right side: A <: (B1 | B2) if A conforms to either half.
+  if (const auto *UB = dyn_cast<UnionType>(B))
+    return isSubtype(A, UB->left()) || isSubtype(A, UB->right());
+  // Intersection right side: A <: (B1 & B2) iff A conforms to both.
+  if (const auto *IB = dyn_cast<IntersectionType>(B))
+    return isSubtype(A, IB->left()) && isSubtype(A, IB->right());
+  // Intersection left side: (A1 & A2) <: B if either half conforms.
+  if (const auto *IA = dyn_cast<IntersectionType>(A))
+    return isSubtype(IA->left(), B) || isSubtype(IA->right(), B);
+  // By-name types conform when their results do.
+  if (const auto *EA = dyn_cast<ExprType>(A)) {
+    if (const auto *EB = dyn_cast<ExprType>(B))
+      return isSubtype(EA->result(), EB->result());
+    return false;
+  }
+  // Nominal class subtyping with invariant type arguments.
+  if (const auto *CA = dyn_cast<ClassType>(A)) {
+    const auto *CB = dyn_cast<ClassType>(B);
+    if (!CB)
+      return false;
+    if (CA->cls() == CB->cls())
+      return CA->args() == CB->args();
+    // Walk A's parents with substituted type arguments.
+    for (const Type *Parent : CA->cls()->parents()) {
+      const Type *SubstParent = substitute(
+          Parent, CA->cls()->typeParams(), CA->args());
+      if (isSubtype(SubstParent, B))
+        return true;
+    }
+    return false;
+  }
+  // Arrays: invariant element, and Array[T] <: Object.
+  if (const auto *AA = dyn_cast<ArrayType>(A)) {
+    if (const auto *AB = dyn_cast<ArrayType>(B))
+      return AA->elem() == AB->elem();
+    if (const auto *CB = dyn_cast<ClassType>(B))
+      return CB->cls()->superClass() == nullptr && CB->args().empty();
+    return false;
+  }
+  // Functions: exact arity, invariant (kept simple on purpose).
+  if (const auto *FA = dyn_cast<FunctionType>(A)) {
+    if (const auto *FB = dyn_cast<FunctionType>(B))
+      return FA->params() == FB->params() &&
+             isSubtype(FA->result(), FB->result());
+    // A function conforms to the root class (it erases to an object).
+    if (const auto *CB = dyn_cast<ClassType>(B))
+      return CB->cls()->superClass() == nullptr && CB->args().empty();
+    return false;
+  }
+  if (const auto *RA = dyn_cast<RepeatedType>(A))
+    return isSubtype(arrayType(RA->elem()), B);
+  return false;
+}
+
+const Type *TypeContext::lub(const Type *A, const Type *B) {
+  if (A == B)
+    return A;
+  if (!A)
+    return B;
+  if (!B)
+    return A;
+  if (A->isNothing())
+    return B;
+  if (B->isNothing())
+    return A;
+  if (isSubtype(A, B))
+    return B;
+  if (isSubtype(B, A))
+    return A;
+  // Unrelated types join as a union (Scala 3's un-widened inference).
+  // A union conforms everywhere a class join would — (A|B) <: C whenever
+  // both A <: C and B <: C — and it keeps Splitter/Erasure honest.
+  return unionType(A, B);
+}

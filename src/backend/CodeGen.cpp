@@ -1,0 +1,432 @@
+#include "backend/CodeGen.h"
+
+#include "ast/TreeUtils.h"
+
+#include <cassert>
+#include <map>
+
+using namespace mpc;
+
+namespace {
+/// Per-method bytecode emitter.
+class MethodEmitter {
+public:
+  MethodEmitter(CompilerContext &Comp, MethodCode &Out)
+      : Comp(Comp), Out(Out) {}
+
+  void emitBody(Tree *Body) {
+    genExpr(Body);
+    emit(Op::ReturnValue);
+  }
+
+private:
+  uint32_t here() const { return static_cast<uint32_t>(Out.Code.size()); }
+
+  Instr &emit(Op Code) {
+    Instr I;
+    I.Code = Code;
+    Out.Code.push_back(I);
+    return Out.Code.back();
+  }
+
+  void genStat(Tree *T) {
+    genExpr(T);
+    emit(Op::Pop);
+  }
+
+  /// True for the primitive operator symbols; maps name to opcode.
+  bool tryPrimOp(Symbol *Sym, Op &Code) {
+    if (!Comp.syms().isPrimOp(Sym))
+      return false;
+    std::string_view N = Sym->name().text();
+    if (N == "+")
+      Code = Op::Add;
+    else if (N == "-")
+      Code = Op::Sub;
+    else if (N == "*")
+      Code = Op::Mul;
+    else if (N == "/")
+      Code = Op::Div;
+    else if (N == "%")
+      Code = Op::Rem;
+    else if (N == "<")
+      Code = Op::CmpLt;
+    else if (N == "<=")
+      Code = Op::CmpLe;
+    else if (N == ">")
+      Code = Op::CmpGt;
+    else if (N == ">=")
+      Code = Op::CmpGe;
+    else if (N == "==")
+      Code = Op::CmpEq;
+    else if (N == "!=")
+      Code = Op::CmpNe;
+    else if (N == "unary_-")
+      Code = Op::Neg;
+    else if (N == "unary_!")
+      Code = Op::Not;
+    else
+      return false;
+    return true;
+  }
+
+  void genExpr(Tree *T) {
+    assert(T && "codegen on null tree");
+    SymbolTable &Syms = Comp.syms();
+    switch (T->kind()) {
+    case TreeKind::Literal: {
+      const Constant &C = cast<Literal>(T)->value();
+      switch (C.kind()) {
+      case Constant::Unit:
+        emit(Op::ConstUnit);
+        break;
+      case Constant::Bool:
+      case Constant::Int:
+        emit(Op::ConstInt).Imm = C.intValue();
+        break;
+      case Constant::Double:
+        emit(Op::ConstDouble).Num = C.doubleValue();
+        break;
+      case Constant::Str:
+        emit(Op::ConstStr).Str = C.stringValue().str();
+        break;
+      case Constant::Null:
+        emit(Op::ConstNull);
+        break;
+      case Constant::Clazz:
+        emit(Op::ConstClass).TypeRef = C.clazzValue();
+        break;
+      }
+      return;
+    }
+    case TreeKind::Ident: {
+      Symbol *Sym = cast<Ident>(T)->sym();
+      if (Sym->is(SymFlag::Module)) {
+        emit(Op::GetModule).Sym = Sym;
+        return;
+      }
+      emit(Op::Load).Sym = Sym;
+      return;
+    }
+    case TreeKind::This:
+    case TreeKind::Super:
+      emit(Op::Load).Sym = nullptr; // local slot 0 == this
+      return;
+    case TreeKind::Select: {
+      auto *Sel = cast<Select>(T);
+      genExpr(Sel->qual());
+      emit(Op::GetField).Sym = Sel->sym();
+      return;
+    }
+    case TreeKind::Typed: {
+      genExpr(cast<Typed>(T)->expr());
+      emit(Op::CheckCast).TypeRef = T->type();
+      return;
+    }
+    case TreeKind::TypeApply: {
+      // Only the fully-applied test/cast intrinsics survive to here; the
+      // enclosing Apply handles them. A bare TypeApply is a pipeline bug.
+      assert(false && "bare TypeApply reached the backend");
+      return;
+    }
+    case TreeKind::Apply:
+      genApply(cast<Apply>(T));
+      return;
+    case TreeKind::New: {
+      auto *N = cast<New>(T);
+      for (unsigned I = 0; I < N->numArgs(); ++I)
+        genExpr(N->arg(I));
+      Instr &I = emit(Op::NewObject);
+      I.Sym = N->classTy()->classSymbol();
+      I.ArgCount = N->numArgs();
+      return;
+    }
+    case TreeKind::Assign: {
+      auto *A = cast<Assign>(T);
+      if (auto *Sel = dyn_cast<Select>(A->lhs())) {
+        genExpr(Sel->qual());
+        genExpr(A->rhs());
+        emit(Op::PutField).Sym = Sel->sym();
+      } else if (auto *Id = dyn_cast<Ident>(A->lhs())) {
+        genExpr(A->rhs());
+        emit(Op::Store).Sym = Id->sym();
+      } else {
+        assert(false && "invalid assignment target in backend");
+      }
+      emit(Op::ConstUnit);
+      return;
+    }
+    case TreeKind::Block: {
+      auto *B = cast<Block>(T);
+      for (unsigned I = 0; I < B->numStats(); ++I) {
+        Tree *Stat = B->stat(I);
+        if (auto *VD = dyn_cast<ValDef>(Stat)) {
+          if (VD->rhs()) {
+            genExpr(VD->rhs());
+            emit(Op::Store).Sym = VD->sym();
+          }
+          ++Out.MaxLocals;
+          continue;
+        }
+        assert(!isa<DefDef>(Stat) &&
+               "local method reached the backend (LambdaLift missed it)");
+        genStat(Stat);
+      }
+      genExpr(B->expr());
+      return;
+    }
+    case TreeKind::If: {
+      // Branch targets are patched via indices (instruction storage may
+      // reallocate while children are generated).
+      auto *I = cast<If>(T);
+      genExpr(I->cond());
+      uint32_t BrIdx = here();
+      emit(Op::JumpIfFalse);
+      genExpr(I->thenp());
+      uint32_t EndIdx = here();
+      emit(Op::Jump);
+      Out.Code[BrIdx].Target = static_cast<int32_t>(here());
+      genExpr(I->elsep());
+      Out.Code[EndIdx].Target = static_cast<int32_t>(here());
+      return;
+    }
+    case TreeKind::WhileDo: {
+      auto *W = cast<WhileDo>(T);
+      uint32_t Start = here();
+      genExpr(W->cond());
+      uint32_t BrIdx = here();
+      emit(Op::JumpIfFalse);
+      genStat(W->body());
+      emit(Op::Jump).Target = static_cast<int32_t>(Start);
+      Out.Code[BrIdx].Target = static_cast<int32_t>(here());
+      emit(Op::ConstUnit);
+      return;
+    }
+    case TreeKind::Labeled: {
+      auto *L = cast<Labeled>(T);
+      uint32_t Start = here();
+      LabelStarts[L->label()] = Start;
+      genExpr(L->body());
+      return;
+    }
+    case TreeKind::Goto: {
+      auto It = LabelStarts.find(cast<Goto>(T)->label());
+      assert(It != LabelStarts.end() && "jump to unseen label");
+      emit(Op::Jump).Target = static_cast<int32_t>(It->second);
+      return;
+    }
+    case TreeKind::Return: {
+      auto *R = cast<Return>(T);
+      if (R->expr())
+        genExpr(R->expr());
+      else
+        emit(Op::ConstUnit);
+      emit(Op::ReturnValue);
+      return;
+    }
+    case TreeKind::Throw:
+      genExpr(cast<Throw>(T)->expr());
+      emit(Op::AThrow);
+      return;
+    case TreeKind::Try: {
+      auto *Y = cast<Try>(T);
+      uint32_t Start = here();
+      genExpr(Y->body());
+      uint32_t SkipIdx = here();
+      emit(Op::Jump);
+      uint32_t End = here();
+      for (unsigned I = 0; I < Y->numCatches(); ++I) {
+        auto *C = cast<CaseDef>(Y->catchAt(I));
+        Handler H;
+        H.Start = Start;
+        H.End = End;
+        H.Entry = here();
+        // Simple catch shapes: e @ (_: T) / e @ _ / _: T.
+        Symbol *Binder = nullptr;
+        const Type *CatchTy = Comp.syms().throwableType();
+        Tree *Pat = C->pat();
+        if (auto *B = dyn_cast<Bind>(Pat)) {
+          Binder = B->sym();
+          Pat = B->pat();
+        }
+        if (auto *Ty = dyn_cast_or_null<Typed>(Pat))
+          CatchTy = Ty->type();
+        H.CatchType = CatchTy;
+        Out.Handlers.push_back(H);
+        // Handler body: exception value is on the stack.
+        if (Binder)
+          emit(Op::Store).Sym = Binder;
+        else
+          emit(Op::Pop);
+        genExpr(C->body());
+        if (I + 1 < Y->numCatches() || Y->finalizer())
+          emit(Op::Jump).Target = -2; // patched below to the end
+      }
+      Out.Code[SkipIdx].Target = static_cast<int32_t>(here());
+      // Patch intermediate jumps to the end.
+      for (Instr &I : Out.Code)
+        if (I.Code == Op::Jump && I.Target == -2)
+          I.Target = static_cast<int32_t>(here());
+      if (Y->finalizer()) {
+        genStat(Y->finalizer());
+      }
+      return;
+    }
+    case TreeKind::SeqLiteral: {
+      auto *S = cast<SeqLiteral>(T);
+      emit(Op::ConstInt).Imm = S->numKids();
+      emit(Op::NewArray).TypeRef = S->elemType();
+      for (unsigned I = 0; I < S->numKids(); ++I) {
+        emit(Op::Dup);
+        emit(Op::ConstInt).Imm = I;
+        genExpr(S->kid(I));
+        emit(Op::ArrayStore);
+      }
+      return;
+    }
+    default:
+      assert(false && "unlowered tree kind reached the backend");
+      emit(Op::ConstUnit);
+      return;
+    }
+    (void)Syms;
+  }
+
+  void genApply(Apply *T) {
+    SymbolTable &Syms = Comp.syms();
+    Tree *Fun = T->fun();
+
+    // isInstanceOf / asInstanceOf intrinsics.
+    if (auto *TApp = dyn_cast<TypeApply>(Fun)) {
+      auto *Sel = cast<Select>(TApp->fun());
+      genExpr(Sel->qual());
+      if (Sel->sym() == Syms.isInstanceOfMethod()) {
+        emit(Op::InstanceOf).TypeRef = TApp->typeArgs()[0];
+        return;
+      }
+      if (Sel->sym() == Syms.asInstanceOfMethod()) {
+        emit(Op::CheckCast).TypeRef = TApp->typeArgs()[0];
+        return;
+      }
+      // Runtime.newArray[T](n).
+      if (Sel->sym() == Syms.newArrayMethod()) {
+        emit(Op::Pop); // module reference unused
+        genExpr(T->arg(0));
+        emit(Op::NewArray).TypeRef = TApp->typeArgs()[0];
+        return;
+      }
+      assert(false && "unknown type-applied intrinsic in backend");
+      return;
+    }
+
+    auto *Sel = dyn_cast<Select>(Fun);
+    if (Sel) {
+      Symbol *Sym = Sel->sym();
+      // Primitive operators become single instructions.
+      Op Code;
+      if (tryPrimOp(Sym, Code)) {
+        genExpr(Sel->qual());
+        for (unsigned I = 0; I < T->numArgs(); ++I)
+          genExpr(T->arg(I));
+        emit(Code);
+        return;
+      }
+      // Array intrinsics.
+      if (Sym == Syms.arrayApply()) {
+        genExpr(Sel->qual());
+        genExpr(T->arg(0));
+        emit(Op::ArrayLoad);
+        return;
+      }
+      if (Sym == Syms.arrayUpdate()) {
+        genExpr(Sel->qual());
+        genExpr(T->arg(0));
+        genExpr(T->arg(1));
+        emit(Op::ArrayStore);
+        emit(Op::ConstUnit);
+        return;
+      }
+      if (Sym == Syms.arrayLength()) {
+        genExpr(Sel->qual());
+        emit(Op::ArrayLength);
+        return;
+      }
+      // String concatenation.
+      if (Sym->owner() == Syms.stringClass() &&
+          Sym->name().text() == "+") {
+        genExpr(Sel->qual());
+        genExpr(T->arg(0));
+        emit(Op::Concat);
+        return;
+      }
+      // Super (incl. parent constructor) calls dispatch statically.
+      if (isa<Super>(Sel->qual())) {
+        genExpr(Sel->qual());
+        for (unsigned I = 0; I < T->numArgs(); ++I)
+          genExpr(T->arg(I));
+        Instr &I = emit(Op::InvokeSuper);
+        I.Sym = Sym;
+        I.ArgCount = T->numArgs();
+        return;
+      }
+      // Plain virtual dispatch.
+      genExpr(Sel->qual());
+      for (unsigned I = 0; I < T->numArgs(); ++I)
+        genExpr(T->arg(I));
+      Instr &I = emit(Op::InvokeVirt);
+      I.Sym = Sym;
+      I.ArgCount = T->numArgs();
+      return;
+    }
+    assert(false && "unexpected function shape in backend");
+  }
+
+  CompilerContext &Comp;
+  MethodCode &Out;
+  std::map<Symbol *, uint32_t> LabelStarts;
+};
+
+} // namespace
+
+/// A Super qualifier evaluates to `this`.
+static void noteSuper() {}
+
+Program mpc::generateCode(const std::vector<CompilationUnit> &Units,
+                          CompilerContext &Comp) {
+  noteSuper();
+  Program Prog;
+  for (const CompilationUnit &Unit : Units) {
+    if (!Unit.Root)
+      continue;
+    for (const TreePtr &Top : Unit.Root->kids()) {
+      auto *CD = dyn_cast_or_null<ClassDef>(Top.get());
+      if (!CD)
+        continue;
+      ClassFile CF;
+      CF.Cls = CD->sym();
+      for (const TreePtr &Member : CD->kids()) {
+        if (!Member)
+          continue;
+        if (auto *VD = dyn_cast<ValDef>(Member.get())) {
+          assert(!VD->rhs() &&
+                 "field with initializer reached the backend");
+          CF.Fields.push_back(VD->sym());
+          continue;
+        }
+        auto *DD = dyn_cast<DefDef>(Member.get());
+        if (!DD || !DD->rhs())
+          continue;
+        MethodCode MC;
+        MC.Method = DD->sym();
+        for (unsigned I = 0; I < DD->numParamsTotal(); ++I)
+          MC.Params.push_back(cast<ValDef>(DD->paramAt(I))->sym());
+        MC.MaxLocals = DD->numParamsTotal() + 1;
+        MethodEmitter ME(Comp, MC);
+        ME.emitBody(DD->rhs());
+        CF.Methods.push_back(std::move(MC));
+      }
+      Prog.Classes.push_back(std::move(CF));
+    }
+  }
+  return Prog;
+}

@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code generator: lowered trees -> MiniScala VM bytecode. Asserts the
+/// invariants the transformation pipeline is supposed to establish (no
+/// Match/Closure/union types...), making it the final consumer of the
+/// phases' postconditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_BACKEND_CODEGEN_H
+#define MPC_BACKEND_CODEGEN_H
+
+#include "backend/Bytecode.h"
+#include "core/CompilerContext.h"
+
+namespace mpc {
+
+/// Compiles all classes of the given units into a Program. Input trees
+/// must be fully lowered (i.e. the standard pipeline has run).
+Program generateCode(const std::vector<CompilationUnit> &Units,
+                     CompilerContext &Comp);
+
+} // namespace mpc
+
+#endif // MPC_BACKEND_CODEGEN_H

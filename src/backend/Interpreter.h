@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A definitional interpreter for fully lowered trees. Used by the test
+/// suite for differential semantics testing: a program compiled with the
+/// fused-miniphase pipeline and the same program compiled with the
+/// unfused (Megaphase) pipeline must produce identical output — the
+/// soundness property of §6 made executable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_BACKEND_INTERPRETER_H
+#define MPC_BACKEND_INTERPRETER_H
+
+#include "core/CompilerContext.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// Result of executing a program.
+struct ExecResult {
+  std::string Output;        // everything println/print produced
+  bool Uncaught = false;     // an exception escaped main
+  std::string Error;         // description when Uncaught
+  uint64_t StepsExecuted = 0;
+};
+
+/// Executes lowered compilation units starting from an entry point.
+class Interpreter {
+public:
+  /// \p StepLimit guards against runaway loops in generated programs.
+  Interpreter(CompilerContext &Comp,
+              const std::vector<CompilationUnit> &Units,
+              uint64_t StepLimit = 50'000'000);
+  ~Interpreter();
+
+  /// Runs `main(args)` on the entry-point symbol.
+  ExecResult runMain(Symbol *EntryPoint,
+                     const std::vector<std::string> &Args = {});
+
+private:
+  class Impl;
+  std::unique_ptr<Impl> P;
+};
+
+} // namespace mpc
+
+#endif // MPC_BACKEND_INTERPRETER_H

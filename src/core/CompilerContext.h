@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CompilerContext bundles the long-lived compiler state (names, types,
+/// symbols, the managed tree heap, diagnostics, statistics) plus the
+/// options that select between the paper's two configurations: fused
+/// miniphases vs. one-traversal-per-phase ("Megaphase" split), and the
+/// legacy always-copy mode used by the scalac baseline of Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_CORE_COMPILERCONTEXT_H
+#define MPC_CORE_COMPILERCONTEXT_H
+
+#include "ast/Symbols.h"
+#include "ast/Trees.h"
+#include "ast/Types.h"
+#include "memsim/CacheSim.h"
+#include "memsim/ManagedHeap.h"
+#include "memsim/PerfCounters.h"
+#include "support/Diagnostics.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+
+#include <string>
+
+namespace mpc {
+
+/// How a fused block applies the per-node transforms.
+enum class FusionStrategy {
+  /// Loop over all phases at each node, consulting the transform mask
+  /// (paper's optimization 1 only).
+  Naive,
+  /// Precomputed per-kind interest lists; on a kind change, re-dispatch
+  /// into the new kind's list (paper's optimizations 1 + 2).
+  IndexedByKind,
+};
+
+/// Tunable behaviour, mirroring the evaluation's configurations.
+struct CompilerOptions {
+  /// True: miniphases fuse into blocks (Table 2 grouping). False: every
+  /// miniphase runs as its own whole-tree traversal (the paper's
+  /// "Megaphase" comparison configuration).
+  bool FuseMiniphases = true;
+  /// Run the TreeChecker between groups (the paper's -Ycheck).
+  bool CheckTrees = false;
+  /// Disable the copier's node-reuse optimization (scalac-like baseline).
+  bool AlwaysCopy = false;
+  /// Disable the identity-transform skip (ablation).
+  bool IdentitySkip = true;
+  /// Treat the unit as a DAG (paper §9 future work): subtrees shared via
+  /// hash-consing or tree reuse are transformed once and the result is
+  /// reused at every other occurrence, preserving sharing in the output.
+  /// Automatically ignored for blocks containing phases with prepare
+  /// hooks, whose transforms may depend on the path from the root.
+  bool DagMemoize = false;
+  FusionStrategy Strategy = FusionStrategy::IndexedByKind;
+};
+
+/// One source file being compiled (paper §2: "Every compilation unit is a
+/// single source-file which may define multiple top-level classes").
+struct CompilationUnit {
+  std::string FileName;
+  uint32_t FileId = 0;
+  std::string Source;
+  TreePtr Root;
+};
+
+/// The shared compiler state. One per compiler run.
+class CompilerContext {
+public:
+  CompilerContext()
+      : Trees(Heap), Syms(Names, Types) {}
+  explicit CompilerContext(const CompilerOptions &Opts)
+      : Trees(Heap), Syms(Names, Types), Opts(Opts) {}
+  CompilerContext(const CompilerContext &) = delete;
+  CompilerContext &operator=(const CompilerContext &) = delete;
+
+  StringInterner &names() { return Names; }
+  TypeContext &types() { return Types; }
+  ManagedHeap &heap() { return Heap; }
+  TreeContext &trees() { return Trees; }
+  SymbolTable &syms() { return Syms; }
+  DiagnosticEngine &diags() { return Diags; }
+  StatsRegistry &stats() { return Stats; }
+  CompilerOptions &options() { return Opts; }
+  const CompilerOptions &options() const { return Opts; }
+
+  /// Attaches the simulators (instrumented runs only). The tree context
+  /// starts performing simulated stores on allocation, and the traversal
+  /// driver issues loads/fetches.
+  void attachSimulators(CacheSim *CS, PerfCounters *PC) {
+    Cache = CS;
+    Perf = PC;
+    Trees.setCacheSim(CS);
+  }
+  CacheSim *cacheSim() const { return Cache; }
+  PerfCounters *perf() const { return Perf; }
+
+private:
+  StringInterner Names;
+  TypeContext Types;
+  ManagedHeap Heap;
+  TreeContext Trees;
+  SymbolTable Syms;
+  DiagnosticEngine Diags;
+  StatsRegistry Stats;
+  CompilerOptions Opts;
+  CacheSim *Cache = nullptr;
+  PerfCounters *Perf = nullptr;
+};
+
+} // namespace mpc
+
+#endif // MPC_CORE_COMPILERCONTEXT_H

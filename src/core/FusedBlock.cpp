@@ -1,0 +1,261 @@
+#include "core/FusedBlock.h"
+
+#include <cassert>
+
+using namespace mpc;
+
+Phase::~Phase() = default;
+
+TreePtr MiniPhase::dispatchTransform(Tree *T, PhaseRunContext &Ctx) {
+  switch (T->kind()) {
+#define TREE_KIND(Name)                                                        \
+  case TreeKind::Name:                                                         \
+    return transform##Name(cast<Name>(T), Ctx);
+#include "ast/TreeKinds.def"
+  }
+  assert(false && "unhandled tree kind in dispatchTransform");
+  return TreePtr(T);
+}
+
+void MiniPhase::dispatchPrepare(Tree *T, PhaseRunContext &Ctx) {
+  switch (T->kind()) {
+#define TREE_KIND(Name)                                                        \
+  case TreeKind::Name:                                                         \
+    prepareFor##Name(cast<Name>(T), Ctx);                                      \
+    return;
+#include "ast/TreeKinds.def"
+  }
+}
+
+void MiniPhase::dispatchLeave(Tree *T, PhaseRunContext &Ctx) {
+  switch (T->kind()) {
+#define TREE_KIND(Name)                                                        \
+  case TreeKind::Name:                                                         \
+    leave##Name(cast<Name>(T), Ctx);                                           \
+    return;
+#include "ast/TreeKinds.def"
+  }
+}
+
+void MiniPhase::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
+  // Listing 4: a miniphase run standalone is a single-phase fused block.
+  FusedBlock Solo({this});
+  Solo.runOnUnit(Unit, Comp);
+}
+
+//===----------------------------------------------------------------------===//
+// FusedBlock
+//===----------------------------------------------------------------------===//
+
+FusedBlock::FusedBlock(std::vector<MiniPhase *> Ps) : Phases(std::move(Ps)) {
+  assert(Phases.size() < (1u << 16) && "too many phases in a block");
+  for (unsigned K = 0; K < NumTreeKinds; ++K) {
+    for (unsigned P = 0; P < Phases.size(); ++P) {
+      TreeKind Kind = static_cast<TreeKind>(K);
+      if (Phases[P]->transformKinds().contains(Kind))
+        TransformLists[K].push_back(static_cast<uint16_t>(P));
+      if (Phases[P]->prepareKinds().contains(Kind)) {
+        PrepareLists[K].push_back(static_cast<uint16_t>(P));
+        HasPrepares = true;
+      }
+    }
+  }
+}
+
+void FusedBlock::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
+  PhaseRunContext Ctx{Comp, Unit};
+  // §4.2: per-unit initialization of every constituent phase, in order.
+  for (MiniPhase *P : Phases)
+    P->prepareForUnit(Ctx);
+  TreePtr Root = Unit.Root;
+  Root = transformTree(std::move(Root), Ctx);
+  // §4.2: per-unit finalization (state cleanup / final rewrites).
+  for (MiniPhase *P : Phases)
+    Root = P->transformUnit(std::move(Root), Ctx);
+  Unit.Root = std::move(Root);
+}
+
+TreePtr FusedBlock::transformTree(TreePtr Root, PhaseRunContext &Ctx) {
+  assert(Root && "transformTree requires a root");
+  TreePtr Out = walk(Root.get(), Ctx);
+  DagMemo.clear();
+  return Out;
+}
+
+/// The single postorder traversal shared by all phases of the block
+/// (paper Listing 4 generalized to a phase vector).
+TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
+  CompilerContext &Comp = Ctx.Comp;
+
+  // DAG mode (§9 future work): a subtree referenced from more than one
+  // parent is transformed once; later occurrences reuse the result, which
+  // both saves the re-walk and preserves sharing in the output. Blocks
+  // with prepare hooks never memoize — their transforms may legitimately
+  // produce different trees on different paths from the root.
+  bool Memoize =
+      Comp.options().DagMemoize && !HasPrepares && T->refCount() > 1;
+  if (Memoize) {
+    auto It = DagMemo.find(T);
+    if (It != DagMemo.end()) {
+      ++NumSharedHits;
+      return It->second;
+    }
+  }
+
+  ++NumVisited;
+  if (Comp.perf())
+    instrumentVisit(T, Comp);
+
+  // Prepares run on subtree entry (Listing 7).
+  const auto &Preps = PrepareLists[static_cast<unsigned>(T->kind())];
+  for (uint16_t P : Preps)
+    Phases[P]->dispatchPrepare(T, Ctx);
+
+  // Recurse into children, then rebuild the node if any child changed
+  // (withNewChildren applies the reuse optimization; AlwaysCopy disables
+  // it for the scalac-baseline configuration).
+  TreePtr Reconstructed;
+  unsigned N = T->numKids();
+  if (N == 0) {
+    Reconstructed = TreePtr(T);
+  } else {
+    TreeList NewKids;
+    NewKids.reserve(N);
+    bool Changed = Comp.options().AlwaysCopy;
+    for (unsigned I = 0; I < N; ++I) {
+      Tree *Kid = T->kid(I);
+      if (!Kid) {
+        NewKids.push_back(nullptr);
+        continue;
+      }
+      TreePtr NewKid = walk(Kid, Ctx);
+      if (NewKid.get() != Kid)
+        Changed = true;
+      NewKids.push_back(std::move(NewKid));
+    }
+    if (!Changed)
+      Reconstructed = TreePtr(T);
+    else if (Comp.options().AlwaysCopy)
+      Reconstructed = Comp.trees().withNewChildrenForced(T, std::move(NewKids));
+    else
+      Reconstructed = Comp.trees().withNewChildren(T, std::move(NewKids));
+  }
+
+  // Apply the fused transforms bottom-up (Listings 5/6, Figures 2/3).
+  TreePtr Out =
+      Comp.options().Strategy == FusionStrategy::IndexedByKind
+          ? applyTransforms(std::move(Reconstructed), Ctx)
+          : applyTransformsNaive(std::move(Reconstructed), Ctx);
+
+  // Balanced leave hooks (reverse order), restoring scoped phase state.
+  for (auto It = Preps.rbegin(); It != Preps.rend(); ++It)
+    Phases[*It]->dispatchLeave(T, Ctx);
+
+  if (Memoize)
+    DagMemo.emplace(T, Out);
+  return Out;
+}
+
+/// Optimized transform application: per-kind interest lists plus
+/// re-dispatch on kind change (paper Listing 6).
+TreePtr FusedBlock::applyTransforms(TreePtr Node, PhaseRunContext &Ctx) {
+  CompilerContext &Comp = Ctx.Comp;
+  bool Instrument = Comp.perf() != nullptr;
+  unsigned NextPhase = 0;
+  while (true) {
+    TreeKind K = Node->kind();
+    const auto &List = TransformLists[static_cast<unsigned>(K)];
+    // Find the first interested phase at or after NextPhase. Lists are
+    // short (a handful of phases per kind); linear scan beats binary
+    // search here.
+    unsigned P = ~0u;
+    for (uint16_t Candidate : List) {
+      if (Candidate >= NextPhase) {
+        P = Candidate;
+        break;
+      }
+    }
+    if (P == ~0u)
+      return Node;
+    ++NumHooks;
+    if (Instrument)
+      instrumentHook(P, K, Comp, Node.get());
+    TreePtr Next = Phases[P]->dispatchTransform(Node.get(), Ctx);
+    assert(Next && "transform hooks must return a tree");
+    NextPhase = P + 1;
+    Node = std::move(Next);
+    // If the kind is unchanged the loop continues in the same list (fast
+    // path); otherwise the next iteration re-dispatches into the new
+    // kind's list — exactly the paper's "second.transform(other)".
+  }
+}
+
+/// Baseline strategy for the ablation benchmark: consult every phase's
+/// mask at every node (no per-kind lists). With IdentitySkip disabled it
+/// invokes every hook unconditionally, modelling fusion without the
+/// paper's optimization 1.
+TreePtr FusedBlock::applyTransformsNaive(TreePtr Node, PhaseRunContext &Ctx) {
+  CompilerContext &Comp = Ctx.Comp;
+  bool Skip = Comp.options().IdentitySkip;
+  bool Instrument = Comp.perf() != nullptr;
+  for (unsigned P = 0; P < Phases.size(); ++P) {
+    TreeKind K = Node->kind();
+    if (Skip && !Phases[P]->transformKinds().contains(K))
+      continue;
+    ++NumHooks;
+    if (Instrument)
+      instrumentHook(P, K, Comp, Node.get());
+    TreePtr Next = Phases[P]->dispatchTransform(Node.get(), Ctx);
+    assert(Next && "transform hooks must return a tree");
+    Node = std::move(Next);
+  }
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumentation (cache/perf simulation)
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Synthetic code addresses for the icache model. Each phase's transform
+/// code occupies its own region; the traversal driver has one too. The
+/// base is far above any malloc'd heap address we will touch as data.
+constexpr uint64_t CodeBase = 0x7e0000000000ull;
+constexpr uint64_t DriverCode = CodeBase;
+constexpr uint64_t PhaseCodeBytes = 3072; // ~3KB of code per phase
+constexpr uint64_t DriverFetchBytes = 128;
+constexpr uint64_t HookFetchBytes = 192;
+} // namespace
+
+void FusedBlock::instrumentVisit(const Tree *T, CompilerContext &Comp) {
+  CacheSim *CS = Comp.cacheSim();
+  PerfCounters *PC = Comp.perf();
+  // The walker reads the node header and its child list.
+  CS->load(reinterpret_cast<uint64_t>(T), 48);
+  if (T->numKids())
+    CS->load(reinterpret_cast<uint64_t>(T->kids().data()),
+             8 * T->numKids());
+  // Driver straight-line code.
+  CS->fetch(DriverCode, DriverFetchBytes);
+  PC->instructions(24 + 2 * T->numKids());
+}
+
+void FusedBlock::instrumentHook(unsigned PhaseIdx, TreeKind K,
+                                CompilerContext &Comp, const Tree *Node) {
+  CacheSim *CS = Comp.cacheSim();
+  PerfCounters *PC = Comp.perf();
+  // Each executed hook touches a kind-dependent slice of its phase's code,
+  // re-reads the node and its type, and works on the phase's own (hot)
+  // scratch state — the transformation work proper, which is identical
+  // under both the fused and the unfused configuration.
+  uint64_t Region = CodeBase + PhaseCodeBytes * (1 + PhaseIdx);
+  uint64_t Offset = (static_cast<uint64_t>(K) * 7 % 16) * 192;
+  CS->fetch(Region + Offset % PhaseCodeBytes, HookFetchBytes);
+  CS->load(reinterpret_cast<uint64_t>(Node), 48);
+  if (Node->type())
+    CS->load(reinterpret_cast<uint64_t>(Node->type()), 24);
+  uint64_t Scratch = Region + PhaseCodeBytes - 256;
+  CS->load(Scratch, 64);
+  CS->store(Scratch, 32);
+  PC->instructions(55);
+}

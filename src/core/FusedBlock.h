@@ -1,0 +1,88 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fusion engine (paper Listings 5/6/8 and Figures 2/3).
+///
+/// A FusedBlock owns the schedule for a group of miniphases and performs
+/// one postorder traversal per compilation unit, applying at every node the
+/// transforms of all constituent phases in order. The two published
+/// optimizations are implemented:
+///
+///   1. identity-transform skip — phases that declared no interest in a
+///      node's kind are never invoked on it;
+///   2. same-kind fast path / kind-change re-dispatch — per-kind interest
+///      lists are precomputed; while a node keeps its kind, the engine
+///      walks the dense list, and when a hook changes the kind it switches
+///      to the new kind's list (only phases after the current one run).
+///
+/// Prepares (Listing 7/8) run preorder; the matching leave hooks run when
+/// the subtree completes. The semantics the paper highlights hold: when
+/// phase m transforms node t, t was already transformed by phases before m,
+/// and t's children by *all* phases of the block — m "sees the future" in
+/// its subtrees (Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_CORE_FUSEDBLOCK_H
+#define MPC_CORE_FUSEDBLOCK_H
+
+#include "core/Phase.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace mpc {
+
+/// A fused group of miniphases executing in a single traversal.
+class FusedBlock {
+public:
+  /// \p Phases in pipeline order. The block does not own the phases.
+  explicit FusedBlock(std::vector<MiniPhase *> Phases);
+
+  /// Runs the whole block on one unit: unit prepares, one postorder
+  /// traversal, unit transforms.
+  void runOnUnit(CompilationUnit &Unit, CompilerContext &Comp);
+
+  /// Transforms a single tree (exposed for unit tests).
+  TreePtr transformTree(TreePtr Root, PhaseRunContext &Ctx);
+
+  const std::vector<MiniPhase *> &phases() const { return Phases; }
+
+  /// Traversal statistics for the last/accumulated runs.
+  uint64_t nodesVisited() const { return NumVisited; }
+  uint64_t hooksExecuted() const { return NumHooks; }
+  /// Shared-subtree reuses under CompilerOptions::DagMemoize (§9).
+  uint64_t sharedHits() const { return NumSharedHits; }
+  void resetStats() {
+    NumVisited = 0;
+    NumHooks = 0;
+    NumSharedHits = 0;
+  }
+
+  /// True when any constituent phase declares prepare hooks; such blocks
+  /// never memoize shared subtrees (the transforms may be path-dependent).
+  bool hasPrepares() const { return HasPrepares; }
+
+private:
+  TreePtr walk(Tree *T, PhaseRunContext &Ctx);
+  TreePtr applyTransforms(TreePtr Node, PhaseRunContext &Ctx);
+  TreePtr applyTransformsNaive(TreePtr Node, PhaseRunContext &Ctx);
+  void instrumentVisit(const Tree *T, CompilerContext &Comp);
+  void instrumentHook(unsigned PhaseIdx, TreeKind K,
+                      CompilerContext &Comp, const Tree *Node);
+
+  std::vector<MiniPhase *> Phases;
+  /// For each tree kind, ascending indices of phases interested in it.
+  std::vector<uint16_t> TransformLists[NumTreeKinds];
+  std::vector<uint16_t> PrepareLists[NumTreeKinds];
+  bool HasPrepares = false;
+  uint64_t NumVisited = 0;
+  uint64_t NumHooks = 0;
+  uint64_t NumSharedHits = 0;
+  /// Per-run memo for DAG mode: input node -> fully transformed result.
+  std::unordered_map<const Tree *, TreePtr> DagMemo;
+};
+
+} // namespace mpc
+
+#endif // MPC_CORE_FUSEDBLOCK_H

@@ -1,0 +1,140 @@
+#include "core/PhasePlan.h"
+
+#include "support/OStream.h"
+
+#include <map>
+
+using namespace mpc;
+
+PhasePlan PhasePlan::build(std::vector<std::unique_ptr<Phase>> Phases,
+                           bool Fuse, std::vector<std::string> &Errors) {
+  PhasePlan Plan;
+  Plan.Owned = std::move(Phases);
+  for (auto &P : Plan.Owned)
+    Plan.AllPhases.push_back(P.get());
+
+  // Name uniqueness and index maps.
+  std::map<std::string, size_t> PositionOf;
+  for (size_t I = 0; I < Plan.AllPhases.size(); ++I) {
+    Phase *P = Plan.AllPhases[I];
+    if (!PositionOf.emplace(P->name(), I).second)
+      Errors.push_back("duplicate phase name: " + P->name());
+  }
+
+  // runsAfter: referenced phase must exist and appear strictly earlier.
+  for (size_t I = 0; I < Plan.AllPhases.size(); ++I) {
+    Phase *P = Plan.AllPhases[I];
+    for (const std::string &Dep : P->runsAfter()) {
+      auto It = PositionOf.find(Dep);
+      if (It == PositionOf.end()) {
+        Errors.push_back("phase " + P->name() + " runsAfter unknown phase " +
+                         Dep);
+        continue;
+      }
+      if (It->second >= I)
+        Errors.push_back("phase " + P->name() + " must run after " + Dep +
+                         ", but is scheduled before it");
+    }
+    for (const std::string &Dep : P->runsAfterGroupsOf()) {
+      if (PositionOf.find(Dep) == PositionOf.end())
+        Errors.push_back("phase " + P->name() +
+                         " runsAfterGroupsOf unknown phase " + Dep);
+    }
+  }
+
+  // Group formation.
+  std::vector<std::vector<Phase *>> RawGroups;
+  std::map<Phase *, size_t> GroupOf;
+  auto InOpenGroup = [&](const std::string &DepName) {
+    if (RawGroups.empty())
+      return false;
+    for (Phase *Member : RawGroups.back())
+      if (Member->name() == DepName)
+        return true;
+    return false;
+  };
+
+  for (Phase *P : Plan.AllPhases) {
+    bool StartNew = true;
+    if (Fuse && P->isMini() && !RawGroups.empty() &&
+        RawGroups.back().front()->isMini()) {
+      // Candidate for fusion into the open group, unless a group-of
+      // dependency lives in that group.
+      StartNew = false;
+      for (const std::string &Dep : P->runsAfterGroupsOf())
+        if (InOpenGroup(Dep))
+          StartNew = true;
+    }
+    if (StartNew)
+      RawGroups.emplace_back();
+    RawGroups.back().push_back(P);
+    GroupOf[P] = RawGroups.size() - 1;
+  }
+
+  // runsAfterGroupsOf: referenced phase must live in a strictly earlier
+  // group (it has finished the entire compilation unit).
+  for (Phase *P : Plan.AllPhases) {
+    for (const std::string &Dep : P->runsAfterGroupsOf()) {
+      Phase *DepPhase = nullptr;
+      for (Phase *Q : Plan.AllPhases)
+        if (Q->name() == Dep)
+          DepPhase = Q;
+      if (!DepPhase)
+        continue; // reported above
+      if (GroupOf[DepPhase] >= GroupOf[P])
+        Errors.push_back("phase " + P->name() + " requires groups of " + Dep +
+                         " to have finished, but both are in the same group");
+    }
+  }
+
+  for (auto &Raw : RawGroups) {
+    PhaseGroup G;
+    G.Members = Raw;
+    bool AllMini = true;
+    for (Phase *P : Raw)
+      if (!P->isMini())
+        AllMini = false;
+    if (Fuse && AllMini && !Raw.empty()) {
+      std::vector<MiniPhase *> Minis;
+      for (Phase *P : Raw)
+        Minis.push_back(static_cast<MiniPhase *>(P));
+      G.Block = std::make_unique<FusedBlock>(std::move(Minis));
+    }
+    Plan.Groups.push_back(std::move(G));
+  }
+  return Plan;
+}
+
+Phase *PhasePlan::findPhase(const std::string &PhaseName) const {
+  for (Phase *P : AllPhases)
+    if (P->name() == PhaseName)
+      return P;
+  return nullptr;
+}
+
+std::vector<Phase *> PhasePlan::phasesUpTo(size_t GroupIdx) const {
+  std::vector<Phase *> Result;
+  for (size_t G = 0; G <= GroupIdx && G < Groups.size(); ++G)
+    for (Phase *P : Groups[G].Members)
+      Result.push_back(P);
+  return Result;
+}
+
+void PhasePlan::print(OStream &OS) const {
+  unsigned Id = 1;
+  for (size_t G = 0; G < Groups.size(); ++G) {
+    if (G != 0)
+      OS << "  ----------------------------------------\n";
+    for (Phase *P : Groups[G].Members) {
+      OS << "  ";
+      if (Id < 10)
+        OS << ' ';
+      OS << Id << "  " << P->name();
+      if (P->isMini())
+        OS << '*';
+      OS.indent(P->name().size() < 24 ? 24 - P->name().size() : 1);
+      OS << P->description() << '\n';
+      ++Id;
+    }
+  }
+}

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PhasePlan: the ordered pipeline of phases, partitioned into groups.
+///
+/// Consecutive miniphases fuse into one group (one traversal); megaphases
+/// are singleton groups. A group boundary is also forced when a miniphase
+/// declares runsAfterGroupsOf on a phase of the open group — the §6
+/// criteria: the named phase must finish the whole compilation unit first.
+///
+/// The ordering constraints are validated when the plan is built, i.e. at
+/// compiler startup — "they are checked as soon as the compiler starts up,
+/// so any violations are caught immediately, independent of any test
+/// input" (§6.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_CORE_PHASEPLAN_H
+#define MPC_CORE_PHASEPLAN_H
+
+#include "core/FusedBlock.h"
+#include "core/Phase.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+class OStream;
+
+/// One traversal's worth of phases: either a fused run of miniphases or a
+/// single megaphase.
+struct PhaseGroup {
+  std::vector<Phase *> Members;
+  /// Non-null iff all members are miniphases and fusion is enabled.
+  std::unique_ptr<FusedBlock> Block;
+
+  bool isFused() const { return Block != nullptr; }
+};
+
+/// An immutable, validated pipeline.
+class PhasePlan {
+public:
+  PhasePlan() = default;
+  PhasePlan(PhasePlan &&) = default;
+  PhasePlan &operator=(PhasePlan &&) = default;
+
+  /// Builds a plan from \p Phases in order. When \p Fuse is false every
+  /// phase becomes its own group (the paper's "Megaphase" evaluation
+  /// configuration). Ordering errors are appended to \p Errors; the plan
+  /// is usable only when no errors were produced.
+  static PhasePlan build(std::vector<std::unique_ptr<Phase>> Phases,
+                         bool Fuse, std::vector<std::string> &Errors);
+
+  const std::vector<PhaseGroup> &groups() const { return Groups; }
+  size_t phaseCount() const { return AllPhases.size(); }
+  const std::vector<Phase *> &phases() const { return AllPhases; }
+
+  Phase *findPhase(const std::string &PhaseName) const;
+
+  /// All phases of groups 0..\p GroupIdx inclusive — the "previous phases"
+  /// whose postconditions the TreeChecker enforces after group \p GroupIdx
+  /// finishes.
+  std::vector<Phase *> phasesUpTo(size_t GroupIdx) const;
+
+  /// Prints the pipeline as in the paper's Tables 1/2: id, name,
+  /// description; miniphases marked '*', horizontal rules at group
+  /// boundaries.
+  void print(OStream &OS) const;
+
+private:
+  std::vector<std::unique_ptr<Phase>> Owned;
+  std::vector<Phase *> AllPhases;
+  std::vector<PhaseGroup> Groups;
+};
+
+} // namespace mpc
+
+#endif // MPC_CORE_PHASEPLAN_H

@@ -1,0 +1,43 @@
+#include "core/Pipeline.h"
+
+#include <cassert>
+
+using namespace mpc;
+
+PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
+                                      CompilerContext &Comp,
+                                      const TreeChecker *Checker) const {
+  PipelineResult Result;
+  bool Check = Comp.options().CheckTrees;
+  assert((!Check || Checker) && "CheckTrees requires a TreeChecker");
+
+  const auto &Groups = Plan.groups();
+  for (size_t G = 0; G < Groups.size(); ++G) {
+    const PhaseGroup &Group = Groups[G];
+    if (Group.isFused()) {
+      // One traversal applies every miniphase of the group (Figure 2/3).
+      for (CompilationUnit &Unit : Units)
+        Group.Block->runOnUnit(Unit, Comp);
+      ++Result.Traversals;
+    } else {
+      // Unfused: each phase is a separate whole-tree pass over all units
+      // (Listing 3's phase-outer / unit-inner loop).
+      for (Phase *P : Group.Members) {
+        for (CompilationUnit &Unit : Units)
+          P->runOnUnit(Unit, Comp);
+        ++Result.Traversals;
+      }
+    }
+
+    if (Check) {
+      std::vector<Phase *> Executed = Plan.phasesUpTo(G);
+      const std::string &After = Group.Members.back()->name();
+      for (CompilationUnit &Unit : Units) {
+        auto Failures = Checker->check(Unit, Executed, Comp, After);
+        for (CheckFailure &F : Failures)
+          Result.CheckFailures.push_back(std::move(F));
+      }
+    }
+  }
+  return Result;
+}

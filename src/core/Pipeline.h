@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transformation-pipeline executor (paper Listing 3): phases outer,
+/// compilation units inner. A fused group counts as one "phase" of the
+/// loop; in the unfused configuration every miniphase is its own pass —
+/// this loop ordering is what makes whole-tree re-traversals cache-hostile
+/// and is precisely what the evaluation measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_CORE_PIPELINE_H
+#define MPC_CORE_PIPELINE_H
+
+#include "core/PhasePlan.h"
+#include "core/TreeChecker.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// Outcome of a pipeline run.
+struct PipelineResult {
+  /// Number of whole-tree traversals performed (groups in fused mode,
+  /// phases in unfused mode).
+  uint64_t Traversals = 0;
+  /// TreeChecker failures, if checking was enabled.
+  std::vector<CheckFailure> CheckFailures;
+};
+
+/// Executes a PhasePlan over the units of a compilation run.
+class TransformPipeline {
+public:
+  explicit TransformPipeline(const PhasePlan &Plan) : Plan(Plan) {}
+
+  /// Runs all groups. When CompilerOptions::CheckTrees is set, \p Checker
+  /// (must be non-null then) runs after every group on every unit.
+  PipelineResult run(std::vector<CompilationUnit> &Units,
+                     CompilerContext &Comp,
+                     const TreeChecker *Checker = nullptr) const;
+
+private:
+  const PhasePlan &Plan;
+};
+
+} // namespace mpc
+
+#endif // MPC_CORE_PIPELINE_H

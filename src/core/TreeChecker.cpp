@@ -1,0 +1,127 @@
+#include "core/TreeChecker.h"
+
+#include "ast/TreePrinter.h"
+#include "ast/TreeUtils.h"
+
+#include <set>
+
+using namespace mpc;
+
+/// Definition-free kinds never need a type; everything else must carry one.
+static bool needsType(const Tree *T) {
+  switch (T->kind()) {
+  case TreeKind::ValDef:
+  case TreeKind::DefDef:
+  case TreeKind::ClassDef:
+  case TreeKind::PackageDef:
+    return false;
+  default:
+    return true;
+  }
+}
+
+void TreeChecker::checkGlobalInvariants(
+    const Tree *Root, CompilerContext &Comp,
+    std::vector<CheckFailure> &Failures) const {
+  (void)Comp;
+  forEachSubtree(const_cast<Tree *>(Root), [&](Tree *T) {
+    // Invariant: expression nodes carry types ("checkNoOrphanTypes").
+    if (needsType(T) && !T->type())
+      Failures.push_back(
+          {"", std::string("untyped node: ") + treeKindName(T->kind()), T});
+
+    // Invariant: definitions have symbols and the defining tree the symbol
+    // points at is this very node (phases must keep defTree current).
+    if (auto *VD = dyn_cast<ValDef>(T)) {
+      if (!VD->sym())
+        Failures.push_back({"", "ValDef without symbol", T});
+    } else if (auto *DD = dyn_cast<DefDef>(T)) {
+      if (!DD->sym())
+        Failures.push_back({"", "DefDef without symbol", T});
+    }
+
+    // Invariant: no double definitions within one block/class body
+    // ("checkNoDoubleDefinitions").
+    auto CheckScope = [&](unsigned Begin, unsigned End) {
+      std::set<Symbol *> Seen;
+      for (unsigned I = Begin; I < End; ++I) {
+        Tree *Stat = T->kid(I);
+        Symbol *S = nullptr;
+        if (auto *VD = dyn_cast_or_null<ValDef>(Stat))
+          S = VD->sym();
+        else if (auto *DD = dyn_cast_or_null<DefDef>(Stat))
+          S = DD->sym();
+        else if (auto *CD = dyn_cast_or_null<ClassDef>(Stat))
+          S = CD->sym();
+        if (S && !Seen.insert(S).second)
+          Failures.push_back(
+              {"", "double definition of " + S->name().str(), T});
+      }
+    };
+    if (isa<Block>(T))
+      CheckScope(0, T->numKids() - 1);
+    else if (isa<ClassDef>(T) || isa<PackageDef>(T))
+      CheckScope(0, T->numKids());
+
+    // Invariant: structural shape — non-nullable child slots are filled.
+    switch (T->kind()) {
+    case TreeKind::Block:
+      if (!T->kid(T->numKids() - 1))
+        Failures.push_back({"", "Block without result expression", T});
+      break;
+    case TreeKind::If:
+      if (!T->kid(0) || !T->kid(1) || !T->kid(2))
+        Failures.push_back({"", "If with missing child", T});
+      break;
+    default:
+      break;
+    }
+
+    // Re-derive types bottom-up and compare ("reTyped.hasSameTypes(subt)").
+    // The derived type must conform to the recorded one — phases may
+    // legally widen (e.g. erasure joins unions to a common ancestor).
+    if (Retype && needsType(T) && T->type()) {
+      const Type *Derived = Retype(T, Comp);
+      if (Derived && Derived != T->type() &&
+          !Comp.types().isSubtype(Derived, T->type()))
+        Failures.push_back({"",
+                            std::string("type mismatch on ") +
+                                treeKindName(T->kind()) + ": recorded " +
+                                T->type()->show() + ", re-derived " +
+                                Derived->show(),
+                            T});
+    }
+  });
+}
+
+std::vector<CheckFailure>
+TreeChecker::check(CompilationUnit &Unit, const std::vector<Phase *> &Executed,
+                   CompilerContext &Comp,
+                   const std::string &AfterPhase) const {
+  std::vector<CheckFailure> Failures;
+  Tree *Root = Unit.Root.get();
+  if (!Root)
+    return Failures;
+
+  checkGlobalInvariants(Root, Comp, Failures);
+
+  // Postconditions of every phase executed so far must (still) hold on
+  // every subtree — this is what localizes cross-phase breakage: "if a
+  // postcondition of phase X fails after executing phase Y, we know
+  // immediately that phase Y breaks the invariant of X".
+  forEachSubtree(Root, [&](Tree *T) {
+    for (Phase *P : Executed) {
+      if (!P->checkPostCondition(T, Comp)) {
+        PrintOptions PO;
+        PO.ShowTypes = true;
+        PO.MaxDepth = 3;
+        Failures.push_back({P->name(),
+                            "postcondition of phase " + P->name() +
+                                " violated after running " + AfterPhase +
+                                " on:\n" + treeToString(T, PO),
+                            T});
+      }
+    }
+  });
+  return Failures;
+}

@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TreeChecker (paper Listing 9 and §6.3): a checking pass inserted between
+/// phase groups when -Ycheck (CompilerOptions::CheckTrees) is enabled.
+///
+/// For every subtree it (a) verifies global invariants that must hold
+/// between any two phases, (b) optionally re-derives types bottom-up and
+/// compares them with the recorded ones (the "strip and re-typecheck"
+/// check; injected by the frontend to keep layering), and (c) runs the
+/// checkPostCondition of *all previously executed phases*, which localizes
+/// an invariant violation to the phase that broke it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_CORE_TREECHECKER_H
+#define MPC_CORE_TREECHECKER_H
+
+#include "core/Phase.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// One detected violation.
+struct CheckFailure {
+  std::string PhaseName; // empty for a global-invariant failure
+  std::string Message;
+  const Tree *Node;
+};
+
+/// The between-groups dynamic checker.
+class TreeChecker {
+public:
+  /// \p Retype, if provided, re-derives the type of an expression node
+  /// bottom-up and returns it (null when it has no opinion). Supplied by
+  /// the frontend's TypeAssigner.
+  using RetypeFn =
+      std::function<const Type *(const Tree *, CompilerContext &)>;
+
+  TreeChecker() = default;
+  explicit TreeChecker(RetypeFn Retype) : Retype(std::move(Retype)) {}
+
+  /// Checks one unit after the phases \p Executed have run. Returns the
+  /// failures found (empty = clean). \p AfterPhase names the phase that
+  /// just finished, for messages.
+  std::vector<CheckFailure> check(CompilationUnit &Unit,
+                                  const std::vector<Phase *> &Executed,
+                                  CompilerContext &Comp,
+                                  const std::string &AfterPhase) const;
+
+  /// Global invariants only (also used directly by tests).
+  void checkGlobalInvariants(const Tree *Root, CompilerContext &Comp,
+                             std::vector<CheckFailure> &Failures) const;
+
+private:
+  RetypeFn Retype;
+};
+
+} // namespace mpc
+
+#endif // MPC_CORE_TREECHECKER_H

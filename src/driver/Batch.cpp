@@ -1,0 +1,52 @@
+#include "driver/Batch.h"
+
+#include "support/OStream.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace mpc;
+
+std::vector<BatchResult> mpc::compileBatch(std::vector<BatchJob> Jobs,
+                                           unsigned Threads) {
+  if (Threads == 0) {
+    Threads = std::thread::hardware_concurrency();
+    if (Threads == 0)
+      Threads = 1;
+  }
+  if (Threads > Jobs.size())
+    Threads = static_cast<unsigned>(Jobs.size());
+
+  std::vector<BatchResult> Results(Jobs.size());
+  std::atomic<size_t> NextJob{0};
+
+  auto Worker = [&]() {
+    while (true) {
+      size_t I = NextJob.fetch_add(1);
+      if (I >= Jobs.size())
+        return;
+      BatchJob &Job = Jobs[I];
+      BatchResult &R = Results[I];
+      R.Comp = std::make_unique<CompilerContext>(Job.Options);
+      R.Out = compileProgram(*R.Comp, std::move(Job.Sources), Job.Kind);
+      R.HadErrors = R.Comp->diags().hasErrors();
+      if (R.HadErrors) {
+        StringOStream OS;
+        R.Comp->diags().printAll(OS);
+        R.DiagText = OS.str();
+      }
+    }
+  };
+
+  if (Threads <= 1) {
+    Worker();
+    return Results;
+  }
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Results;
+}

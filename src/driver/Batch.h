@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parallel batch compilation: many independent compiler runs sharing a
+/// worker pool. This is the paper's evaluation setting ("batch compilation
+/// in a big project", §5.2) and a first step toward its §9 future work on
+/// parallel compilation — compiler *instances* are embarrassingly
+/// parallel because every run owns its CompilerContext (trees, symbols,
+/// interner), so no compiler state is shared between workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_DRIVER_BATCH_H
+#define MPC_DRIVER_BATCH_H
+
+#include "driver/Driver.h"
+
+#include <memory>
+
+namespace mpc {
+
+/// One independent compile job.
+struct BatchJob {
+  std::vector<SourceInput> Sources;
+  PipelineKind Kind = PipelineKind::StandardFused;
+  /// Options applied to the job's context (CheckTrees etc.). The fusion
+  /// and copier flags are still derived from \p Kind.
+  CompilerOptions Options;
+};
+
+/// The outcome of one job. The context is returned alongside the output
+/// because the lowered trees it contains live in the context's heap.
+struct BatchResult {
+  std::unique_ptr<CompilerContext> Comp;
+  CompileOutput Out;
+  bool HadErrors = false;
+  std::string DiagText; // rendered diagnostics when HadErrors
+};
+
+/// Compiles all \p Jobs using up to \p Threads workers (0 = hardware
+/// concurrency). Results are returned in job order regardless of worker
+/// scheduling; each result is produced by an isolated CompilerContext, so
+/// outputs are bit-identical to a serial run.
+std::vector<BatchResult> compileBatch(std::vector<BatchJob> Jobs,
+                                      unsigned Threads = 0);
+
+} // namespace mpc
+
+#endif // MPC_DRIVER_BATCH_H

@@ -1,0 +1,42 @@
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "support/OStream.h"
+
+#include <cassert>
+
+using namespace mpc;
+
+std::vector<CompilationUnit>
+mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
+  std::vector<ParsedUnit> Parsed;
+  for (SourceInput &Src : Sources) {
+    ParsedUnit PU;
+    PU.FileName = Src.FileName;
+    PU.FileId = Comp.diags().addFile(Src.FileName);
+    PU.Source = std::move(Src.Text);
+    PU.Arena = std::make_shared<SynArena>();
+
+    Lexer Lex(PU.Source, PU.FileId, Comp.names(), Comp.diags());
+    Parser P(Lex.lexAll(), *PU.Arena, Comp.names(), Comp.diags());
+    PU.Unit = P.parseUnit();
+    Parsed.push_back(std::move(PU));
+  }
+  Typer T(Comp);
+  return T.run(Parsed);
+}
+
+CompilationUnit mpc::compileSingleSource(CompilerContext &Comp,
+                                         const std::string &Text,
+                                         bool RequireClean) {
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"<test>", Text});
+  std::vector<CompilationUnit> Units = runFrontEnd(Comp, std::move(Sources));
+  if (RequireClean && Comp.diags().hasErrors()) {
+    Comp.diags().printAll(errs());
+    assert(false && "frontend reported errors on test source");
+  }
+  assert(Units.size() == 1);
+  return std::move(Units[0]);
+}

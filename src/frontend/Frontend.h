@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler front-end: lex + parse + name/type every source file,
+/// producing the typed compilation units the transformation pipeline
+/// starts from (paper §2: "The front-end parses and type-checks source
+/// code, and generates trees annotated with type information").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_FRONTEND_H
+#define MPC_FRONTEND_FRONTEND_H
+
+#include "core/CompilerContext.h"
+#include "frontend/Typer.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// One named source text.
+struct SourceInput {
+  std::string FileName;
+  std::string Text;
+};
+
+/// Runs the whole front-end over a set of sources. Diagnostics accumulate
+/// in the context; returns the typed units (possibly partial on errors).
+std::vector<CompilationUnit> runFrontEnd(CompilerContext &Comp,
+                                         std::vector<SourceInput> Sources);
+
+/// Convenience for tests: parse+type a single source; asserts no errors
+/// when \p RequireClean.
+CompilationUnit compileSingleSource(CompilerContext &Comp,
+                                    const std::string &Text,
+                                    bool RequireClean = true);
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_FRONTEND_H

@@ -1,0 +1,455 @@
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+using namespace mpc;
+
+const char *mpc::tokenKindName(Tok K) {
+  switch (K) {
+  case Tok::EndOfFile:
+    return "end of file";
+  case Tok::Error:
+    return "invalid token";
+  case Tok::IntLit:
+    return "integer literal";
+  case Tok::DoubleLit:
+    return "double literal";
+  case Tok::StringLit:
+    return "string literal";
+  case Tok::Id:
+    return "identifier";
+  case Tok::OpId:
+    return "operator";
+  case Tok::KwClass:
+    return "'class'";
+  case Tok::KwTrait:
+    return "'trait'";
+  case Tok::KwObject:
+    return "'object'";
+  case Tok::KwCase:
+    return "'case'";
+  case Tok::KwExtends:
+    return "'extends'";
+  case Tok::KwWith:
+    return "'with'";
+  case Tok::KwDef:
+    return "'def'";
+  case Tok::KwVal:
+    return "'val'";
+  case Tok::KwVar:
+    return "'var'";
+  case Tok::KwLazy:
+    return "'lazy'";
+  case Tok::KwIf:
+    return "'if'";
+  case Tok::KwElse:
+    return "'else'";
+  case Tok::KwWhile:
+    return "'while'";
+  case Tok::KwMatch:
+    return "'match'";
+  case Tok::KwTry:
+    return "'try'";
+  case Tok::KwCatch:
+    return "'catch'";
+  case Tok::KwFinally:
+    return "'finally'";
+  case Tok::KwThrow:
+    return "'throw'";
+  case Tok::KwReturn:
+    return "'return'";
+  case Tok::KwNew:
+    return "'new'";
+  case Tok::KwThis:
+    return "'this'";
+  case Tok::KwSuper:
+    return "'super'";
+  case Tok::KwTrue:
+    return "'true'";
+  case Tok::KwFalse:
+    return "'false'";
+  case Tok::KwNull:
+    return "'null'";
+  case Tok::KwOverride:
+    return "'override'";
+  case Tok::KwPrivate:
+    return "'private'";
+  case Tok::KwFinal:
+    return "'final'";
+  case Tok::KwAbstract:
+    return "'abstract'";
+  case Tok::KwPackage:
+    return "'package'";
+  case Tok::LParen:
+    return "'('";
+  case Tok::RParen:
+    return "')'";
+  case Tok::LBrace:
+    return "'{'";
+  case Tok::RBrace:
+    return "'}'";
+  case Tok::LBracket:
+    return "'['";
+  case Tok::RBracket:
+    return "']'";
+  case Tok::Comma:
+    return "','";
+  case Tok::Semi:
+    return "';'";
+  case Tok::Dot:
+    return "'.'";
+  case Tok::Colon:
+    return "':'";
+  case Tok::Eq:
+    return "'='";
+  case Tok::Arrow:
+    return "'=>'";
+  case Tok::At:
+    return "'@'";
+  case Tok::Underscore:
+    return "'_'";
+  case Tok::Star:
+    return "'*'";
+  case Tok::Pipe:
+    return "'|'";
+  case Tok::Amp:
+    return "'&'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view Source, uint32_t FileId, StringInterner &Names,
+             DiagnosticEngine &Diags)
+    : Src(Source), FileId(FileId), Names(Names), Diags(Diags) {}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipSpaceAndComments(bool &SawNewline) {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == '\n') {
+      SawNewline = true;
+      advance();
+      continue;
+    }
+    if (C == ' ' || C == '\t' || C == '\r') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+bool Lexer::canEndStatement(Tok K) {
+  // A trailing operator continues the expression on the next line
+  // (Scala's rule), so OpId/Star are deliberately absent here.
+  switch (K) {
+  case Tok::Id:
+  case Tok::IntLit:
+  case Tok::DoubleLit:
+  case Tok::StringLit:
+  case Tok::RParen:
+  case Tok::RBrace:
+  case Tok::RBracket:
+  case Tok::KwTrue:
+  case Tok::KwFalse:
+  case Tok::KwNull:
+  case Tok::KwThis:
+  case Tok::KwReturn:
+  case Tok::Underscore:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Lexer::canStartStatement(Tok K) {
+  switch (K) {
+  case Tok::RParen:
+  case Tok::RBrace:
+  case Tok::RBracket:
+  case Tok::Comma:
+  case Tok::Semi:
+  case Tok::Dot:
+  case Tok::Colon:
+  case Tok::Eq:
+  case Tok::Arrow:
+  case Tok::KwElse:
+  case Tok::KwCatch:
+  case Tok::KwFinally:
+  case Tok::KwExtends:
+  case Tok::KwWith:
+  case Tok::KwMatch:
+  case Tok::Pipe:
+  case Tok::Amp:
+  case Tok::Star:
+  case Tok::EndOfFile:
+    return false;
+  default:
+    return true;
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  Tok Prev = Tok::Semi;
+  while (true) {
+    bool SawNewline = false;
+    skipSpaceAndComments(SawNewline);
+    if (atEnd()) {
+      Token T;
+      T.Kind = Tok::EndOfFile;
+      T.Loc = here();
+      Tokens.push_back(T);
+      break;
+    }
+    Token T = lexToken();
+    // Semicolon inference.
+    if (SawNewline && GroupDepth == 0 && canEndStatement(Prev) &&
+        canStartStatement(T.Kind)) {
+      Token S;
+      S.Kind = Tok::Semi;
+      S.Loc = T.Loc;
+      Tokens.push_back(S);
+    }
+    if (T.Kind == Tok::LParen || T.Kind == Tok::LBracket)
+      ++GroupDepth;
+    if ((T.Kind == Tok::RParen || T.Kind == Tok::RBracket) && GroupDepth > 0)
+      --GroupDepth;
+    Tokens.push_back(T);
+    Prev = T.Kind;
+  }
+  return Tokens;
+}
+
+Token Lexer::make(Tok K) {
+  Token T;
+  T.Kind = K;
+  T.Loc = here();
+  return T;
+}
+
+Token Lexer::lexToken() {
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '"')
+    return lexString();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifier();
+
+  Token T = make(Tok::Error);
+  switch (C) {
+  case '(':
+    advance();
+    T.Kind = Tok::LParen;
+    return T;
+  case ')':
+    advance();
+    T.Kind = Tok::RParen;
+    return T;
+  case '{':
+    advance();
+    T.Kind = Tok::LBrace;
+    return T;
+  case '}':
+    advance();
+    T.Kind = Tok::RBrace;
+    return T;
+  case '[':
+    advance();
+    T.Kind = Tok::LBracket;
+    return T;
+  case ']':
+    advance();
+    T.Kind = Tok::RBracket;
+    return T;
+  case ',':
+    advance();
+    T.Kind = Tok::Comma;
+    return T;
+  case ';':
+    advance();
+    T.Kind = Tok::Semi;
+    return T;
+  case '.':
+    advance();
+    T.Kind = Tok::Dot;
+    return T;
+  case '@':
+    advance();
+    T.Kind = Tok::At;
+    return T;
+  default:
+    return lexOperator();
+  }
+}
+
+Token Lexer::lexNumber() {
+  Token T = make(Tok::IntLit);
+  std::string Digits;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Digits += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    Digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Digits += advance();
+    T.Kind = Tok::DoubleLit;
+    T.DoubleValue = std::strtod(Digits.c_str(), nullptr);
+    return T;
+  }
+  T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  return T;
+}
+
+Token Lexer::lexString() {
+  Token T = make(Tok::StringLit);
+  advance(); // opening quote
+  std::string Value;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && !atEnd()) {
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Value += '\n';
+        break;
+      case 't':
+        Value += '\t';
+        break;
+      case '\\':
+        Value += '\\';
+        break;
+      case '"':
+        Value += '"';
+        break;
+      default:
+        Value += E;
+        break;
+      }
+      continue;
+    }
+    Value += C;
+  }
+  if (atEnd()) {
+    Diags.error(T.Loc, "unterminated string literal");
+    T.Kind = Tok::Error;
+    return T;
+  }
+  advance(); // closing quote
+  T.Text = Names.intern(Value);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  Token T = make(Tok::Id);
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '$')
+    Text += advance();
+
+  if (Text == "_") {
+    T.Kind = Tok::Underscore;
+    return T;
+  }
+  struct KwEntry {
+    const char *Text;
+    Tok Kind;
+  };
+  static const KwEntry Keywords[] = {
+      {"class", Tok::KwClass},       {"trait", Tok::KwTrait},
+      {"object", Tok::KwObject},     {"case", Tok::KwCase},
+      {"extends", Tok::KwExtends},   {"with", Tok::KwWith},
+      {"def", Tok::KwDef},           {"val", Tok::KwVal},
+      {"var", Tok::KwVar},           {"lazy", Tok::KwLazy},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},       {"match", Tok::KwMatch},
+      {"try", Tok::KwTry},           {"catch", Tok::KwCatch},
+      {"finally", Tok::KwFinally},   {"throw", Tok::KwThrow},
+      {"return", Tok::KwReturn},     {"new", Tok::KwNew},
+      {"this", Tok::KwThis},         {"super", Tok::KwSuper},
+      {"true", Tok::KwTrue},         {"false", Tok::KwFalse},
+      {"null", Tok::KwNull},         {"override", Tok::KwOverride},
+      {"private", Tok::KwPrivate},   {"final", Tok::KwFinal},
+      {"abstract", Tok::KwAbstract}, {"package", Tok::KwPackage},
+  };
+  for (const KwEntry &E : Keywords) {
+    if (Text == E.Text) {
+      T.Kind = E.Kind;
+      return T;
+    }
+  }
+  T.Text = Names.intern(Text);
+  return T;
+}
+
+Token Lexer::lexOperator() {
+  Token T = make(Tok::OpId);
+  static const char OpChars[] = "+-*/%<>=!&|^~?:";
+  std::string Text;
+  while (!atEnd() && std::string_view(OpChars).find(peek()) !=
+                         std::string_view::npos)
+    Text += advance();
+  if (Text.empty()) {
+    Diags.error(T.Loc, std::string("unexpected character '") + peek() + "'");
+    advance();
+    T.Kind = Tok::Error;
+    return T;
+  }
+  if (Text == "=") {
+    T.Kind = Tok::Eq;
+    return T;
+  }
+  if (Text == "=>") {
+    T.Kind = Tok::Arrow;
+    return T;
+  }
+  if (Text == ":") {
+    T.Kind = Tok::Colon;
+    return T;
+  }
+  if (Text == "*") {
+    T.Kind = Tok::Star;
+    T.Text = Names.intern(Text);
+    return T;
+  }
+  if (Text == "|") {
+    T.Kind = Tok::Pipe;
+    T.Text = Names.intern(Text);
+    return T;
+  }
+  if (Text == "&") {
+    T.Kind = Tok::Amp;
+    T.Text = Names.intern(Text);
+    return T;
+  }
+  T.Text = Names.intern(Text);
+  return T;
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniScala lexer. Performs Scala-style semicolon inference: a newline
+/// acts as a statement separator when the previous token can end a
+/// statement, the next can start one, and no parenthesis/bracket group is
+/// open.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_LEXER_H
+#define MPC_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <string_view>
+#include <vector>
+
+namespace mpc {
+
+/// Lexes a whole source buffer into a token vector (plus EOF sentinel).
+class Lexer {
+public:
+  Lexer(std::string_view Source, uint32_t FileId, StringInterner &Names,
+        DiagnosticEngine &Diags);
+
+  /// Runs the lexer; returns all tokens ending with EndOfFile.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool atEnd() const { return Pos >= Src.size(); }
+  SourceLoc here() const { return {FileId, Line, Col}; }
+
+  void skipSpaceAndComments(bool &SawNewline);
+  Token lexToken();
+  Token lexNumber();
+  Token lexString();
+  Token lexIdentifier();
+  Token lexOperator();
+  Token make(Tok K);
+
+  static bool canEndStatement(Tok K);
+  static bool canStartStatement(Tok K);
+
+  std::string_view Src;
+  uint32_t FileId;
+  StringInterner &Names;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+  int GroupDepth = 0; // parens + brackets (not braces)
+};
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_LEXER_H

@@ -1,0 +1,864 @@
+#include "frontend/Parser.h"
+
+#include <cctype>
+#include <string>
+
+using namespace mpc;
+
+Parser::Parser(std::vector<Token> Toks, SynArena &Arena, StringInterner &Names,
+               DiagnosticEngine &Diags)
+    : Tokens(std::move(Toks)), Arena(Arena), Names(Names), Diags(Diags) {
+  if (Tokens.empty()) {
+    Token Eof;
+    Eof.Kind = Tok::EndOfFile;
+    Tokens.push_back(Eof);
+  }
+}
+
+bool Parser::atIdText(const char *Text) const {
+  return at(Tok::Id) && cur().Text.text() == Text;
+}
+
+Token Parser::take() {
+  Token T = cur();
+  if (!at(Tok::EndOfFile))
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(Tok K) {
+  if (!at(K))
+    return false;
+  take();
+  return true;
+}
+
+bool Parser::expect(Tok K, const char *What) {
+  if (accept(K))
+    return true;
+  std::string Msg = "expected ";
+  Msg += tokenKindName(K);
+  Msg += " in ";
+  Msg += What;
+  Msg += ", found ";
+  Msg += tokenKindName(cur().Kind);
+  Diags.error(cur().Loc, Msg);
+  return false;
+}
+
+void Parser::skipSemis() {
+  while (at(Tok::Semi))
+    take();
+}
+
+void Parser::error(const char *Message) { Diags.error(cur().Loc, Message); }
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+SynType *Parser::parseType() {
+  // Function types: (T1, ..., Tn) => R  |  T => R.
+  if (at(Tok::LParen)) {
+    // Could be a function type or a parenthesized type; scan for `=>` after
+    // the matching paren.
+    size_t Save = Pos;
+    take();
+    std::vector<SynType *> Params;
+    if (!at(Tok::RParen)) {
+      Params.push_back(parseType());
+      while (accept(Tok::Comma))
+        Params.push_back(parseType());
+    }
+    expect(Tok::RParen, "type");
+    if (accept(Tok::Arrow)) {
+      SynType *F = Arena.type(SynType::Func, Tokens[Save].Loc);
+      F->Args = std::move(Params);
+      F->Res = parseType();
+      return F;
+    }
+    if (Params.size() == 1)
+      return Params[0]; // parenthesized type
+    error("tuple types are not supported");
+    return Params.empty() ? Arena.type(SynType::Named, cur().Loc) : Params[0];
+  }
+  SynType *T = parseInfixType();
+  if (accept(Tok::Arrow)) {
+    SynType *F = Arena.type(SynType::Func, T->Loc);
+    F->Args = {T};
+    F->Res = parseType();
+    return F;
+  }
+  return T;
+}
+
+SynType *Parser::parseInfixType() {
+  SynType *Left = parseSimpleType();
+  while (at(Tok::Pipe) || at(Tok::Amp)) {
+    bool IsUnion = at(Tok::Pipe);
+    SourceLoc Loc = take().Loc;
+    SynType *Right = parseSimpleType();
+    SynType *T = Arena.type(IsUnion ? SynType::Union : SynType::Inter, Loc);
+    T->Args = {Left, Right};
+    Left = T;
+  }
+  return Left;
+}
+
+SynType *Parser::parseSimpleType() {
+  if (!at(Tok::Id)) {
+    error("expected type name");
+    SynType *T = Arena.type(SynType::Named, cur().Loc);
+    T->N = Names.intern("<error>");
+    take();
+    return T;
+  }
+  Token Head = take();
+  SynType *T = Arena.type(SynType::Named, Head.Loc);
+  T->N = Head.Text;
+  if (at(Tok::LBracket)) {
+    take();
+    T->K = SynType::Applied;
+    T->Args.push_back(parseType());
+    while (accept(Tok::Comma))
+      T->Args.push_back(parseType());
+    expect(Tok::RBracket, "type arguments");
+  }
+  return T;
+}
+
+SynType *Parser::parseParamType() {
+  if (accept(Tok::Arrow)) {
+    SynType *B = Arena.type(SynType::ByName, cur().Loc);
+    B->Res = parseType();
+    return B;
+  }
+  SynType *T = parseType();
+  if (at(Tok::Star)) {
+    take();
+    SynType *R = Arena.type(SynType::Repeated, T->Loc);
+    R->Res = T;
+    return R;
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Definitions
+//===----------------------------------------------------------------------===//
+
+SynUnit Parser::parseUnit() {
+  SynUnit Unit;
+  skipSemis();
+  if (accept(Tok::KwPackage)) {
+    if (at(Tok::Id))
+      Unit.PackageName = take().Text;
+    else
+      error("expected package name");
+    skipSemis();
+  }
+  while (!at(Tok::EndOfFile)) {
+    SynNode *Def = parseTopLevelDef();
+    if (Def)
+      Unit.TopLevel.push_back(Def);
+    else
+      take(); // error recovery: skip a token
+    skipSemis();
+  }
+  return Unit;
+}
+
+SynNode *Parser::parseTopLevelDef() {
+  uint32_t Mods = 0;
+  while (true) {
+    if (accept(Tok::KwCase)) {
+      Mods |= SynFlag::Case;
+      continue;
+    }
+    if (accept(Tok::KwFinal)) {
+      Mods |= SynFlag::Final;
+      continue;
+    }
+    if (accept(Tok::KwAbstract)) {
+      Mods |= SynFlag::Abstract;
+      continue;
+    }
+    break;
+  }
+  if (at(Tok::KwClass))
+    return parseClassLike(Mods);
+  if (at(Tok::KwTrait))
+    return parseClassLike(Mods | SynFlag::Trait);
+  if (at(Tok::KwObject))
+    return parseClassLike(Mods | SynFlag::Object);
+  error("expected class, trait or object");
+  return nullptr;
+}
+
+SynNode *Parser::parseClassLike(uint32_t Flags) {
+  SourceLoc Loc = cur().Loc;
+  take(); // class/trait/object keyword
+  SynNode *Cls = Arena.node(SynKind::ClassDef, Loc);
+  Cls->Flags = Flags;
+  if (at(Tok::Id))
+    Cls->N = take().Text;
+  else
+    error("expected class name");
+
+  if (!Cls->is(SynFlag::Object) && !Cls->is(SynFlag::Trait))
+    Cls->TypeParamNames = parseTypeParams();
+
+  // Constructor parameters (classes only).
+  if (!Cls->is(SynFlag::Object) && !Cls->is(SynFlag::Trait) &&
+      at(Tok::LParen)) {
+    take();
+    if (!at(Tok::RParen)) {
+      Cls->Kids.push_back(parseParam());
+      while (accept(Tok::Comma))
+        Cls->Kids.push_back(parseParam());
+    }
+    expect(Tok::RParen, "class parameters");
+    Cls->NumParams = static_cast<uint32_t>(Cls->Kids.size());
+  }
+
+  if (accept(Tok::KwExtends)) {
+    Cls->Parents.push_back(parseSimpleType());
+    // Parent constructor arguments: `extends C(args)`.
+    if (at(Tok::LParen)) {
+      take();
+      std::vector<SynNode *> Args;
+      if (!at(Tok::RParen)) {
+        Args.push_back(parseExpr());
+        while (accept(Tok::Comma))
+          Args.push_back(parseExpr());
+      }
+      expect(Tok::RParen, "parent constructor arguments");
+      // Stash super args as an Apply node child marked by name.
+      SynNode *SuperArgs = Arena.node(SynKind::Apply, Cls->Parents[0]->Loc);
+      SuperArgs->N = Names.intern("<superargs>");
+      SuperArgs->Kids = std::move(Args);
+      Cls->Kids.push_back(SuperArgs);
+      Cls->NumParams = Cls->NumParams; // params stay a prefix
+    }
+    while (accept(Tok::KwWith))
+      Cls->Parents.push_back(parseSimpleType());
+  }
+
+  if (at(Tok::LBrace))
+    parseTemplateBody(Cls);
+  return Cls;
+}
+
+std::vector<Name> Parser::parseTypeParams() {
+  std::vector<Name> Result;
+  if (!at(Tok::LBracket))
+    return Result;
+  take();
+  do {
+    if (at(Tok::Id))
+      Result.push_back(take().Text);
+    else {
+      error("expected type parameter name");
+      break;
+    }
+  } while (accept(Tok::Comma));
+  expect(Tok::RBracket, "type parameters");
+  return Result;
+}
+
+void Parser::parseTemplateBody(SynNode *Cls) {
+  expect(Tok::LBrace, "template body");
+  skipSemis();
+  while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+    uint32_t Mods = 0;
+    bool Advanced = true;
+    while (Advanced) {
+      Advanced = false;
+      if (accept(Tok::KwOverride)) {
+        Mods |= SynFlag::Override;
+        Advanced = true;
+      } else if (accept(Tok::KwPrivate)) {
+        Mods |= SynFlag::Private;
+        Advanced = true;
+      } else if (accept(Tok::KwFinal)) {
+        Mods |= SynFlag::Final;
+        Advanced = true;
+      }
+    }
+    SynNode *Member = parseMemberDef(Mods);
+    if (Member)
+      Cls->Kids.push_back(Member);
+    else
+      take(); // error recovery
+    skipSemis();
+  }
+  expect(Tok::RBrace, "template body");
+}
+
+SynNode *Parser::parseMemberDef(uint32_t Mods) {
+  if (at(Tok::KwLazy)) {
+    take();
+    Mods |= SynFlag::Lazy;
+    return parseValDef(Mods);
+  }
+  if (at(Tok::KwVal) || at(Tok::KwVar))
+    return parseValDef(Mods);
+  if (at(Tok::KwDef))
+    return parseDefDef(Mods);
+  if (at(Tok::KwClass) || at(Tok::KwTrait) || at(Tok::KwObject) ||
+      at(Tok::KwCase) || at(Tok::KwAbstract))
+    return parseTopLevelDef();
+  error("expected member definition");
+  return nullptr;
+}
+
+SynNode *Parser::parseValDef(uint32_t Mods) {
+  SourceLoc Loc = cur().Loc;
+  if (at(Tok::KwVar)) {
+    Mods |= SynFlag::Var;
+    take();
+  } else {
+    expect(Tok::KwVal, "value definition");
+  }
+  SynNode *VD = Arena.node(SynKind::ValDef, Loc);
+  VD->Flags = Mods;
+  if (at(Tok::Id))
+    VD->N = take().Text;
+  else
+    error("expected value name");
+  if (accept(Tok::Colon))
+    VD->Ty = parseType();
+  if (accept(Tok::Eq))
+    VD->Kids.push_back(parseExpr());
+  else
+    VD->Kids.push_back(nullptr); // abstract val
+  return VD;
+}
+
+SynNode *Parser::parseDefDef(uint32_t Mods) {
+  SourceLoc Loc = cur().Loc;
+  expect(Tok::KwDef, "method definition");
+  SynNode *DD = Arena.node(SynKind::DefDef, Loc);
+  DD->Flags = Mods;
+  if (at(Tok::Id))
+    DD->N = take().Text;
+  else if (at(Tok::OpId))
+    DD->N = take().Text;
+  else
+    error("expected method name");
+  DD->TypeParamNames = parseTypeParams();
+  while (at(Tok::LParen)) {
+    take();
+    uint32_t Count = 0;
+    if (!at(Tok::RParen)) {
+      DD->Kids.push_back(parseParam());
+      ++Count;
+      while (accept(Tok::Comma)) {
+        DD->Kids.push_back(parseParam());
+        ++Count;
+      }
+    }
+    expect(Tok::RParen, "parameter list");
+    DD->ParamListSizes.push_back(Count);
+  }
+  if (accept(Tok::Colon))
+    DD->Ty = parseType();
+  if (accept(Tok::Eq))
+    DD->Kids.push_back(parseExpr());
+  else
+    DD->Kids.push_back(nullptr); // abstract method
+  return DD;
+}
+
+SynNode *Parser::parseParam() {
+  SynNode *P = Arena.node(SynKind::Param, cur().Loc);
+  // Class parameters may carry `val`/`var` (parameter accessors). Plain
+  // parameters already become fields; `var` additionally makes the field
+  // mutable.
+  if (accept(Tok::KwVar))
+    P->Flags |= SynFlag::Var;
+  else
+    accept(Tok::KwVal);
+  if (at(Tok::Id))
+    P->N = take().Text;
+  else
+    error("expected parameter name");
+  expect(Tok::Colon, "parameter");
+  P->Ty = parseParamType();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+SynNode *Parser::parseExpr() {
+  switch (cur().Kind) {
+  case Tok::KwIf:
+    return parseIfExpr();
+  case Tok::KwWhile:
+    return parseWhileExpr();
+  case Tok::KwTry:
+    return parseTryExpr();
+  case Tok::KwThrow: {
+    SynNode *T = Arena.node(SynKind::Throw, take().Loc);
+    T->Kids.push_back(parseExpr());
+    return T;
+  }
+  case Tok::KwReturn: {
+    SynNode *R = Arena.node(SynKind::Return, take().Loc);
+    // `return` followed by an expression on the same statement.
+    if (!at(Tok::Semi) && !at(Tok::RBrace) && !at(Tok::EndOfFile))
+      R->Kids.push_back(parseExpr());
+    else
+      R->Kids.push_back(nullptr);
+    return R;
+  }
+  default:
+    break;
+  }
+
+  if (at(Tok::LParen)) {
+    if (SynNode *Lambda = tryParseLambda())
+      return Lambda;
+  }
+
+  SynNode *E = parseInfixExpr(0);
+
+  // Assignment (right-associative, lowest precedence).
+  if (at(Tok::Eq)) {
+    SourceLoc Loc = take().Loc;
+    SynNode *Rhs = parseExpr();
+    SynNode *A = Arena.node(SynKind::Assign, Loc);
+    A->Kids = {E, Rhs};
+    return A;
+  }
+  return E;
+}
+
+SynNode *Parser::parseIfExpr() {
+  SynNode *I = Arena.node(SynKind::If, take().Loc);
+  expect(Tok::LParen, "if condition");
+  SynNode *Cond = parseExpr();
+  expect(Tok::RParen, "if condition");
+  skipSemis();
+  SynNode *Then = parseExpr();
+  SynNode *Else = nullptr;
+  size_t Save = Pos;
+  skipSemis();
+  if (accept(Tok::KwElse)) {
+    skipSemis();
+    Else = parseExpr();
+  } else {
+    Pos = Save;
+  }
+  I->Kids = {Cond, Then, Else};
+  return I;
+}
+
+SynNode *Parser::parseWhileExpr() {
+  SynNode *W = Arena.node(SynKind::While, take().Loc);
+  expect(Tok::LParen, "while condition");
+  SynNode *Cond = parseExpr();
+  expect(Tok::RParen, "while condition");
+  skipSemis();
+  SynNode *Body = parseExpr();
+  W->Kids = {Cond, Body};
+  return W;
+}
+
+SynNode *Parser::parseTryExpr() {
+  SynNode *T = Arena.node(SynKind::Try, take().Loc);
+  SynNode *Body = parseExpr();
+  std::vector<SynNode *> Cases;
+  SynNode *Fin = nullptr;
+  skipSemis();
+  if (accept(Tok::KwCatch)) {
+    expect(Tok::LBrace, "catch handler");
+    Cases = parseCaseClauses();
+    expect(Tok::RBrace, "catch handler");
+  }
+  size_t Save = Pos;
+  skipSemis();
+  if (accept(Tok::KwFinally))
+    Fin = parseExpr();
+  else
+    Pos = Save;
+  T->Kids.push_back(Body);
+  T->Kids.push_back(Fin);
+  for (SynNode *C : Cases)
+    T->Kids.push_back(C);
+  return T;
+}
+
+int Parser::opPrecedence(std::string_view Op) {
+  if (Op == "||")
+    return 2;
+  if (Op == "&&")
+    return 3;
+  if (Op == "==" || Op == "!=")
+    return 4;
+  if (Op == "<" || Op == "<=" || Op == ">" || Op == ">=")
+    return 5;
+  if (Op == "+" || Op == "-")
+    return 6;
+  if (Op == "*" || Op == "/" || Op == "%")
+    return 7;
+  return -1;
+}
+
+bool Parser::atOperator() const {
+  if (at(Tok::OpId) || at(Tok::Star))
+    return true;
+  return false;
+}
+
+Name Parser::operatorName() const { return cur().Text; }
+
+SynNode *Parser::parseInfixExpr(int MinPrec) {
+  SynNode *Left = parsePrefixExpr();
+  while (atOperator()) {
+    int Prec = opPrecedence(operatorName().text());
+    if (Prec < 0 || Prec < MinPrec)
+      break;
+    Token Op = take();
+    SynNode *Right = parseInfixExpr(Prec + 1);
+    // Desugar `a op b` to Apply(Select(a, op), b).
+    SynNode *Sel = Arena.node(SynKind::Select, Op.Loc);
+    Sel->N = Op.Text;
+    Sel->Kids = {Left};
+    SynNode *App = Arena.node(SynKind::Apply, Op.Loc);
+    App->Kids = {Sel, Right};
+    Left = App;
+  }
+  return Left;
+}
+
+SynNode *Parser::parsePrefixExpr() {
+  if (at(Tok::OpId) &&
+      (cur().Text.text() == "-" || cur().Text.text() == "!")) {
+    Token Op = take();
+    SynNode *Operand = parsePrefixExpr();
+    // `-x` => Apply(Select(x, unary_-), []).
+    SynNode *Sel = Arena.node(SynKind::Select, Op.Loc);
+    Sel->N = Names.intern(std::string("unary_") + std::string(Op.Text.text()));
+    Sel->Kids = {Operand};
+    SynNode *App = Arena.node(SynKind::Apply, Op.Loc);
+    App->Kids = {Sel};
+    return App;
+  }
+  return parsePostfixExpr();
+}
+
+SynNode *Parser::parsePostfixExpr() {
+  SynNode *E = parsePrimaryExpr();
+  while (true) {
+    if (at(Tok::Dot)) {
+      take();
+      SynNode *Sel = Arena.node(SynKind::Select, cur().Loc);
+      if (at(Tok::Id) || at(Tok::OpId))
+        Sel->N = take().Text;
+      else
+        error("expected member name after '.'");
+      Sel->Kids = {E};
+      E = Sel;
+      continue;
+    }
+    if (at(Tok::LBracket)) {
+      take();
+      SynNode *TA = Arena.node(SynKind::TypeApply, cur().Loc);
+      TA->Kids = {E};
+      TA->TyArgs.push_back(parseType());
+      while (accept(Tok::Comma))
+        TA->TyArgs.push_back(parseType());
+      expect(Tok::RBracket, "type arguments");
+      E = TA;
+      continue;
+    }
+    if (at(Tok::LParen)) {
+      SynNode *App = Arena.node(SynKind::Apply, cur().Loc);
+      App->Kids.push_back(E);
+      for (SynNode *A : parseArgs())
+        App->Kids.push_back(A);
+      E = App;
+      continue;
+    }
+    if (at(Tok::KwMatch)) {
+      take();
+      expect(Tok::LBrace, "match expression");
+      SynNode *M = Arena.node(SynKind::Match, E->Loc);
+      M->Kids.push_back(E);
+      for (SynNode *C : parseCaseClauses())
+        M->Kids.push_back(C);
+      expect(Tok::RBrace, "match expression");
+      E = M;
+      continue;
+    }
+    break;
+  }
+  return E;
+}
+
+std::vector<SynNode *> Parser::parseArgs() {
+  std::vector<SynNode *> Args;
+  expect(Tok::LParen, "arguments");
+  if (!at(Tok::RParen)) {
+    Args.push_back(parseExpr());
+    while (accept(Tok::Comma))
+      Args.push_back(parseExpr());
+  }
+  expect(Tok::RParen, "arguments");
+  return Args;
+}
+
+SynNode *Parser::parseNewExpr() {
+  SourceLoc Loc = take().Loc; // 'new'
+  SynNode *N = Arena.node(SynKind::New, Loc);
+  N->Ty = parseSimpleType();
+  if (at(Tok::LParen))
+    for (SynNode *A : parseArgs())
+      N->Kids.push_back(A);
+  return N;
+}
+
+/// Attempts `(x: T, ...) => body`; rolls back when it is not a lambda.
+SynNode *Parser::tryParseLambda() {
+  size_t Save = Pos;
+  SourceLoc Loc = cur().Loc;
+  take(); // '('
+  std::vector<SynNode *> Params;
+  bool Ok = true;
+  if (!at(Tok::RParen)) {
+    while (true) {
+      if (!at(Tok::Id) || ahead().Kind != Tok::Colon) {
+        Ok = false;
+        break;
+      }
+      SynNode *P = Arena.node(SynKind::Param, cur().Loc);
+      P->N = take().Text;
+      take(); // ':'
+      P->Ty = parseType();
+      Params.push_back(P);
+      if (accept(Tok::Comma))
+        continue;
+      break;
+    }
+  }
+  if (!Ok || !at(Tok::RParen) || ahead().Kind != Tok::Arrow) {
+    Pos = Save;
+    return nullptr;
+  }
+  take(); // ')'
+  take(); // '=>'
+  SynNode *L = Arena.node(SynKind::Lambda, Loc);
+  L->Kids = std::move(Params);
+  L->Kids.push_back(parseExpr());
+  return L;
+}
+
+SynNode *Parser::parseBlockExpr() {
+  SynNode *B = Arena.node(SynKind::Block, take().Loc); // '{'
+  skipSemis();
+  while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+    SynNode *Stat = nullptr;
+    if (at(Tok::KwVal) || at(Tok::KwVar))
+      Stat = parseValDef(0);
+    else if (at(Tok::KwLazy)) {
+      take();
+      Stat = parseValDef(SynFlag::Lazy);
+    } else if (at(Tok::KwDef))
+      Stat = parseDefDef(0);
+    else
+      Stat = parseExpr();
+    if (Stat)
+      B->Kids.push_back(Stat);
+    skipSemis();
+  }
+  expect(Tok::RBrace, "block");
+  return B;
+}
+
+SynNode *Parser::parsePrimaryExpr() {
+  switch (cur().Kind) {
+  case Tok::IntLit: {
+    Token T = take();
+    SynNode *L = Arena.node(SynKind::Lit, T.Loc);
+    L->Lit = Constant::makeInt(T.IntValue);
+    return L;
+  }
+  case Tok::DoubleLit: {
+    Token T = take();
+    SynNode *L = Arena.node(SynKind::Lit, T.Loc);
+    L->Lit = Constant::makeDouble(T.DoubleValue);
+    return L;
+  }
+  case Tok::StringLit: {
+    Token T = take();
+    SynNode *L = Arena.node(SynKind::Lit, T.Loc);
+    L->Lit = Constant::makeString(T.Text);
+    return L;
+  }
+  case Tok::KwTrue:
+  case Tok::KwFalse: {
+    Token T = take();
+    SynNode *L = Arena.node(SynKind::Lit, T.Loc);
+    L->Lit = Constant::makeBool(T.Kind == Tok::KwTrue);
+    return L;
+  }
+  case Tok::KwNull: {
+    SynNode *L = Arena.node(SynKind::Lit, take().Loc);
+    L->Lit = Constant::makeNull();
+    return L;
+  }
+  case Tok::KwThis:
+    return Arena.node(SynKind::ThisRef, take().Loc);
+  case Tok::KwSuper: {
+    SourceLoc Loc = take().Loc;
+    expect(Tok::Dot, "super reference");
+    SynNode *S = Arena.node(SynKind::SuperSel, Loc);
+    if (at(Tok::Id))
+      S->N = take().Text;
+    else
+      error("expected member name after 'super.'");
+    return S;
+  }
+  case Tok::KwNew:
+    return parseNewExpr();
+  case Tok::Id: {
+    Token T = take();
+    SynNode *R = Arena.node(SynKind::Ref, T.Loc);
+    R->N = T.Text;
+    return R;
+  }
+  case Tok::LBrace:
+    return parseBlockExpr();
+  case Tok::LParen: {
+    take();
+    if (at(Tok::RParen)) {
+      // `()` — the unit literal.
+      SynNode *L = Arena.node(SynKind::Lit, take().Loc);
+      L->Lit = Constant::makeUnit();
+      return L;
+    }
+    SynNode *E = parseExpr();
+    expect(Tok::RParen, "parenthesized expression");
+    return E;
+  }
+  default: {
+    error("expected expression");
+    SynNode *L = Arena.node(SynKind::Lit, cur().Loc);
+    L->Lit = Constant::makeUnit();
+    take();
+    return L;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Patterns
+//===----------------------------------------------------------------------===//
+
+std::vector<SynNode *> Parser::parseCaseClauses() {
+  std::vector<SynNode *> Cases;
+  skipSemis();
+  while (at(Tok::KwCase)) {
+    SynNode *C = Arena.node(SynKind::CaseClause, take().Loc);
+    SynNode *Pat = parsePattern();
+    SynNode *Guard = nullptr;
+    if (accept(Tok::KwIf))
+      Guard = parseInfixExpr(0);
+    expect(Tok::Arrow, "case clause");
+    // Case body: statements until the next 'case' or closing brace.
+    SynNode *Body = Arena.node(SynKind::Block, cur().Loc);
+    skipSemis();
+    while (!at(Tok::KwCase) && !at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+      SynNode *Stat = nullptr;
+      if (at(Tok::KwVal) || at(Tok::KwVar))
+        Stat = parseValDef(0);
+      else if (at(Tok::KwDef))
+        Stat = parseDefDef(0);
+      else
+        Stat = parseExpr();
+      if (Stat)
+        Body->Kids.push_back(Stat);
+      skipSemis();
+    }
+    C->Kids = {Pat, Guard, Body};
+    Cases.push_back(C);
+    skipSemis();
+  }
+  return Cases;
+}
+
+SynNode *Parser::parsePattern() {
+  SynNode *First = parseSimplePattern();
+  if (!at(Tok::Pipe))
+    return First;
+  SynNode *Alt = Arena.node(SynKind::PatAlt, First->Loc);
+  Alt->Kids.push_back(First);
+  while (accept(Tok::Pipe))
+    Alt->Kids.push_back(parseSimplePattern());
+  return Alt;
+}
+
+SynNode *Parser::parseSimplePattern() {
+  switch (cur().Kind) {
+  case Tok::IntLit:
+  case Tok::DoubleLit:
+  case Tok::StringLit:
+  case Tok::KwTrue:
+  case Tok::KwFalse:
+  case Tok::KwNull:
+    return parsePrimaryExpr(); // literal pattern (Lit node)
+  case Tok::Underscore: {
+    SourceLoc Loc = take().Loc;
+    SynNode *W = Arena.node(SynKind::PatWild, Loc);
+    if (accept(Tok::Colon)) {
+      SynNode *T = Arena.node(SynKind::PatTyped, Loc);
+      T->Kids = {nullptr};
+      T->Ty = parseInfixType(); // no function types: `case _: T =>`
+      return T;
+    }
+    return W;
+  }
+  case Tok::Id: {
+    Token T = take();
+    bool Uppercase = !T.Text.text().empty() &&
+                     std::isupper(static_cast<unsigned char>(
+                         T.Text.text().front()));
+    if (Uppercase && at(Tok::LParen)) {
+      // Constructor pattern C(p1, ..., pn).
+      take();
+      SynNode *Ctor = Arena.node(SynKind::PatCtor, T.Loc);
+      Ctor->N = T.Text;
+      if (!at(Tok::RParen)) {
+        Ctor->Kids.push_back(parsePattern());
+        while (accept(Tok::Comma))
+          Ctor->Kids.push_back(parsePattern());
+      }
+      expect(Tok::RParen, "constructor pattern");
+      return Ctor;
+    }
+    // Binder, possibly with @ or type ascription.
+    SynNode *B = Arena.node(SynKind::PatBind, T.Loc);
+    B->N = T.Text;
+    if (accept(Tok::At)) {
+      B->Kids = {parseSimplePattern()};
+      return B;
+    }
+    if (accept(Tok::Colon)) {
+      SynNode *Typed = Arena.node(SynKind::PatTyped, T.Loc);
+      Typed->Kids = {nullptr};
+      Typed->Ty = parseInfixType(); // no function types: `case b: T =>`
+      B->Kids = {Typed};
+      return B;
+    }
+    B->Kids = {nullptr};
+    return B;
+  }
+  default:
+    error("expected pattern");
+    take();
+    return Arena.node(SynKind::PatWild, cur().Loc);
+  }
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniScala.
+///
+/// Supported surface (chosen to exercise every miniphase): classes with
+/// constructor params and type params, traits, objects, case classes,
+/// (lazy) vals, vars, defs with multiple parameter lists / by-name / vararg
+/// params / type params, pattern matching (literal, binder, typed,
+/// constructor, alternative, wildcard patterns, guards), if/while/blocks,
+/// try/catch/finally, throw/return, lambdas with typed params, `new`,
+/// union & intersection types, and the usual operators with Scala
+/// precedence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_PARSER_H
+#define MPC_FRONTEND_PARSER_H
+
+#include "frontend/Lexer.h"
+#include "frontend/Syntax.h"
+
+namespace mpc {
+
+/// Parses one compilation unit's tokens into a SynUnit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, SynArena &Arena, StringInterner &Names,
+         DiagnosticEngine &Diags);
+
+  /// Parses the whole unit. On syntax errors, diagnostics are reported and
+  /// a best-effort partial unit is returned.
+  SynUnit parseUnit();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &ahead(unsigned N = 1) const {
+    size_t I = Pos + N;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(Tok K) const { return cur().Kind == K; }
+  bool atIdText(const char *Text) const;
+  Token take();
+  bool accept(Tok K);
+  bool expect(Tok K, const char *What);
+  void skipSemis();
+  void error(const char *Message);
+
+  // Types.
+  SynType *parseType();
+  SynType *parseInfixType();
+  SynType *parseSimpleType();
+  SynType *parseParamType(); // with => and * markers
+
+  // Definitions.
+  SynNode *parseTopLevelDef();
+  SynNode *parseClassLike(uint32_t Flags);
+  void parseTemplateBody(SynNode *Cls);
+  SynNode *parseMemberDef(uint32_t Mods);
+  SynNode *parseValDef(uint32_t Mods);
+  SynNode *parseDefDef(uint32_t Mods);
+  SynNode *parseParam();
+  std::vector<Name> parseTypeParams();
+
+  // Expressions.
+  SynNode *parseExpr();
+  SynNode *parseIfExpr();
+  SynNode *parseWhileExpr();
+  SynNode *parseTryExpr();
+  SynNode *parseInfixExpr(int MinPrec);
+  SynNode *parsePrefixExpr();
+  SynNode *parsePostfixExpr();
+  SynNode *parsePrimaryExpr();
+  SynNode *parseBlockExpr();
+  SynNode *parseNewExpr();
+  SynNode *tryParseLambda();
+  std::vector<SynNode *> parseArgs();
+
+  // Patterns.
+  SynNode *parsePattern();
+  SynNode *parseSimplePattern();
+  std::vector<SynNode *> parseCaseClauses();
+
+  static int opPrecedence(std::string_view Op);
+  bool atOperator() const;
+  Name operatorName() const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  SynArena &Arena;
+  StringInterner &Names;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_PARSER_H

@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parser's lightweight syntax representation. The core Tree IR is
+/// always fully attributed (every node has a symbol/type), so the frontend
+/// keeps its own untyped AST; the Namer/Typer lowers SynNode -> Tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_SYNTAX_H
+#define MPC_FRONTEND_SYNTAX_H
+
+#include "ast/Constant.h"
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <memory>
+#include <vector>
+
+namespace mpc {
+
+/// Syntactic types ("Int", "Box[T]", "(Int) => Int", "=> T", "T*", "A | B").
+struct SynType {
+  enum Kind : uint8_t { Named, Applied, Func, ByName, Repeated, Union, Inter };
+  Kind K = Named;
+  SourceLoc Loc;
+  Name N;                       // Named / Applied head
+  std::vector<SynType *> Args;  // Applied args / Func params / Union-Inter lr
+  SynType *Res = nullptr;       // Func result / ByName / Repeated payload
+};
+
+/// Modifier and shape flags on syntax nodes.
+namespace SynFlag {
+enum : uint32_t {
+  None = 0,
+  Var = 1u << 0,
+  Lazy = 1u << 1,
+  Case = 1u << 2,
+  Trait = 1u << 3,
+  Object = 1u << 4,
+  Override = 1u << 5,
+  Private = 1u << 6,
+  Final = 1u << 7,
+  Abstract = 1u << 8,
+};
+} // namespace SynFlag
+
+/// Kinds of syntax nodes.
+enum class SynKind : uint8_t {
+  // Expressions.
+  Lit,      // literal; payload Lit
+  Ref,      // identifier; payload N
+  Select,   // Kids[0].N
+  SuperSel, // super.N
+  ThisRef,
+  Apply,     // Kids[0] = fun, Kids[1..] = args
+  TypeApply, // Kids[0] = fun, TyArgs
+  New,       // Ty = class type, Kids = args
+  If,        // Kids[0..2], else nullable
+  While,     // Kids[0..1]
+  Try,       // Kids[0]=body, Kids[1]=finalizer (nullable), Kids[2..]=cases
+  Throw,     // Kids[0]
+  Return,    // Kids[0] nullable
+  Match,     // Kids[0]=sel, Kids[1..]=cases
+  Lambda,    // Kids[0..n-2]=Param, last=body
+  Block,     // Kids = stats
+  Assign,    // Kids[0]=lhs, Kids[1]=rhs
+  // Patterns.
+  PatWild,  // optional Ty (typed wildcard)
+  PatBind,  // N, Kids[0] = inner pattern (nullable for bare binder)
+  PatTyped, // Kids[0] = inner (nullable), Ty
+  PatCtor,  // N = case class, Kids = sub-patterns
+  PatAlt,   // Kids = alternatives
+  CaseClause, // Kids[0]=pat, Kids[1]=guard (nullable), Kids[2]=body
+  // Definitions.
+  ValDef,   // N, Ty (nullable), Kids[0]=rhs (nullable)
+  DefDef,   // N, Ty=result (nullable), Kids=params+rhs(last, nullable)
+  Param,    // N, Ty
+  ClassDef, // N; params = first NumParams kids; members after
+};
+
+/// One syntax node; a deliberately "wide" struct so the parser stays simple.
+struct SynNode {
+  SynKind K;
+  SourceLoc Loc;
+  Name N;
+  Constant Lit;
+  SynType *Ty = nullptr;
+  std::vector<SynNode *> Kids;
+  std::vector<uint32_t> ParamListSizes;  // DefDef
+  std::vector<SynType *> TyArgs;         // TypeApply
+  std::vector<Name> TypeParamNames;      // ClassDef / DefDef
+  std::vector<SynType *> Parents;        // ClassDef
+  uint32_t NumParams = 0;                // ClassDef constructor params
+  uint32_t Flags = 0;
+
+  bool is(uint32_t F) const { return (Flags & F) != 0; }
+};
+
+/// Owns all syntax nodes/types of one parse.
+class SynArena {
+public:
+  SynNode *node(SynKind K, SourceLoc Loc) {
+    Nodes.push_back(std::make_unique<SynNode>());
+    SynNode *N = Nodes.back().get();
+    N->K = K;
+    N->Loc = Loc;
+    return N;
+  }
+  SynType *type(SynType::Kind K, SourceLoc Loc) {
+    Types.push_back(std::make_unique<SynType>());
+    SynType *T = Types.back().get();
+    T->K = K;
+    T->Loc = Loc;
+    return T;
+  }
+  size_t nodeCount() const { return Nodes.size(); }
+
+private:
+  std::vector<std::unique_ptr<SynNode>> Nodes;
+  std::vector<std::unique_ptr<SynType>> Types;
+};
+
+/// Result of parsing one source file.
+struct SynUnit {
+  Name PackageName;              // may be empty
+  std::vector<SynNode *> TopLevel; // ClassDefs
+};
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_SYNTAX_H

@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the MiniScala lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_TOKEN_H
+#define MPC_FRONTEND_TOKEN_H
+
+#include "support/Diagnostics.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+
+namespace mpc {
+
+enum class Tok : uint8_t {
+  EndOfFile,
+  Error,
+  // Literals and identifiers.
+  IntLit,
+  DoubleLit,
+  StringLit,
+  Id,      // alphanumeric identifier
+  OpId,    // symbolic identifier (+, -, ==, <=, ...)
+  // Keywords.
+  KwClass,
+  KwTrait,
+  KwObject,
+  KwCase,
+  KwExtends,
+  KwWith,
+  KwDef,
+  KwVal,
+  KwVar,
+  KwLazy,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwMatch,
+  KwTry,
+  KwCatch,
+  KwFinally,
+  KwThrow,
+  KwReturn,
+  KwNew,
+  KwThis,
+  KwSuper,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwOverride,
+  KwPrivate,
+  KwFinal,
+  KwAbstract,
+  KwPackage,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Dot,
+  Colon,
+  Eq,       // =
+  Arrow,    // =>
+  At,       // @
+  Underscore,
+  Star,     // * (vararg marker position; otherwise OpId)
+  Pipe,     // |
+  Amp,      // &
+};
+
+/// One lexed token.
+struct Token {
+  Tok Kind = Tok::EndOfFile;
+  SourceLoc Loc;
+  Name Text;          // identifier / operator / string payload
+  int64_t IntValue = 0;
+  double DoubleValue = 0;
+
+  bool is(Tok K) const { return Kind == K; }
+};
+
+/// Printable token-kind name for diagnostics.
+const char *tokenKindName(Tok K);
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_TOKEN_H

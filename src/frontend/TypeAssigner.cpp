@@ -1,0 +1,111 @@
+#include "frontend/TypeAssigner.h"
+
+using namespace mpc;
+
+const Type *mpc::reassignType(const Tree *T, CompilerContext &Comp) {
+  TypeContext &Types = Comp.types();
+  switch (T->kind()) {
+  case TreeKind::Literal: {
+    const Constant &C = cast<Literal>(T)->value();
+    switch (C.kind()) {
+    case Constant::Unit:
+      return Types.unitType();
+    case Constant::Bool:
+      return Types.booleanType();
+    case Constant::Int:
+      return Types.intType();
+    case Constant::Double:
+      return Types.doubleType();
+    case Constant::Str:
+      return Comp.syms().stringType();
+    case Constant::Null:
+      // Null literals get retyped freely (error trees use Nothing).
+      return nullptr;
+    case Constant::Clazz:
+      return Comp.syms().objectType();
+    }
+    return nullptr;
+  }
+  case TreeKind::If: {
+    const auto *I = cast<If>(T);
+    if (!I->thenp()->type() || !I->elsep()->type())
+      return nullptr;
+    return Types.lub(I->thenp()->type(), I->elsep()->type());
+  }
+  case TreeKind::Block:
+    return cast<Block>(T)->expr() ? cast<Block>(T)->expr()->type() : nullptr;
+  case TreeKind::WhileDo:
+  case TreeKind::Assign:
+    return Types.unitType();
+  case TreeKind::Throw:
+    return Types.nothingType();
+  case TreeKind::Return:
+    return Types.nothingType();
+  case TreeKind::Apply: {
+    const Tree *Fun = cast<Apply>(T)->fun();
+    if (const auto *MT = dyn_cast_or_null<MethodType>(Fun->type()))
+      return MT->result();
+    return nullptr;
+  }
+  case TreeKind::New:
+    return cast<New>(T)->classTy();
+  case TreeKind::SeqLiteral:
+    return Types.arrayType(cast<SeqLiteral>(T)->elemType());
+  case TreeKind::Closure: {
+    const auto *C = cast<Closure>(T);
+    // After erasure the closure's recorded type is a FunctionN class; a
+    // re-derived structural function type would be incomparable.
+    if (T->type() && !isa<FunctionType>(T->type()))
+      return nullptr;
+    std::vector<const Type *> Params;
+    for (unsigned I = 0; I < C->numParams(); ++I) {
+      const auto *P = dyn_cast<ValDef>(C->param(I));
+      if (!P || !P->sym()->info())
+        return nullptr;
+      Params.push_back(P->sym()->info());
+    }
+    if (!C->body()->type())
+      return nullptr;
+    return Types.functionType(std::move(Params), C->body()->type());
+  }
+  case TreeKind::Match: {
+    const auto *M = cast<Match>(T);
+    const Type *Ty = nullptr;
+    for (unsigned I = 0; I < M->numCases(); ++I) {
+      const auto *C = dyn_cast<CaseDef>(M->caseAt(I));
+      if (!C || !C->body()->type())
+        return nullptr;
+      Ty = Ty ? Types.lub(Ty, C->body()->type()) : C->body()->type();
+    }
+    return Ty;
+  }
+  case TreeKind::Ident: {
+    Symbol *S = cast<Ident>(T)->sym();
+    if (!S || !S->info())
+      return nullptr;
+    const Type *Info = S->info();
+    // By-name params and auto-applied nullary methods read as the result.
+    if (T->type() == Info)
+      return Info;
+    if (const auto *ET = dyn_cast<ExprType>(Info))
+      return ET->result();
+    if (const auto *RT = dyn_cast<RepeatedType>(Info))
+      return Comp.types().arrayType(RT->elem());
+    if (const auto *MT = dyn_cast<MethodType>(Info)) {
+      if (MT->params().empty())
+        return MT->result();
+    }
+    return Info;
+  }
+  default:
+    // Selections, type applications, patterns: substitution-dependent;
+    // no opinion.
+    return nullptr;
+  }
+}
+
+TreeChecker::RetypeFn mpc::makeRetypeChecker() {
+  return [](const Tree *T, CompilerContext &Comp) -> const Type * {
+    return reassignType(T, Comp);
+  };
+}

@@ -1,0 +1,34 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up type reconstruction for the TreeChecker (paper Listing 9: the
+/// checker "removes all types from the tree and reconstructs them
+/// bottom-up, and checks that the reconstructed types are the same").
+///
+/// The assigner re-derives the type of a node from its children and
+/// symbols where that is unambiguous, and stays silent (returns null) when
+/// the derivation would need context it does not have. A re-derived type
+/// that fails to conform to the recorded type is a checker failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_TYPEASSIGNER_H
+#define MPC_FRONTEND_TYPEASSIGNER_H
+
+#include "core/CompilerContext.h"
+#include "core/TreeChecker.h"
+
+namespace mpc {
+
+/// Re-derives the type of \p T bottom-up, or returns null when it has no
+/// opinion (e.g. generic member selections that would need substitution
+/// context).
+const Type *reassignType(const Tree *T, CompilerContext &Comp);
+
+/// A TreeChecker retype callback built on reassignType that reports a
+/// failure when the derived type does not conform to the recorded one.
+TreeChecker::RetypeFn makeRetypeChecker();
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_TYPEASSIGNER_H

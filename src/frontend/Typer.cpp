@@ -1,0 +1,1737 @@
+#include "frontend/Typer.h"
+
+#include "ast/TreeUtils.h"
+
+#include <cassert>
+
+using namespace mpc;
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+class Typer::Scope {
+public:
+  explicit Scope(Scope *Parent = nullptr) : Parent(Parent) {}
+
+  void enter(Symbol *S) { Entries[S->name().ordinal()] = S; }
+  void enterName(Name N, Symbol *S) { Entries[N.ordinal()] = S; }
+
+  Symbol *lookup(Name N) const {
+    for (const Scope *S = this; S; S = S->Parent) {
+      auto It = S->Entries.find(N.ordinal());
+      if (It != S->Entries.end())
+        return It->second;
+    }
+    return nullptr;
+  }
+
+  Scope *parent() const { return Parent; }
+
+private:
+  Scope *Parent;
+  std::unordered_map<uint32_t, Symbol *> Entries;
+};
+
+/// Context while typing a method/field body.
+struct Typer::BodyCtx {
+  ClassSymbol *Cls = nullptr; // innermost enclosing class
+  Symbol *Method = nullptr;   // innermost enclosing method (or <init>)
+  Scope *S = nullptr;         // innermost value/type scope
+};
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+void Typer::error(SourceLoc Loc, std::string Msg) {
+  Comp.diags().error(Loc, std::move(Msg));
+}
+
+TreePtr Typer::errorTree(SourceLoc Loc) {
+  // Nothing-typed null conforms to everything, keeping error recovery quiet.
+  return Comp.trees().makeLiteral(Loc, Constant::makeNull(),
+                                  Comp.types().nothingType());
+}
+
+const Type *Typer::thisTypeOf(ClassSymbol *Cls) {
+  std::vector<const Type *> Args;
+  for (Symbol *TP : Cls->typeParams())
+    Args.push_back(Comp.types().typeParamRef(TP));
+  return Comp.types().classType(Cls, std::move(Args));
+}
+
+/// Final (deepest) result of a possibly curried method/poly type.
+static const Type *finalResultType(const Type *T) {
+  while (T) {
+    if (const auto *PT = dyn_cast<PolyType>(T)) {
+      T = PT->underlying();
+      continue;
+    }
+    if (const auto *MT = dyn_cast<MethodType>(T)) {
+      T = MT->result();
+      continue;
+    }
+    break;
+  }
+  return T;
+}
+
+/// Member lookup within a class type, substituting type arguments; walks
+/// ancestors applying their own substitutions.
+static const Type *memberInfoIn(TypeContext &Types, const ClassType *CT,
+                                Name N, Symbol *&Found) {
+  ClassSymbol *Cls = CT->cls();
+  for (Symbol *M : Cls->members()) {
+    if (M->name() == N) {
+      Found = M;
+      return Types.substitute(M->info(), Cls->typeParams(), CT->args());
+    }
+  }
+  for (const Type *P : Cls->parents()) {
+    const Type *Subst = Types.substitute(P, Cls->typeParams(), CT->args());
+    if (const auto *PCT = dyn_cast<ClassType>(Subst)) {
+      if (const Type *Info = memberInfoIn(Types, PCT, N, Found))
+        return Info;
+    }
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass A: declare classes
+//===----------------------------------------------------------------------===//
+
+void Typer::declareClass(SynNode *ClsSyn, Symbol *Owner) {
+  uint64_t Flags = 0;
+  if (ClsSyn->is(SynFlag::Trait))
+    Flags |= SymFlag::Trait;
+  if (ClsSyn->is(SynFlag::Object))
+    Flags |= SymFlag::ModuleClass | SymFlag::Final;
+  if (ClsSyn->is(SynFlag::Case))
+    Flags |= SymFlag::Case;
+  if (ClsSyn->is(SynFlag::Final))
+    Flags |= SymFlag::Final;
+  if (ClsSyn->is(SynFlag::Abstract))
+    Flags |= SymFlag::Abstract;
+
+  Name ClsName = ClsSyn->is(SynFlag::Object)
+                     ? Comp.names().intern(ClsSyn->N.str() + "$")
+                     : ClsSyn->N;
+  ClassSymbol *Cls = Comp.syms().makeClass(ClsName, Owner, Flags);
+  Cls->setLoc(ClsSyn->Loc);
+  ClassSyms[ClsSyn] = Cls;
+  AllClasses.push_back(ClsSyn);
+
+  bool TopLevel = Owner == Comp.syms().rootPackage();
+  if (ClsSyn->is(SynFlag::Object)) {
+    // The module value: `object O` introduces term O of type O$.
+    Symbol *ModVal = Comp.syms().makeTerm(
+        ClsSyn->N, Owner, SymFlag::Module | SymFlag::Final,
+        Comp.types().classType(Cls));
+    ModVal->setLoc(ClsSyn->Loc);
+    MemberSyms[ClsSyn] = ModVal;
+    if (TopLevel) {
+      if (Globals.count(ClsSyn->N.ordinal()))
+        error(ClsSyn->Loc, "duplicate top-level name " + ClsSyn->N.str());
+      Globals[ClsSyn->N.ordinal()] = ModVal;
+    } else if (auto *OwnerCls = dyn_cast<ClassSymbol>(Owner)) {
+      OwnerCls->enterMember(ModVal);
+    }
+  } else {
+    if (TopLevel) {
+      if (Globals.count(ClsSyn->N.ordinal()))
+        error(ClsSyn->Loc, "duplicate top-level name " + ClsSyn->N.str());
+      Globals[ClsSyn->N.ordinal()] = Cls;
+    }
+  }
+  if (auto *OwnerCls = dyn_cast<ClassSymbol>(Owner))
+    OwnerCls->enterMember(Cls);
+
+  // Recurse into nested classes.
+  for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+    SynNode *Member = ClsSyn->Kids[I];
+    if (Member && Member->K == SynKind::ClassDef)
+      declareClass(Member, Cls);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Type resolution
+//===----------------------------------------------------------------------===//
+
+const Type *Typer::resolveNamedType(SynType *T, Scope &S) {
+  TypeContext &Types = Comp.types();
+  std::string_view Text = T->N.text();
+  if (Text == "Int")
+    return Types.intType();
+  if (Text == "Boolean")
+    return Types.booleanType();
+  if (Text == "Double")
+    return Types.doubleType();
+  if (Text == "Unit")
+    return Types.unitType();
+  if (Text == "Any")
+    return Types.anyType();
+  if (Text == "Nothing")
+    return Types.nothingType();
+  if (Text == "Null")
+    return Types.nullType();
+  if (Text == "String")
+    return Comp.syms().stringType();
+  if (Text == "Object" || Text == "AnyRef")
+    return Comp.syms().objectType();
+  if (Text == "Throwable")
+    return Comp.syms().throwableType();
+
+  // Scope entries: type params and (nested) classes.
+  if (Symbol *Sym = S.lookup(T->N)) {
+    if (Sym->is(SymFlag::TypeParam))
+      return Types.typeParamRef(Sym);
+    if (auto *Cls = dyn_cast<ClassSymbol>(Sym))
+      return Types.classType(Cls);
+  }
+  // Global classes.
+  auto It = Globals.find(T->N.ordinal());
+  if (It != Globals.end()) {
+    if (auto *Cls = dyn_cast<ClassSymbol>(It->second))
+      return Types.classType(Cls);
+  }
+  error(T->Loc, "unknown type " + T->N.str());
+  return Types.anyType();
+}
+
+const Type *Typer::resolveType(SynType *T, Scope &S) {
+  TypeContext &Types = Comp.types();
+  switch (T->K) {
+  case SynType::Named:
+    return resolveNamedType(T, S);
+  case SynType::Applied: {
+    if (T->N.text() == "Array") {
+      if (T->Args.size() != 1) {
+        error(T->Loc, "Array takes exactly one type argument");
+        return Types.anyType();
+      }
+      return Types.arrayType(resolveType(T->Args[0], S));
+    }
+    // Head must be a generic class.
+    ClassSymbol *Cls = nullptr;
+    if (Symbol *Sym = S.lookup(T->N))
+      Cls = dyn_cast<ClassSymbol>(Sym);
+    if (!Cls) {
+      auto It = Globals.find(T->N.ordinal());
+      if (It != Globals.end())
+        Cls = dyn_cast<ClassSymbol>(It->second);
+    }
+    if (!Cls) {
+      error(T->Loc, "unknown generic type " + T->N.str());
+      return Types.anyType();
+    }
+    if (Cls->typeParams().size() != T->Args.size()) {
+      error(T->Loc, "wrong number of type arguments for " + T->N.str());
+      return Types.classType(Cls);
+    }
+    std::vector<const Type *> Args;
+    for (SynType *A : T->Args)
+      Args.push_back(resolveType(A, S));
+    return Types.classType(Cls, std::move(Args));
+  }
+  case SynType::Func: {
+    std::vector<const Type *> Params;
+    for (SynType *P : T->Args)
+      Params.push_back(resolveType(P, S));
+    return Types.functionType(std::move(Params), resolveType(T->Res, S));
+  }
+  case SynType::ByName:
+    return Types.exprType(resolveType(T->Res, S));
+  case SynType::Repeated:
+    return Types.repeatedType(resolveType(T->Res, S));
+  case SynType::Union:
+    return Types.unionType(resolveType(T->Args[0], S),
+                           resolveType(T->Args[1], S));
+  case SynType::Inter:
+    return Types.intersectionType(resolveType(T->Args[0], S),
+                                  resolveType(T->Args[1], S));
+  }
+  return Types.anyType();
+}
+
+//===----------------------------------------------------------------------===//
+// Pass B: complete signatures
+//===----------------------------------------------------------------------===//
+
+void Typer::completeClass(SynNode *ClsSyn) {
+  ClassSymbol *Cls = ClassSyms.at(ClsSyn);
+  TypeContext &Types = Comp.types();
+
+  Scope ClsScope;
+  // Type parameters.
+  std::vector<Symbol *> TypeParams;
+  for (Name TPName : ClsSyn->TypeParamNames) {
+    Symbol *TP = Comp.syms().makeTerm(TPName, Cls, SymFlag::TypeParam);
+    TypeParams.push_back(TP);
+    ClsScope.enter(TP);
+  }
+  Cls->setTypeParams(TypeParams);
+
+  // Nested classes visible by simple name inside the body.
+  for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+    SynNode *M = ClsSyn->Kids[I];
+    if (M && M->K == SynKind::ClassDef) {
+      if (M->is(SynFlag::Object))
+        ClsScope.enterName(M->N, MemberSyms.at(M));
+      else
+        ClsScope.enterName(M->N, ClassSyms.at(M));
+    }
+  }
+
+  // Parents: ensure a proper superclass at the front.
+  std::vector<const Type *> Parents;
+  for (SynType *P : ClsSyn->Parents) {
+    const Type *PT = resolveType(P, ClsScope);
+    if (!isa<ClassType>(PT)) {
+      error(P->Loc, "parent must be a class type");
+      continue;
+    }
+    Parents.push_back(PT);
+  }
+  bool HasSuperclass =
+      !Parents.empty() && !Parents.front()->classSymbol()->isTrait();
+  if (!HasSuperclass)
+    Parents.insert(Parents.begin(), Comp.syms().objectType());
+  Cls->setParents(Parents);
+  Cls->setInfo(thisTypeOf(Cls));
+
+  // Constructor parameters become fields; collect ctor param types.
+  std::vector<const Type *> CtorParams;
+  std::vector<Symbol *> CaseFields;
+  for (uint32_t I = 0; I < ClsSyn->NumParams; ++I) {
+    SynNode *P = ClsSyn->Kids[I];
+    const Type *PTy = resolveType(P->Ty, ClsScope);
+    CtorParams.push_back(PTy);
+    uint64_t FieldFlags = SymFlag::Field | SymFlag::Local;
+    if (P->is(SynFlag::Var))
+      FieldFlags |= SymFlag::Mutable;
+    Symbol *Field = Comp.syms().makeTerm(P->N, Cls, FieldFlags, PTy);
+    Field->setLoc(P->Loc);
+    Cls->enterMember(Field);
+    MemberSyms[P] = Field;
+    if (Cls->is(SymFlag::Case))
+      CaseFields.push_back(Field);
+  }
+  if (Cls->is(SymFlag::Case))
+    Cls->setCaseFields(CaseFields);
+
+  // The primary constructor.
+  if (!Cls->isTrait()) {
+    Symbol *Init = Comp.syms().makeTerm(
+        Comp.syms().std().Init, Cls,
+        SymFlag::Method | SymFlag::Constructor,
+        Types.methodType(CtorParams, Types.unitType()));
+    Cls->enterMember(Init);
+  }
+
+  // Member signatures.
+  for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+    SynNode *M = ClsSyn->Kids[I];
+    if (!M || M->K == SynKind::ClassDef)
+      continue;
+    if (M->N.text() == "<superargs>")
+      continue;
+    completeMember(M, Cls, ClsScope);
+  }
+}
+
+void Typer::completeMember(SynNode *M, ClassSymbol *Cls, Scope &ClsScope) {
+  TypeContext &Types = Comp.types();
+  uint64_t Flags = 0;
+  if (M->is(SynFlag::Private))
+    Flags |= SymFlag::Private;
+  if (M->is(SynFlag::Override))
+    Flags |= SymFlag::Override;
+  if (M->is(SynFlag::Final))
+    Flags |= SymFlag::Final;
+
+  if (M->K == SynKind::ValDef) {
+    if (M->is(SynFlag::Var))
+      Flags |= SymFlag::Mutable;
+    if (M->is(SynFlag::Lazy))
+      Flags |= SymFlag::Lazy;
+    const Type *Ty = nullptr;
+    if (M->Ty) {
+      Ty = resolveType(M->Ty, ClsScope);
+    } else if (SynNode *Rhs = M->Kids[0]; Rhs && Rhs->K == SynKind::Lit) {
+      // Cheap inference for literal-initialized members.
+      switch (Rhs->Lit.kind()) {
+      case Constant::Int:
+        Ty = Types.intType();
+        break;
+      case Constant::Bool:
+        Ty = Types.booleanType();
+        break;
+      case Constant::Double:
+        Ty = Types.doubleType();
+        break;
+      case Constant::Str:
+        Ty = Comp.syms().stringType();
+        break;
+      default:
+        break;
+      }
+    }
+    if (!Ty) {
+      error(M->Loc, "class-level value " + M->N.str() +
+                        " needs an explicit type");
+      Ty = Types.anyType();
+    }
+    Symbol *Sym =
+        Comp.syms().makeTerm(M->N, Cls, Flags | SymFlag::Field, Ty);
+    Sym->setLoc(M->Loc);
+    if (!M->Kids[0])
+      Sym->setFlag(SymFlag::Abstract);
+    Cls->enterMember(Sym);
+    MemberSyms[M] = Sym;
+    return;
+  }
+
+  assert(M->K == SynKind::DefDef && "unexpected member kind");
+  Flags |= SymFlag::Method;
+  Symbol *Sym = Comp.syms().makeTerm(M->N, Cls, Flags);
+  Sym->setLoc(M->Loc);
+
+  Scope SigScope(&ClsScope);
+  std::vector<Symbol *> TypeParams;
+  for (Name TPName : M->TypeParamNames) {
+    Symbol *TP = Comp.syms().makeTerm(TPName, Sym, SymFlag::TypeParam);
+    TypeParams.push_back(TP);
+    SigScope.enter(TP);
+  }
+
+  // Parameter types per list.
+  std::vector<std::vector<const Type *>> Lists;
+  size_t ParamIdx = 0;
+  for (uint32_t Count : M->ParamListSizes) {
+    std::vector<const Type *> ListTypes;
+    for (uint32_t I = 0; I < Count; ++I) {
+      SynNode *P = M->Kids[ParamIdx++];
+      ListTypes.push_back(resolveType(P->Ty, SigScope));
+    }
+    Lists.push_back(std::move(ListTypes));
+  }
+
+  const Type *Result = nullptr;
+  if (M->Ty) {
+    Result = resolveType(M->Ty, SigScope);
+  } else if (SynNode *Rhs = M->Kids.back(); Rhs && Rhs->K == SynKind::Lit) {
+    switch (Rhs->Lit.kind()) {
+    case Constant::Int:
+      Result = Types.intType();
+      break;
+    case Constant::Bool:
+      Result = Types.booleanType();
+      break;
+    case Constant::Double:
+      Result = Types.doubleType();
+      break;
+    case Constant::Str:
+      Result = Comp.syms().stringType();
+      break;
+    case Constant::Unit:
+      Result = Types.unitType();
+      break;
+    default:
+      break;
+    }
+  }
+  if (!Result) {
+    error(M->Loc, "method " + M->N.str() + " needs an explicit result type");
+    Result = Types.anyType();
+  }
+
+  // Build the (possibly curried, possibly polymorphic) signature.
+  const Type *Info = Result;
+  for (auto It = Lists.rbegin(); It != Lists.rend(); ++It)
+    Info = Types.methodType(*It, Info);
+  if (Lists.empty())
+    Info = Types.methodType({}, Info); // parameterless method
+  if (!TypeParams.empty())
+    Info = Types.polyType(TypeParams, Info);
+  Sym->setInfo(Info);
+  if (!M->Kids.back())
+    Sym->setFlag(SymFlag::Abstract);
+  Cls->enterMember(Sym);
+  MemberSyms[M] = Sym;
+}
+
+//===----------------------------------------------------------------------===//
+// Pass C: bodies
+//===----------------------------------------------------------------------===//
+
+std::vector<CompilationUnit> Typer::run(std::vector<ParsedUnit> &Parsed) {
+  // Pass A over all units.
+  for (ParsedUnit &PU : Parsed)
+    for (SynNode *Cls : PU.Unit.TopLevel)
+      declareClass(Cls, Comp.syms().rootPackage());
+  // Pass B in declaration order.
+  for (SynNode *Cls : AllClasses)
+    completeClass(Cls);
+  // Pass C per unit.
+  std::vector<CompilationUnit> Units;
+  for (ParsedUnit &PU : Parsed) {
+    CompilationUnit Unit;
+    Unit.FileName = PU.FileName;
+    Unit.FileId = PU.FileId;
+    Unit.Source = std::move(PU.Source);
+    TreeList TopStats;
+    for (SynNode *Cls : PU.Unit.TopLevel)
+      TopStats.push_back(typeClassBody(Cls));
+    Unit.Root = Comp.trees().makePackageDef(
+        SourceLoc{PU.FileId, 1, 1}, PU.Unit.PackageName, std::move(TopStats));
+    Units.push_back(std::move(Unit));
+  }
+  return Units;
+}
+
+TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
+  ClassSymbol *Cls = ClassSyms.at(ClsSyn);
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+
+  Scope ClsScope;
+  for (Symbol *TP : Cls->typeParams())
+    ClsScope.enter(TP);
+  for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+    SynNode *M = ClsSyn->Kids[I];
+    if (M && M->K == SynKind::ClassDef) {
+      if (M->is(SynFlag::Object))
+        ClsScope.enterName(M->N, MemberSyms.at(M));
+      else
+        ClsScope.enterName(M->N, ClassSyms.at(M));
+    }
+  }
+
+  TreeList Body;
+  Symbol *InitSym = Cls->findDeclaredMember(Comp.syms().std().Init);
+
+  // Primary constructor (classes only; traits have no <init>).
+  if (InitSym) {
+    Scope CtorScope(&ClsScope);
+    TreeList ParamDefs;
+    std::vector<Symbol *> ParamSyms;
+    const auto *InitMT = cast<MethodType>(InitSym->info());
+    for (uint32_t I = 0; I < ClsSyn->NumParams; ++I) {
+      SynNode *P = ClsSyn->Kids[I];
+      Symbol *ParamSym = Comp.syms().makeTerm(
+          P->N, InitSym, SymFlag::Param | SymFlag::Local,
+          InitMT->params()[I]);
+      ParamSym->setLoc(P->Loc);
+      ParamSyms.push_back(ParamSym);
+      CtorScope.enter(ParamSym);
+      ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
+    }
+
+    // Super-constructor call.
+    BodyCtx CtorCtx{Cls, InitSym, &CtorScope};
+    TreeList CtorStats;
+    ClassSymbol *SuperCls = Cls->superClass();
+    if (SuperCls) {
+      Symbol *SuperInit =
+          SuperCls->findDeclaredMember(Comp.syms().std().Init);
+      if (SuperInit) {
+        TreeList SuperArgs;
+        // Locate the <superargs> stash.
+        for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+          SynNode *M = ClsSyn->Kids[I];
+          if (M && M->K == SynKind::Apply &&
+              M->N.text() == "<superargs>") {
+            for (SynNode *A : M->Kids)
+              SuperArgs.push_back(adapt(typedExpr(A, CtorCtx)));
+            break;
+          }
+        }
+        TreePtr SuperRef = Trees.makeSuper(
+            ClsSyn->Loc, Cls, SuperCls, Types.classType(SuperCls));
+        TreePtr SuperSel = Trees.makeSelect(ClsSyn->Loc, std::move(SuperRef),
+                                            SuperInit, SuperInit->info());
+        CtorStats.push_back(Trees.makeApply(ClsSyn->Loc, std::move(SuperSel),
+                                            std::move(SuperArgs),
+                                            Types.unitType()));
+      }
+    }
+    TreePtr CtorRhs = Trees.makeBlock(
+        ClsSyn->Loc, std::move(CtorStats),
+        Trees.makeLiteral(ClsSyn->Loc, Constant::makeUnit(),
+                          Types.unitType()));
+    Body.push_back(Trees.makeDefDef(
+        ClsSyn->Loc, InitSym, {ClsSyn->NumParams}, std::move(ParamDefs),
+        std::move(CtorRhs)));
+
+    // Field definitions for constructor parameters (initialized from the
+    // ctor params; the Constructors phase moves these into <init>).
+    for (uint32_t I = 0; I < ClsSyn->NumParams; ++I) {
+      SynNode *P = ClsSyn->Kids[I];
+      Symbol *Field = MemberSyms.at(P);
+      TreePtr Init = Trees.makeIdent(P->Loc, ParamSyms[I],
+                                     ParamSyms[I]->info());
+      Body.push_back(Trees.makeValDef(P->Loc, Field, std::move(Init)));
+    }
+  }
+
+  // Members.
+  BodyCtx ClsCtx{Cls, InitSym, &ClsScope};
+  for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
+    SynNode *M = ClsSyn->Kids[I];
+    if (!M || (M->K == SynKind::Apply && M->N.text() == "<superargs>"))
+      continue;
+    if (M->K == SynKind::ClassDef) {
+      Body.push_back(typeClassBody(M));
+      continue;
+    }
+    Body.push_back(typeMemberDef(M, Cls, ClsCtx));
+  }
+
+  return Trees.makeClassDef(ClsSyn->Loc, Cls, std::move(Body));
+}
+
+TreePtr Typer::typeMemberDef(SynNode *M, ClassSymbol *Cls, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  Symbol *Sym = MemberSyms.at(M);
+
+  if (M->K == SynKind::ValDef) {
+    TreePtr Rhs;
+    if (M->Kids[0]) {
+      Rhs = adapt(typedExpr(M->Kids[0], Ctx));
+      if (!Types.isSubtype(Rhs->type(), Sym->info()))
+        error(M->Loc, "initializer of " + M->N.str() + " has type " +
+                          Rhs->type()->show() + ", expected " +
+                          Sym->info()->show());
+    }
+    return Trees.makeValDef(M->Loc, Sym, std::move(Rhs));
+  }
+
+  assert(M->K == SynKind::DefDef);
+  Scope MethodScope(Ctx.S);
+  const Type *Info = Sym->info();
+  if (const auto *PT = dyn_cast<PolyType>(Info)) {
+    for (Symbol *TP : PT->typeParams())
+      MethodScope.enter(TP);
+    Info = PT->underlying();
+  }
+
+  // Create parameter symbols and ValDefs per list.
+  TreeList ParamDefs;
+  std::vector<uint32_t> ListSizes = M->ParamListSizes;
+  size_t ParamIdx = 0;
+  const Type *Walk = Info;
+  for (uint32_t Count : ListSizes) {
+    const auto *MT = cast<MethodType>(Walk);
+    for (uint32_t I = 0; I < Count; ++I) {
+      SynNode *P = M->Kids[ParamIdx++];
+      Symbol *ParamSym = Comp.syms().makeTerm(
+          P->N, Sym, SymFlag::Param | SymFlag::Local, MT->params()[I]);
+      ParamSym->setLoc(P->Loc);
+      MethodScope.enter(ParamSym);
+      ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
+    }
+    Walk = MT->result();
+  }
+
+  TreePtr Rhs;
+  SynNode *RhsSyn = M->Kids.back();
+  if (RhsSyn) {
+    BodyCtx MethodCtx{Cls, Sym, &MethodScope};
+    Rhs = adapt(typedExpr(RhsSyn, MethodCtx));
+    const Type *Expected = finalResultType(Sym->info());
+    if (!Types.isSubtype(Rhs->type(), Expected))
+      error(M->Loc, "body of " + M->N.str() + " has type " +
+                        Rhs->type()->show() + ", expected " +
+                        Expected->show());
+  }
+  return Trees.makeDefDef(M->Loc, Sym, std::move(ListSizes),
+                          std::move(ParamDefs), std::move(Rhs));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TreePtr Typer::adapt(TreePtr T) {
+  if (!T)
+    return T;
+  const Type *Ty = T->type();
+  if (!Ty)
+    return T;
+  // By-name parameter reference: the value, not the thunk.
+  if (const auto *ET = dyn_cast<ExprType>(Ty))
+    return Comp.trees().withType(T.get(), ET->result());
+  // Repeated parameter reference: reads as an array inside the body.
+  if (const auto *RT = dyn_cast<RepeatedType>(Ty))
+    return Comp.trees().withType(T.get(),
+                                 Comp.types().arrayType(RT->elem()));
+  // Parameterless method in value position: takes its result type; the
+  // FirstTransform miniphase materializes the empty Apply.
+  if (const auto *MT = dyn_cast<MethodType>(Ty)) {
+    if (MT->params().empty() && !isa<MethodType>(MT->result()))
+      return Comp.trees().withType(T.get(), MT->result());
+  }
+  return T;
+}
+
+Symbol *Typer::lookupUnqualified(Name N, BodyCtx &Ctx, ClassSymbol **FoundIn) {
+  *FoundIn = nullptr;
+  if (Symbol *S = Ctx.S->lookup(N))
+    return S;
+  // Members of the enclosing classes, innermost first.
+  for (Symbol *Walk = Ctx.Cls; Walk; Walk = Walk->owner()) {
+    auto *Cls = dyn_cast<ClassSymbol>(Walk);
+    if (!Cls)
+      continue;
+    if (Symbol *M = Cls->findMember(N)) {
+      *FoundIn = Cls;
+      return M;
+    }
+  }
+  // Globals (classes and module values).
+  auto It = Globals.find(N.ordinal());
+  if (It != Globals.end())
+    return It->second;
+  // Predef members (println & friends).
+  if (Symbol *M = Comp.syms().predefModuleClass()->findDeclaredMember(N))
+    return M;
+  return nullptr;
+}
+
+TreePtr Typer::typedSelectOrRef(SynNode *E, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  if (E->K == SynKind::Ref) {
+    ClassSymbol *FoundIn = nullptr;
+    Symbol *Sym = lookupUnqualified(E->N, Ctx, &FoundIn);
+    if (!Sym) {
+      error(E->Loc, "not found: " + E->N.str());
+      return errorTree(E->Loc);
+    }
+    if (Sym->isClass()) {
+      error(E->Loc, E->N.str() + " is a class, not a value");
+      return errorTree(E->Loc);
+    }
+    if (FoundIn) {
+      // Member access through `this` (possibly an outer class's this;
+      // ExplicitOuter rewires those).
+      const Type *QualTy = thisTypeOf(FoundIn);
+      TreePtr Qual = Trees.makeThis(E->Loc, FoundIn, QualTy);
+      const Type *Info = Sym->info();
+      if (const auto *QCT = dyn_cast<ClassType>(QualTy)) {
+        Symbol *Ignored = nullptr;
+        if (const Type *Subst = memberInfoIn(Comp.types(), QCT, E->N,
+                                             Ignored))
+          Info = Subst;
+      }
+      return Trees.makeSelect(E->Loc, std::move(Qual), Sym, Info);
+    }
+    if (Sym->owner() == Comp.syms().predefModuleClass()) {
+      TreePtr Qual = Trees.makeIdent(E->Loc, Comp.syms().predefModule(),
+                                     Comp.syms().predefModule()->info());
+      return Trees.makeSelect(E->Loc, std::move(Qual), Sym, Sym->info());
+    }
+    return Trees.makeIdent(E->Loc, Sym, Sym->info());
+  }
+
+  assert(E->K == SynKind::Select);
+  TreePtr Qual = adapt(typedExpr(E->Kids[0], Ctx));
+  return selectMember(E->Loc, std::move(Qual), E->N, Ctx);
+}
+
+TreePtr Typer::selectMember(SourceLoc Loc, TreePtr Qual, Name N,
+                            BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  SymbolTable &Syms = Comp.syms();
+  const Type *QT = Qual->type();
+  if (!QT)
+    return errorTree(Loc);
+
+  // isInstanceOf / asInstanceOf on any receiver.
+  if (N == Syms.std().IsInstanceOf)
+    return Trees.makeSelect(Loc, std::move(Qual), Syms.isInstanceOfMethod(),
+                            Syms.isInstanceOfMethod()->info());
+  if (N == Syms.std().AsInstanceOf)
+    return Trees.makeSelect(Loc, std::move(Qual), Syms.asInstanceOfMethod(),
+                            Syms.asInstanceOfMethod()->info());
+
+  switch (QT->kind()) {
+  case TypeKind::Class: {
+    const auto *CT = cast<ClassType>(QT);
+    Symbol *Found = nullptr;
+    if (const Type *Info = memberInfoIn(Types, CT, N, Found))
+      return Trees.makeSelect(Loc, std::move(Qual), Found, Info);
+    error(Loc, "value " + N.str() + " is not a member of " + QT->show());
+    return errorTree(Loc);
+  }
+  case TypeKind::Array: {
+    const Type *Elem = cast<ArrayType>(QT)->elem();
+    if (N == Syms.std().Apply)
+      return Trees.makeSelect(Loc, std::move(Qual), Syms.arrayApply(),
+                              Types.methodType({Types.intType()}, Elem));
+    if (N == Syms.std().Update)
+      return Trees.makeSelect(
+          Loc, std::move(Qual), Syms.arrayUpdate(),
+          Types.methodType({Types.intType(), Elem}, Types.unitType()));
+    if (N == Syms.std().Length)
+      return Trees.makeSelect(Loc, std::move(Qual), Syms.arrayLength(),
+                              Types.methodType({}, Types.intType()));
+    error(Loc, "value " + N.str() + " is not a member of " + QT->show());
+    return errorTree(Loc);
+  }
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(QT);
+    if (N == Syms.std().Apply) {
+      ClassSymbol *FnCls =
+          Syms.functionClass(static_cast<unsigned>(FT->params().size()));
+      Symbol *ApplySym = FnCls->findDeclaredMember(Syms.std().Apply);
+      return Trees.makeSelect(Loc, std::move(Qual), ApplySym,
+                              Types.methodType(FT->params(), FT->result()));
+    }
+    error(Loc, "value " + N.str() + " is not a member of " + QT->show());
+    return errorTree(Loc);
+  }
+  case TypeKind::Primitive: {
+    const auto *PT = cast<PrimitiveType>(QT);
+    if (Symbol *Op = Syms.primOp(PT->prim(), N))
+      return Trees.makeSelect(Loc, std::move(Qual), Op, Op->info());
+    // ==/!=/toString etc. fall back to the Object members (boxing at
+    // runtime is implicit in the interpreter's value model).
+    if (Symbol *M = Syms.objectClass()->findDeclaredMember(N))
+      return Trees.makeSelect(Loc, std::move(Qual), M, M->info());
+    error(Loc, "value " + N.str() + " is not a member of " + QT->show());
+    return errorTree(Loc);
+  }
+  case TypeKind::Union: {
+    // Selection on a union type: both sides must agree on the member's
+    // signature. The Splitter miniphase later expands this into a
+    // conditional (paper §6.2.2).
+    const auto *UT = cast<UnionType>(QT);
+    TreePtr LQ = Trees.withType(Qual.get(), UT->left());
+    TreePtr LSel = selectMember(Loc, std::move(LQ), N, Ctx);
+    TreePtr RQ = Trees.withType(Qual.get(), UT->right());
+    TreePtr RSel = selectMember(Loc, std::move(RQ), N, Ctx);
+    if (LSel->kind() != TreeKind::Select ||
+        RSel->kind() != TreeKind::Select)
+      return errorTree(Loc);
+    if (LSel->type() != RSel->type()) {
+      error(Loc, "member " + N.str() +
+                     " has different signatures in the union branches");
+      return errorTree(Loc);
+    }
+    return Trees.makeSelect(Loc, std::move(Qual),
+                            cast<Select>(LSel.get())->sym(), LSel->type());
+  }
+  case TypeKind::Intersection: {
+    // Selection on an intersection picks whichever side declares the
+    // member (Dotty's CrossCastAnd normalization). Probe class-typed
+    // sides without emitting diagnostics; only if neither side has the
+    // member do we re-select on the left to produce the error message.
+    const auto *IT = cast<IntersectionType>(QT);
+    for (const Type *Side : {IT->left(), IT->right()}) {
+      const auto *SCT = dyn_cast<ClassType>(Side);
+      if (!SCT)
+        continue;
+      Symbol *Found = nullptr;
+      if (const Type *Info = memberInfoIn(Types, SCT, N, Found))
+        return Trees.makeSelect(Loc, std::move(Qual), Found, Info);
+    }
+    TreePtr LQ = Trees.withType(Qual.get(), IT->left());
+    return selectMember(Loc, std::move(LQ), N, Ctx);
+  }
+  default:
+    error(Loc, "cannot select " + N.str() + " on " + QT->show());
+    return errorTree(Loc);
+  }
+}
+
+bool Typer::unifyTypeParams(const Type *Declared, const Type *Actual,
+                            const std::vector<Symbol *> &Params,
+                            std::vector<const Type *> &Bindings) {
+  if (!Declared || !Actual)
+    return true;
+  if (const auto *TPR = dyn_cast<TypeParamRef>(Declared)) {
+    for (size_t I = 0; I < Params.size(); ++I) {
+      if (Params[I] == TPR->param()) {
+        if (!Bindings[I])
+          Bindings[I] = Actual;
+        return true;
+      }
+    }
+    return true;
+  }
+  if (const auto *DC = dyn_cast<ClassType>(Declared)) {
+    const auto *AC = dyn_cast<ClassType>(Actual);
+    if (AC && DC->cls() == AC->cls() &&
+        DC->args().size() == AC->args().size()) {
+      for (size_t I = 0; I < DC->args().size(); ++I)
+        unifyTypeParams(DC->args()[I], AC->args()[I], Params, Bindings);
+    }
+    return true;
+  }
+  if (const auto *DA = dyn_cast<ArrayType>(Declared)) {
+    if (const auto *AA = dyn_cast<ArrayType>(Actual))
+      unifyTypeParams(DA->elem(), AA->elem(), Params, Bindings);
+    return true;
+  }
+  if (const auto *DF = dyn_cast<FunctionType>(Declared)) {
+    if (const auto *AF = dyn_cast<FunctionType>(Actual)) {
+      if (DF->params().size() == AF->params().size()) {
+        for (size_t I = 0; I < DF->params().size(); ++I)
+          unifyTypeParams(DF->params()[I], AF->params()[I], Params, Bindings);
+        unifyTypeParams(DF->result(), AF->result(), Params, Bindings);
+      }
+    }
+    return true;
+  }
+  if (const auto *DR = dyn_cast<RepeatedType>(Declared)) {
+    unifyTypeParams(DR->elem(), Actual, Params, Bindings);
+    return true;
+  }
+  if (const auto *DE = dyn_cast<ExprType>(Declared)) {
+    unifyTypeParams(DE->result(), Actual, Params, Bindings);
+    return true;
+  }
+  return true;
+}
+
+TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
+                         std::vector<const Type *> ExplicitTypeArgs,
+                         std::vector<SynNode *> Args, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  SymbolTable &Syms = Comp.syms();
+
+  // Type the arguments first (needed both for inference and checking).
+  TreeList ArgTrees;
+  for (SynNode *A : Args)
+    ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+
+  const Type *FunTy = Fun->type();
+  if (!FunTy)
+    return errorTree(Loc);
+
+  // Applying an array value indexes it: a(i) -> a.apply(i).
+  if (isa<RepeatedType>(FunTy)) {
+    Fun = adapt(std::move(Fun));
+    FunTy = Fun->type();
+  }
+  if (isa<ArrayType>(FunTy)) {
+    Fun = selectMember(Loc, std::move(Fun), Syms.std().Apply, Ctx);
+    FunTy = Fun->type();
+  }
+
+  // Closures: calling a function value goes through FunctionN.apply.
+  if (const auto *FT = dyn_cast<FunctionType>(FunTy)) {
+    ClassSymbol *FnCls =
+        Syms.functionClass(static_cast<unsigned>(FT->params().size()));
+    Symbol *ApplySym = FnCls->findDeclaredMember(Syms.std().Apply);
+    Fun = Trees.makeSelect(Loc, std::move(Fun), ApplySym,
+                           Types.methodType(FT->params(), FT->result()));
+    FunTy = Fun->type();
+  }
+
+  // Polymorphic methods: instantiate via explicit or inferred type args.
+  if (const auto *PT = dyn_cast<PolyType>(FunTy)) {
+    std::vector<const Type *> TypeArgs = std::move(ExplicitTypeArgs);
+    if (TypeArgs.empty()) {
+      std::vector<const Type *> Bindings(PT->typeParams().size(), nullptr);
+      if (const auto *MT = dyn_cast<MethodType>(PT->underlying())) {
+        size_t NDecl = MT->params().size();
+        for (size_t I = 0; I < ArgTrees.size(); ++I) {
+          const Type *Declared =
+              I < NDecl ? MT->params()[I]
+                        : (NDecl ? MT->params()[NDecl - 1] : nullptr);
+          unifyTypeParams(Declared, ArgTrees[I]->type(), PT->typeParams(),
+                          Bindings);
+        }
+      }
+      for (size_t I = 0; I < Bindings.size(); ++I) {
+        if (!Bindings[I]) {
+          error(Loc, "could not infer type argument " +
+                         PT->typeParams()[I]->name().str() +
+                         "; provide it explicitly");
+          Bindings[I] = Types.anyType();
+        }
+      }
+      TypeArgs = std::move(Bindings);
+    }
+    if (TypeArgs.size() != PT->typeParams().size()) {
+      error(Loc, "wrong number of type arguments");
+      return errorTree(Loc);
+    }
+    const Type *Inst =
+        Types.substitute(PT->underlying(), PT->typeParams(), TypeArgs);
+    Fun = Trees.makeTypeApply(Loc, std::move(Fun), TypeArgs, Inst);
+    FunTy = Inst;
+  } else if (!ExplicitTypeArgs.empty()) {
+    error(Loc, "type arguments applied to a monomorphic function");
+  }
+
+  const auto *MT = dyn_cast<MethodType>(FunTy);
+  if (!MT) {
+    error(Loc, "expression of type " + FunTy->show() + " is not callable");
+    return errorTree(Loc);
+  }
+
+  // Primitive operators: numeric promotion and the Boolean short-circuit
+  // forms are handled by the caller; here we only compute result types.
+  if (Fun->kind() == TreeKind::Select) {
+    Symbol *Sym = cast<Select>(Fun.get())->sym();
+    if (Syms.isPrimOp(Sym) && ArgTrees.size() <= 1) {
+      const Type *QualTy = cast<Select>(Fun.get())->qual()->type();
+      std::string_view Op = Sym->name().text();
+      bool IsArith = Op == "+" || Op == "-" || Op == "*" || Op == "/" ||
+                     Op == "%" || Op == "unary_-";
+      const Type *ArgTy =
+          ArgTrees.empty() ? nullptr : ArgTrees[0]->type();
+      // Numeric arguments only (== / != against non-primitives reroute
+      // through Object.== below).
+      bool ArgNumericOk =
+          !ArgTy || ArgTy->isPrim(PrimKind::Int) ||
+          ArgTy->isPrim(PrimKind::Double) ||
+          ArgTy->isPrim(PrimKind::Boolean) || ArgTy->isNothing();
+      if (!ArgNumericOk && (Op == "==" || Op == "!=")) {
+        Symbol *ObjEq = Syms.objectClass()->findDeclaredMember(Sym->name());
+        Fun = Trees.makeSelect(Loc, TreePtr(cast<Select>(Fun.get())->qual()),
+                               ObjEq, ObjEq->info());
+        return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
+                               Types.booleanType());
+      }
+      // `1 + "s"` is string concatenation (Scala's any2stringadd): route
+      // through String.+ so the whole expression types as String.
+      if (!ArgNumericOk && Op == "+" && ArgTy == Syms.stringType()) {
+        Symbol *Concat = Syms.stringClass()->findDeclaredMember(Sym->name());
+        Fun = Trees.makeSelect(Loc, TreePtr(cast<Select>(Fun.get())->qual()),
+                               Concat, Concat->info());
+        return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
+                               Syms.stringType());
+      }
+      if (!ArgNumericOk) {
+        error(Loc, "operator " + Sym->name().str() +
+                       " expects a numeric operand");
+        return errorTree(Loc);
+      }
+      const Type *Result;
+      if (IsArith) {
+        bool AnyDouble = QualTy->isPrim(PrimKind::Double) ||
+                         (ArgTy && ArgTy->isPrim(PrimKind::Double));
+        Result = AnyDouble ? Types.doubleType() : QualTy;
+      } else if (Op == "unary_!") {
+        Result = Types.booleanType();
+      } else {
+        Result = Types.booleanType(); // comparisons and equality
+      }
+      return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
+                             Result);
+    }
+  }
+
+  // Arity / conformance checking with vararg and by-name awareness.
+  const auto &Params = MT->params();
+  bool Vararg =
+      !Params.empty() && isa<RepeatedType>(Params.back());
+  size_t FixedCount = Vararg ? Params.size() - 1 : Params.size();
+  if ((!Vararg && ArgTrees.size() != Params.size()) ||
+      (Vararg && ArgTrees.size() < FixedCount)) {
+    error(Loc, "wrong number of arguments");
+    return errorTree(Loc);
+  }
+  for (size_t I = 0; I < ArgTrees.size(); ++I) {
+    const Type *Declared =
+        I < FixedCount ? Params[I]
+                       : cast<RepeatedType>(Params.back())->elem();
+    const Type *Required = Declared->widenByName();
+    if (!Types.isSubtype(ArgTrees[I]->type(), Required))
+      error(Loc, "argument " + std::to_string(I + 1) + " has type " +
+                     ArgTrees[I]->type()->show() + ", expected " +
+                     Required->show());
+  }
+  return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
+                         MT->result());
+}
+
+TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  SynNode *FunSyn = E->Kids[0];
+  std::vector<SynNode *> Args(E->Kids.begin() + 1, E->Kids.end());
+
+  // Explicit type arguments?
+  std::vector<const Type *> ExplicitTargs;
+  SynNode *Head = FunSyn;
+  if (FunSyn->K == SynKind::TypeApply) {
+    Head = FunSyn->Kids[0];
+    Scope Empty(Ctx.S);
+    for (SynType *TA : FunSyn->TyArgs)
+      ExplicitTargs.push_back(resolveType(TA, Empty));
+  }
+
+  // Array literal: Array(e1, ..., en).
+  if (Head->K == SynKind::Ref && Head->N.text() == "Array") {
+    TreeList Elems;
+    const Type *ElemTy =
+        ExplicitTargs.empty() ? nullptr : ExplicitTargs[0];
+    for (SynNode *A : Args) {
+      Elems.push_back(adapt(typedExpr(A, Ctx)));
+      ElemTy = ElemTy ? Types.lub(ElemTy, Elems.back()->type())
+                      : Elems.back()->type();
+    }
+    if (!ElemTy)
+      ElemTy = Types.anyType();
+    return Trees.makeSeqLiteral(E->Loc, std::move(Elems), ElemTy,
+                                Types.arrayType(ElemTy));
+  }
+
+  // Case-class construction without `new`.
+  if (Head->K == SynKind::Ref) {
+    ClassSymbol *FoundIn = nullptr;
+    Symbol *Sym = lookupUnqualified(Head->N, Ctx, &FoundIn);
+    if (Sym && Sym->isClass()) {
+      auto *Cls = cast<ClassSymbol>(Sym);
+      if (!Cls->is(SymFlag::Case)) {
+        error(E->Loc, "class " + Head->N.str() +
+                          " is not a case class; use new");
+        return errorTree(E->Loc);
+      }
+      // Type arguments: explicit or inferred from the field types.
+      TreeList ArgTrees;
+      for (SynNode *A : Args)
+        ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+      std::vector<const Type *> TypeArgs = ExplicitTargs;
+      if (TypeArgs.empty() && !Cls->typeParams().empty()) {
+        std::vector<const Type *> Bindings(Cls->typeParams().size(),
+                                           nullptr);
+        Symbol *Init = Cls->findDeclaredMember(Comp.syms().std().Init);
+        const auto *InitMT = cast<MethodType>(Init->info());
+        for (size_t I = 0;
+             I < ArgTrees.size() && I < InitMT->params().size(); ++I)
+          unifyTypeParams(InitMT->params()[I], ArgTrees[I]->type(),
+                          Cls->typeParams(), Bindings);
+        for (auto *&B : Bindings)
+          if (!B)
+            B = Types.anyType();
+        TypeArgs = Bindings;
+      }
+      const Type *ClsTy = Types.classType(Cls, TypeArgs);
+      // Check arity.
+      Symbol *Init = Cls->findDeclaredMember(Comp.syms().std().Init);
+      const auto *InitMT = cast<MethodType>(Types.substitute(
+          Init->info(), Cls->typeParams(), TypeArgs));
+      if (InitMT->params().size() != ArgTrees.size())
+        error(E->Loc, "wrong number of constructor arguments");
+      return Trees.makeNew(E->Loc, ClsTy, std::move(ArgTrees));
+    }
+  }
+
+  // Boolean short-circuit operators desugar to If right here.
+  if (Head->K == SynKind::Select &&
+      (Head->N.text() == "&&" || Head->N.text() == "||") &&
+      Args.size() == 1) {
+    TreePtr Lhs = adapt(typedExpr(Head->Kids[0], Ctx));
+    if (Lhs->type() && Lhs->type()->isPrim(PrimKind::Boolean)) {
+      TreePtr Rhs = adapt(typedExpr(Args[0], Ctx));
+      TreePtr TrueLit = Trees.makeLiteral(E->Loc, Constant::makeBool(true),
+                                          Types.booleanType());
+      TreePtr FalseLit = Trees.makeLiteral(
+          E->Loc, Constant::makeBool(false), Types.booleanType());
+      if (Head->N.text() == "&&")
+        return Trees.makeIf(E->Loc, std::move(Lhs), std::move(Rhs),
+                            std::move(FalseLit), Types.booleanType());
+      return Trees.makeIf(E->Loc, std::move(Lhs), std::move(TrueLit),
+                          std::move(Rhs), Types.booleanType());
+    }
+  }
+
+  // General call.
+  TreePtr Fun;
+  if (Head->K == SynKind::Ref || Head->K == SynKind::Select)
+    Fun = typedSelectOrRef(Head, Ctx);
+  else
+    Fun = typedExpr(Head, Ctx);
+  return applyCall(E->Loc, std::move(Fun), std::move(ExplicitTargs), Args,
+                   Ctx);
+}
+
+TreePtr Typer::typeLocalDef(SynNode *Stat, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+
+  if (Stat->K == SynKind::ValDef) {
+    TreePtr Rhs =
+        Stat->Kids[0] ? adapt(typedExpr(Stat->Kids[0], Ctx)) : nullptr;
+    const Type *Ty = nullptr;
+    if (Stat->Ty) {
+      Scope TScope(Ctx.S);
+      Ty = resolveType(Stat->Ty, *Ctx.S);
+      if (Rhs && !Types.isSubtype(Rhs->type(), Ty))
+        error(Stat->Loc, "initializer has type " + Rhs->type()->show() +
+                             ", expected " + Ty->show());
+    } else if (Rhs) {
+      Ty = Rhs->type();
+    } else {
+      error(Stat->Loc, "local value needs an initializer");
+      Ty = Types.anyType();
+    }
+    uint64_t Flags = SymFlag::Local;
+    if (Stat->is(SynFlag::Var))
+      Flags |= SymFlag::Mutable;
+    if (Stat->is(SynFlag::Lazy))
+      Flags |= SymFlag::Lazy;
+    Symbol *Sym = Comp.syms().makeTerm(Stat->N, Ctx.Method, Flags, Ty);
+    Sym->setLoc(Stat->Loc);
+    Ctx.S->enter(Sym);
+    return Trees.makeValDef(Stat->Loc, Sym, std::move(Rhs));
+  }
+
+  assert(Stat->K == SynKind::DefDef && "unexpected local definition");
+  // Local method: the symbol was entered by the block pre-scan.
+  Symbol *Sym = MemberSyms.at(Stat);
+  Scope MethodScope(Ctx.S);
+  const Type *Info = Sym->info();
+  if (const auto *PT = dyn_cast<PolyType>(Info)) {
+    for (Symbol *TP : PT->typeParams())
+      MethodScope.enter(TP);
+    Info = PT->underlying();
+  }
+  TreeList ParamDefs;
+  std::vector<uint32_t> ListSizes = Stat->ParamListSizes;
+  size_t ParamIdx = 0;
+  const Type *Walk = Info;
+  for (uint32_t Count : ListSizes) {
+    const auto *MT = cast<MethodType>(Walk);
+    for (uint32_t I = 0; I < Count; ++I) {
+      SynNode *P = Stat->Kids[ParamIdx++];
+      Symbol *ParamSym = Comp.syms().makeTerm(
+          P->N, Sym, SymFlag::Param | SymFlag::Local, MT->params()[I]);
+      MethodScope.enter(ParamSym);
+      ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
+    }
+    Walk = MT->result();
+  }
+  TreePtr Rhs;
+  if (SynNode *RhsSyn = Stat->Kids.back()) {
+    BodyCtx LocalCtx{Ctx.Cls, Sym, &MethodScope};
+    Rhs = adapt(typedExpr(RhsSyn, LocalCtx));
+    const Type *Expected = finalResultType(Sym->info());
+    if (!Types.isSubtype(Rhs->type(), Expected))
+      error(Stat->Loc, "body has type " + Rhs->type()->show() +
+                           ", expected " + Expected->show());
+  } else {
+    error(Stat->Loc, "local method needs a body");
+  }
+  return Trees.makeDefDef(Stat->Loc, Sym, std::move(ListSizes),
+                          std::move(ParamDefs), std::move(Rhs));
+}
+
+TreePtr Typer::typedBlock(SynNode *B, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  Scope BlockScope(Ctx.S);
+  BodyCtx BlockCtx{Ctx.Cls, Ctx.Method, &BlockScope};
+
+  // Pre-scan: local methods are mutually visible.
+  for (SynNode *Stat : B->Kids) {
+    if (!Stat || Stat->K != SynKind::DefDef)
+      continue;
+    Symbol *Sym = Comp.syms().makeTerm(
+        Stat->N, Ctx.Method, SymFlag::Method | SymFlag::Local);
+    Sym->setLoc(Stat->Loc);
+    // Signature (reuses the member-completion logic inline).
+    Scope SigScope(&BlockScope);
+    std::vector<Symbol *> TypeParams;
+    for (Name TPName : Stat->TypeParamNames) {
+      Symbol *TP = Comp.syms().makeTerm(TPName, Sym, SymFlag::TypeParam);
+      TypeParams.push_back(TP);
+      SigScope.enter(TP);
+    }
+    std::vector<std::vector<const Type *>> Lists;
+    size_t ParamIdx = 0;
+    for (uint32_t Count : Stat->ParamListSizes) {
+      std::vector<const Type *> ListTypes;
+      for (uint32_t I = 0; I < Count; ++I)
+        ListTypes.push_back(resolveType(Stat->Kids[ParamIdx++]->Ty,
+                                        SigScope));
+      Lists.push_back(std::move(ListTypes));
+    }
+    const Type *Result = nullptr;
+    if (Stat->Ty)
+      Result = resolveType(Stat->Ty, SigScope);
+    else if (SynNode *Rhs = Stat->Kids.back();
+             Rhs && Rhs->K == SynKind::Lit) {
+      switch (Rhs->Lit.kind()) {
+      case Constant::Int:
+        Result = Types.intType();
+        break;
+      case Constant::Bool:
+        Result = Types.booleanType();
+        break;
+      case Constant::Double:
+        Result = Types.doubleType();
+        break;
+      case Constant::Str:
+        Result = Comp.syms().stringType();
+        break;
+      default:
+        break;
+      }
+    }
+    if (!Result) {
+      error(Stat->Loc, "local method " + Stat->N.str() +
+                           " needs an explicit result type");
+      Result = Types.anyType();
+    }
+    const Type *Info = Result;
+    for (auto It = Lists.rbegin(); It != Lists.rend(); ++It)
+      Info = Types.methodType(*It, Info);
+    if (Lists.empty())
+      Info = Types.methodType({}, Info);
+    if (!TypeParams.empty())
+      Info = Types.polyType(TypeParams, Info);
+    Sym->setInfo(Info);
+    MemberSyms[Stat] = Sym;
+    BlockScope.enter(Sym);
+  }
+
+  TreeList Stats;
+  TreePtr Value;
+  for (size_t I = 0; I < B->Kids.size(); ++I) {
+    SynNode *Stat = B->Kids[I];
+    if (!Stat)
+      continue;
+    bool Last = I + 1 == B->Kids.size();
+    TreePtr T;
+    if (Stat->K == SynKind::ValDef || Stat->K == SynKind::DefDef)
+      T = typeLocalDef(Stat, BlockCtx);
+    else
+      T = adapt(typedExpr(Stat, BlockCtx));
+    if (Last && T->type()) {
+      Value = std::move(T);
+    } else {
+      Stats.push_back(std::move(T));
+    }
+  }
+  if (!Value)
+    Value = Trees.makeLiteral(B->Loc, Constant::makeUnit(),
+                              Types.unitType());
+  return Trees.makeBlock(B->Loc, std::move(Stats), std::move(Value));
+}
+
+TreePtr Typer::typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  switch (P->K) {
+  case SynKind::Lit: {
+    const Type *Ty = Types.anyType();
+    switch (P->Lit.kind()) {
+    case Constant::Int:
+      Ty = Types.intType();
+      break;
+    case Constant::Bool:
+      Ty = Types.booleanType();
+      break;
+    case Constant::Double:
+      Ty = Types.doubleType();
+      break;
+    case Constant::Str:
+      Ty = Comp.syms().stringType();
+      break;
+    case Constant::Null:
+      Ty = Types.nullType();
+      break;
+    default:
+      break;
+    }
+    return Trees.makeLiteral(P->Loc, P->Lit, Ty);
+  }
+  case SynKind::PatWild: {
+    Symbol *Wild = Comp.syms().makeTerm(Comp.syms().std().Wildcard,
+                                        Ctx.Method,
+                                        SymFlag::Synthetic | SymFlag::Local,
+                                        Expected);
+    return Trees.makeIdent(P->Loc, Wild, Expected);
+  }
+  case SynKind::PatTyped: {
+    const Type *TestTy = resolveType(P->Ty, *Ctx.S);
+    Symbol *Wild = Comp.syms().makeTerm(Comp.syms().std().Wildcard,
+                                        Ctx.Method,
+                                        SymFlag::Synthetic | SymFlag::Local,
+                                        TestTy);
+    TreePtr Inner = Trees.makeIdent(P->Loc, Wild, TestTy);
+    return Trees.makeTyped(P->Loc, std::move(Inner), TestTy);
+  }
+  case SynKind::PatBind: {
+    TreePtr Inner;
+    const Type *BindTy = Expected;
+    if (P->Kids[0]) {
+      Inner = typedPattern(P->Kids[0], Expected, Ctx);
+      BindTy = Inner->type();
+    } else {
+      Symbol *Wild = Comp.syms().makeTerm(
+          Comp.syms().std().Wildcard, Ctx.Method,
+          SymFlag::Synthetic | SymFlag::Local, Expected);
+      Inner = Trees.makeIdent(P->Loc, Wild, Expected);
+    }
+    Symbol *Sym = Comp.syms().makeTerm(P->N, Ctx.Method, SymFlag::Local,
+                                       BindTy);
+    Sym->setLoc(P->Loc);
+    Ctx.S->enter(Sym);
+    return Trees.makeBind(P->Loc, Sym, std::move(Inner));
+  }
+  case SynKind::PatCtor: {
+    ClassSymbol *Cls = nullptr;
+    if (Symbol *S = Ctx.S->lookup(P->N))
+      Cls = dyn_cast<ClassSymbol>(S);
+    if (!Cls) {
+      auto It = Globals.find(P->N.ordinal());
+      if (It != Globals.end())
+        Cls = dyn_cast<ClassSymbol>(It->second);
+    }
+    if (!Cls || !Cls->is(SymFlag::Case)) {
+      error(P->Loc, P->N.str() + " is not a case class");
+      return errorTree(P->Loc);
+    }
+    // Determine type arguments from the scrutinee type when possible.
+    std::vector<const Type *> TypeArgs;
+    if (const auto *ECT = dyn_cast_or_null<ClassType>(Expected)) {
+      if (ECT->cls() == Cls)
+        TypeArgs = ECT->args();
+    }
+    if (TypeArgs.size() != Cls->typeParams().size())
+      TypeArgs.assign(Cls->typeParams().size(), Types.anyType());
+    if (P->Kids.size() != Cls->caseFields().size()) {
+      error(P->Loc, "wrong number of sub-patterns for " + P->N.str());
+      return errorTree(P->Loc);
+    }
+    TreeList Pats;
+    for (size_t I = 0; I < P->Kids.size(); ++I) {
+      const Type *FieldTy = Types.substitute(
+          Cls->caseFields()[I]->info(), Cls->typeParams(), TypeArgs);
+      Pats.push_back(typedPattern(P->Kids[I], FieldTy, Ctx));
+    }
+    return Trees.makeUnApply(P->Loc, Cls, std::move(Pats),
+                             Types.classType(Cls, TypeArgs));
+  }
+  case SynKind::PatAlt: {
+    TreeList Alts;
+    for (SynNode *A : P->Kids)
+      Alts.push_back(typedPattern(A, Expected, Ctx));
+    return Trees.makeAlternative(P->Loc, std::move(Alts), Expected);
+  }
+  default:
+    error(P->Loc, "unsupported pattern");
+    return errorTree(P->Loc);
+  }
+}
+
+TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
+  TreeContext &Trees = Comp.trees();
+  TypeContext &Types = Comp.types();
+  switch (E->K) {
+  case SynKind::Lit: {
+    const Type *Ty;
+    switch (E->Lit.kind()) {
+    case Constant::Int:
+      Ty = Types.intType();
+      break;
+    case Constant::Bool:
+      Ty = Types.booleanType();
+      break;
+    case Constant::Double:
+      Ty = Types.doubleType();
+      break;
+    case Constant::Str:
+      Ty = Comp.syms().stringType();
+      break;
+    case Constant::Null:
+      Ty = Types.nullType();
+      break;
+    case Constant::Unit:
+    default:
+      Ty = Types.unitType();
+      break;
+    }
+    return Trees.makeLiteral(E->Loc, E->Lit, Ty);
+  }
+  case SynKind::Ref:
+  case SynKind::Select:
+    return typedSelectOrRef(E, Ctx);
+  case SynKind::ThisRef:
+    if (!Ctx.Cls) {
+      error(E->Loc, "'this' outside of a class");
+      return errorTree(E->Loc);
+    }
+    return Trees.makeThis(E->Loc, Ctx.Cls, thisTypeOf(Ctx.Cls));
+  case SynKind::SuperSel: {
+    if (!Ctx.Cls) {
+      error(E->Loc, "'super' outside of a class");
+      return errorTree(E->Loc);
+    }
+    for (const Type *P : Ctx.Cls->parents()) {
+      ClassSymbol *PCls = P->classSymbol();
+      if (!PCls)
+        continue;
+      if (Symbol *M = PCls->findMember(E->N)) {
+        TreePtr Sup = Trees.makeSuper(E->Loc, Ctx.Cls, PCls,
+                                      Types.classType(PCls));
+        return Trees.makeSelect(E->Loc, std::move(Sup), M, M->info());
+      }
+    }
+    error(E->Loc, "super member " + E->N.str() + " not found");
+    return errorTree(E->Loc);
+  }
+  case SynKind::Apply:
+    return typedApply(E, Ctx);
+  case SynKind::TypeApply: {
+    // Bare type application in value position, e.g. x.isInstanceOf[T] or
+    // classOf[T].
+    std::vector<const Type *> Targs;
+    for (SynType *TA : E->TyArgs)
+      Targs.push_back(resolveType(TA, *Ctx.S));
+    SynNode *FunSyn = E->Kids[0];
+    TreePtr Fun;
+    if (FunSyn->K == SynKind::Ref || FunSyn->K == SynKind::Select)
+      Fun = typedSelectOrRef(FunSyn, Ctx);
+    else
+      Fun = typedExpr(FunSyn, Ctx);
+    const auto *PT = dyn_cast_or_null<PolyType>(Fun->type());
+    if (!PT) {
+      error(E->Loc, "type arguments applied to a non-generic expression");
+      return errorTree(E->Loc);
+    }
+    if (PT->typeParams().size() != Targs.size()) {
+      error(E->Loc, "wrong number of type arguments");
+      return errorTree(E->Loc);
+    }
+    const Type *Inst =
+        Types.substitute(PT->underlying(), PT->typeParams(), Targs);
+    return adapt(Trees.makeTypeApply(E->Loc, std::move(Fun), Targs, Inst));
+  }
+  case SynKind::New: {
+    // `new Array[T](n)` is the array-allocation intrinsic.
+    if (E->Ty->K == SynType::Applied && E->Ty->N.text() == "Array") {
+      const Type *Elem = resolveType(E->Ty->Args[0], *Ctx.S);
+      if (E->Kids.size() != 1) {
+        error(E->Loc, "new Array[T] expects one length argument");
+        return errorTree(E->Loc);
+      }
+      TreePtr Len = adapt(typedExpr(E->Kids[0], Ctx));
+      SymbolTable &Syms = Comp.syms();
+      TreePtr RuntimeRef = Trees.makeIdent(E->Loc, Syms.runtimeModule(),
+                                           Syms.runtimeModule()->info());
+      TreePtr Sel =
+          Trees.makeSelect(E->Loc, std::move(RuntimeRef),
+                           Syms.newArrayMethod(),
+                           Syms.newArrayMethod()->info());
+      const auto *PT = cast<PolyType>(Syms.newArrayMethod()->info());
+      const Type *Inst =
+          Types.substitute(PT->underlying(), PT->typeParams(), {Elem});
+      TreePtr TApp = Trees.makeTypeApply(E->Loc, std::move(Sel), {Elem},
+                                         Inst);
+      TreeList CallArgs;
+      CallArgs.push_back(std::move(Len));
+      return Trees.makeApply(E->Loc, std::move(TApp), std::move(CallArgs),
+                             Types.arrayType(Elem));
+    }
+    const Type *ClsTy = resolveType(E->Ty, *Ctx.S);
+    const auto *CT = dyn_cast<ClassType>(ClsTy);
+    if (!CT) {
+      error(E->Loc, "cannot instantiate " + ClsTy->show());
+      return errorTree(E->Loc);
+    }
+    if (CT->cls()->isTrait() || CT->cls()->is(SymFlag::Abstract)) {
+      error(E->Loc, "cannot instantiate abstract class or trait");
+      return errorTree(E->Loc);
+    }
+    Symbol *Init = CT->cls()->findDeclaredMember(Comp.syms().std().Init);
+    if (!Init) {
+      error(E->Loc, "class has no constructor");
+      return errorTree(E->Loc);
+    }
+    const auto *InitMT = cast<MethodType>(Types.substitute(
+        Init->info(), CT->cls()->typeParams(), CT->args()));
+    TreeList ArgTrees;
+    for (SynNode *A : E->Kids)
+      ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+    // `new Throwable` defaults its message, matching the JVM's
+    // message-less Throwable() constructor.
+    if (ArgTrees.empty() && CT->cls() == Comp.syms().throwableClass() &&
+        InitMT->params().size() == 1)
+      ArgTrees.push_back(Trees.makeLiteral(
+          E->Loc, Constant::makeString(Comp.names().intern("")),
+          Comp.syms().stringType()));
+    if (ArgTrees.size() != InitMT->params().size()) {
+      error(E->Loc, "wrong number of constructor arguments");
+    } else {
+      for (size_t I = 0; I < ArgTrees.size(); ++I)
+        if (!Types.isSubtype(ArgTrees[I]->type(), InitMT->params()[I]))
+          error(E->Loc, "constructor argument " + std::to_string(I + 1) +
+                            " has type " + ArgTrees[I]->type()->show() +
+                            ", expected " + InitMT->params()[I]->show());
+    }
+    return Trees.makeNew(E->Loc, ClsTy, std::move(ArgTrees));
+  }
+  case SynKind::If: {
+    TreePtr Cond = adapt(typedExpr(E->Kids[0], Ctx));
+    if (Cond->type() && !Cond->type()->isPrim(PrimKind::Boolean) &&
+        !Cond->type()->isNothing())
+      error(E->Loc, "condition must be Boolean, found " +
+                        Cond->type()->show());
+    TreePtr Then = adapt(typedExpr(E->Kids[1], Ctx));
+    TreePtr Else =
+        E->Kids[2] ? adapt(typedExpr(E->Kids[2], Ctx))
+                   : TreePtr(Trees.makeLiteral(E->Loc, Constant::makeUnit(),
+                                               Types.unitType()));
+    const Type *Ty = Types.lub(Then->type(), Else->type());
+    return Trees.makeIf(E->Loc, std::move(Cond), std::move(Then),
+                        std::move(Else), Ty);
+  }
+  case SynKind::While: {
+    TreePtr Cond = adapt(typedExpr(E->Kids[0], Ctx));
+    TreePtr Body = adapt(typedExpr(E->Kids[1], Ctx));
+    return Trees.makeWhileDo(E->Loc, std::move(Cond), std::move(Body),
+                             Types.unitType());
+  }
+  case SynKind::Try: {
+    TreePtr Body = adapt(typedExpr(E->Kids[0], Ctx));
+    TreePtr Fin;
+    if (E->Kids[1])
+      Fin = adapt(typedExpr(E->Kids[1], Ctx));
+    const Type *Ty = Body->type();
+    TreeList Catches;
+    for (size_t I = 2; I < E->Kids.size(); ++I) {
+      SynNode *C = E->Kids[I];
+      Scope CaseScope(Ctx.S);
+      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method, &CaseScope};
+      TreePtr Pat =
+          typedPattern(C->Kids[0], Comp.syms().throwableType(), CaseCtx);
+      TreePtr Guard;
+      if (C->Kids[1]) {
+        Guard = adapt(typedExpr(C->Kids[1], CaseCtx));
+      }
+      TreePtr CBody = typedBlock(C->Kids[2], CaseCtx);
+      Ty = Types.lub(Ty, CBody->type());
+      Catches.push_back(Trees.makeCaseDef(C->Loc, std::move(Pat),
+                                          std::move(Guard),
+                                          std::move(CBody)));
+    }
+    return Trees.makeTry(E->Loc, std::move(Body), std::move(Catches),
+                         std::move(Fin), Ty);
+  }
+  case SynKind::Throw: {
+    TreePtr Ex = adapt(typedExpr(E->Kids[0], Ctx));
+    if (Ex->type() &&
+        !Types.isSubtype(Ex->type(), Comp.syms().throwableType()))
+      error(E->Loc, "throw expects a Throwable, found " +
+                        Ex->type()->show());
+    return Trees.makeThrow(E->Loc, std::move(Ex), Types.nothingType());
+  }
+  case SynKind::Return: {
+    if (!Ctx.Method) {
+      error(E->Loc, "return outside of a method");
+      return errorTree(E->Loc);
+    }
+    TreePtr Val;
+    if (E->Kids[0])
+      Val = adapt(typedExpr(E->Kids[0], Ctx));
+    const Type *Expected = finalResultType(Ctx.Method->info());
+    const Type *Actual = Val ? Val->type() : Types.unitType();
+    if (Expected && !Types.isSubtype(Actual, Expected))
+      error(E->Loc, "return value has type " + Actual->show() +
+                        ", expected " + Expected->show());
+    return Trees.makeReturn(E->Loc, std::move(Val), Ctx.Method,
+                            Types.nothingType());
+  }
+  case SynKind::Match: {
+    TreePtr Sel = adapt(typedExpr(E->Kids[0], Ctx));
+    const Type *SelTy = Sel->type();
+    const Type *Ty = nullptr;
+    TreeList Cases;
+    for (size_t I = 1; I < E->Kids.size(); ++I) {
+      SynNode *C = E->Kids[I];
+      Scope CaseScope(Ctx.S);
+      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method, &CaseScope};
+      TreePtr Pat = typedPattern(C->Kids[0], SelTy, CaseCtx);
+      TreePtr Guard;
+      if (C->Kids[1]) {
+        Guard = adapt(typedExpr(C->Kids[1], CaseCtx));
+        if (Guard->type() && !Guard->type()->isPrim(PrimKind::Boolean))
+          error(C->Loc, "guard must be Boolean");
+      }
+      TreePtr Body = typedBlock(C->Kids[2], CaseCtx);
+      Ty = Ty ? Types.lub(Ty, Body->type()) : Body->type();
+      Cases.push_back(Trees.makeCaseDef(C->Loc, std::move(Pat),
+                                        std::move(Guard), std::move(Body)));
+    }
+    if (!Ty)
+      Ty = Types.unitType();
+    return Trees.makeMatch(E->Loc, std::move(Sel), std::move(Cases), Ty);
+  }
+  case SynKind::Lambda: {
+    Scope LambdaScope(Ctx.S);
+    BodyCtx LambdaCtx{Ctx.Cls, Ctx.Method, &LambdaScope};
+    TreeList Params;
+    std::vector<const Type *> ParamTys;
+    for (size_t I = 0; I + 1 < E->Kids.size(); ++I) {
+      SynNode *P = E->Kids[I];
+      const Type *PTy = resolveType(P->Ty, *Ctx.S);
+      Symbol *Sym = Comp.syms().makeTerm(
+          P->N, Ctx.Method, SymFlag::Param | SymFlag::Local, PTy);
+      Sym->setLoc(P->Loc);
+      LambdaScope.enter(Sym);
+      ParamTys.push_back(PTy);
+      Params.push_back(Trees.makeValDef(P->Loc, Sym, nullptr));
+    }
+    TreePtr Body = adapt(typedExpr(E->Kids.back(), LambdaCtx));
+    const Type *Ty = Types.functionType(ParamTys, Body->type());
+    return Trees.makeClosure(E->Loc, std::move(Params), std::move(Body),
+                             Ty);
+  }
+  case SynKind::Block:
+    return typedBlock(E, Ctx);
+  case SynKind::Assign: {
+    SynNode *Lhs = E->Kids[0];
+    // Array update sugar: a(i) = v.
+    if (Lhs->K == SynKind::Apply) {
+      TreePtr Arr = adapt(typedExpr(Lhs->Kids[0], Ctx));
+      if (Arr->type() && isa<ArrayType>(Arr->type())) {
+        TreePtr Upd = selectMember(E->Loc, std::move(Arr),
+                                   Comp.syms().std().Update, Ctx);
+        std::vector<SynNode *> Args(Lhs->Kids.begin() + 1, Lhs->Kids.end());
+        Args.push_back(E->Kids[1]);
+        return applyCall(E->Loc, std::move(Upd), {}, Args, Ctx);
+      }
+      error(E->Loc, "invalid assignment target");
+      return errorTree(E->Loc);
+    }
+    TreePtr LhsTree;
+    if (Lhs->K == SynKind::Ref || Lhs->K == SynKind::Select)
+      LhsTree = typedSelectOrRef(Lhs, Ctx);
+    else {
+      error(E->Loc, "invalid assignment target");
+      return errorTree(E->Loc);
+    }
+    Symbol *Target = nullptr;
+    if (auto *Id = dyn_cast<Ident>(LhsTree.get()))
+      Target = Id->sym();
+    else if (auto *Sel = dyn_cast<Select>(LhsTree.get()))
+      Target = Sel->sym();
+    if (Target && !Target->is(SymFlag::Mutable))
+      error(E->Loc, "reassignment to val " + Target->name().str());
+    TreePtr Rhs = adapt(typedExpr(E->Kids[1], Ctx));
+    if (LhsTree->type() && Rhs->type() &&
+        !Types.isSubtype(Rhs->type(), LhsTree->type()))
+      error(E->Loc, "assignment of " + Rhs->type()->show() + " to " +
+                        LhsTree->type()->show());
+    return Trees.makeAssign(E->Loc, std::move(LhsTree), std::move(Rhs),
+                            Types.unitType());
+  }
+  default:
+    error(E->Loc, "unsupported expression");
+    return errorTree(E->Loc);
+  }
+}

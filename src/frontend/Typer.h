@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniScala namer + typer. Lowers the parser's SynNode representation
+/// to fully attributed core Trees in three passes over all units:
+///
+///   A. declare  — create class/module symbols for every (nested) class;
+///   B. complete — resolve type params, parents, and member signatures;
+///   C. bodies   — type-check method bodies and field initializers,
+///                 producing the typed tree of each compilation unit.
+///
+/// The tree transformation pipeline starts from this output, exactly like
+/// the paper's "front-end parses and type-checks source code, and
+/// generates trees annotated with type information".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_TYPER_H
+#define MPC_FRONTEND_TYPER_H
+
+#include "core/CompilerContext.h"
+#include "frontend/Syntax.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace mpc {
+
+/// Output of lexing+parsing one file, input to the typer.
+struct ParsedUnit {
+  std::string FileName;
+  uint32_t FileId = 0;
+  std::string Source;
+  SynUnit Unit;
+  std::shared_ptr<SynArena> Arena;
+};
+
+/// The whole-program namer/typer.
+class Typer {
+public:
+  explicit Typer(CompilerContext &Comp) : Comp(Comp) {}
+
+  /// Types all units (cross-unit references allowed). Diagnostics go to
+  /// the context's engine; on errors the returned units may be partial.
+  std::vector<CompilationUnit> run(std::vector<ParsedUnit> &Parsed);
+
+private:
+  class Scope;
+  struct BodyCtx;
+
+  // Pass A/B.
+  void declareClass(SynNode *Cls, Symbol *Owner);
+  void completeClass(SynNode *Cls);
+  void completeMember(SynNode *Member, ClassSymbol *Cls, Scope &ClsScope);
+  const Type *resolveType(SynType *T, Scope &S);
+  const Type *resolveNamedType(SynType *T, Scope &S);
+
+  // Pass C.
+  TreePtr typeClassBody(SynNode *Cls);
+  TreePtr typeMemberDef(SynNode *Member, ClassSymbol *Cls, BodyCtx &Ctx);
+  TreePtr typedExpr(SynNode *E, BodyCtx &Ctx);
+  TreePtr typedApply(SynNode *E, BodyCtx &Ctx);
+  TreePtr typedSelectOrRef(SynNode *E, BodyCtx &Ctx);
+  TreePtr typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx);
+  TreePtr typedBlock(SynNode *B, BodyCtx &Ctx);
+  TreePtr typeLocalDef(SynNode *Stat, BodyCtx &Ctx);
+
+  /// Adapts a just-typed reference for value position: a parameterless
+  /// method reference takes its result type (FirstTransform later inserts
+  /// the empty Apply).
+  TreePtr adapt(TreePtr T);
+
+  /// Member selection on an arbitrary receiver type.
+  TreePtr selectMember(SourceLoc Loc, TreePtr Qual, Name N, BodyCtx &Ctx);
+
+  /// Applies a function tree (with the given method/function type) to
+  /// typed arguments, checking conformance.
+  TreePtr applyCall(SourceLoc Loc, TreePtr Fun,
+                    std::vector<const Type *> ExplicitTypeArgs,
+                    std::vector<SynNode *> Args, BodyCtx &Ctx);
+
+  bool unifyTypeParams(const Type *Declared, const Type *Actual,
+                       const std::vector<Symbol *> &Params,
+                       std::vector<const Type *> &Bindings);
+
+  const Type *thisTypeOf(ClassSymbol *Cls);
+  Symbol *lookupUnqualified(Name N, BodyCtx &Ctx, ClassSymbol **FoundIn);
+  void error(SourceLoc Loc, std::string Msg);
+  TreePtr errorTree(SourceLoc Loc);
+
+  CompilerContext &Comp;
+  std::unordered_map<uint32_t, Symbol *> Globals; // name ordinal -> symbol
+  std::unordered_map<const SynNode *, ClassSymbol *> ClassSyms;
+  std::unordered_map<const SynNode *, Symbol *> MemberSyms;
+  std::vector<SynNode *> AllClasses; // declaration order, nested included
+};
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_TYPER_H

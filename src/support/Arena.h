@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump-pointer arena for long-lived compiler metadata (interned strings,
+/// misc byte storage). Objects allocated here are never destroyed
+/// individually; the arena frees all memory at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_ARENA_H
+#define MPC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mpc {
+
+/// A simple bump-pointer allocator with geometrically growing slabs.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + Align - 1) & ~(Align - 1);
+    if (Aligned + Size > reinterpret_cast<uintptr_t>(End)) {
+      growSlab(Size + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + Align - 1) & ~(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Size);
+    TotalUsed += Size;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Copies \p Size bytes into the arena and returns the stable copy.
+  char *copyBytes(const char *Data, size_t Size) {
+    char *Mem = static_cast<char *>(allocate(Size ? Size : 1, 1));
+    for (size_t I = 0; I < Size; ++I)
+      Mem[I] = Data[I];
+    return Mem;
+  }
+
+  /// Total bytes handed out (excluding alignment waste).
+  uint64_t bytesUsed() const { return TotalUsed; }
+
+private:
+  void growSlab(size_t AtLeast) {
+    size_t Size = NextSlabSize;
+    if (Size < AtLeast)
+      Size = AtLeast * 2;
+    NextSlabSize = NextSlabSize * 2;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    Cur = Slabs.back().get();
+    End = Cur + Size;
+  }
+
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t NextSlabSize = 4096;
+  uint64_t TotalUsed = 0;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_ARENA_H

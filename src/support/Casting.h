@@ -1,0 +1,58 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style custom RTTI: isa<>, cast<> and dyn_cast<> built on a classof
+/// static member provided by each class in a hierarchy. The project compiles
+/// without dynamic_cast; every polymorphic hierarchy (trees, types, symbols)
+/// carries an explicit kind discriminator instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_CASTING_H
+#define MPC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace mpc {
+
+/// Returns true if \p Val is an instance of class \p To.
+/// \p To must provide `static bool classof(const From *)`.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible kind");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible kind");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null input.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_CASTING_H

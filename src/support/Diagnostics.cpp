@@ -1,0 +1,26 @@
+#include "support/Diagnostics.h"
+
+#include "support/OStream.h"
+
+using namespace mpc;
+
+static const char *severityText(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::printAll(OStream &OS) const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid() && D.Loc.FileId < Files.size())
+      OS << Files[D.Loc.FileId] << ':' << D.Loc.Line << ':' << D.Loc.Col
+         << ": ";
+    OS << severityText(D.Severity) << ": " << D.Message << '\n';
+  }
+}

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and diagnostic collection. The compiler reports problems
+/// through a DiagnosticEngine rather than aborting, so tests can assert on
+/// produced diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_DIAGNOSTICS_H
+#define MPC_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+class OStream;
+
+/// A position in a source file: 1-based line/column, file id into the
+/// driver's file table. Line 0 means "no location".
+struct SourceLoc {
+  uint32_t FileId = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &O) const {
+    return FileId == O.FileId && Line == O.Line && Col == O.Col;
+  }
+};
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics; printing is separate from reporting.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Registers a file name, returning its id for SourceLocs.
+  uint32_t addFile(std::string FileName) {
+    Files.push_back(std::move(FileName));
+    return static_cast<uint32_t>(Files.size() - 1);
+  }
+  const std::string &fileName(uint32_t Id) const { return Files[Id]; }
+  size_t fileCount() const { return Files.size(); }
+
+  /// Pretty-prints all diagnostics in "file:line:col: severity: msg" form.
+  void printAll(OStream &OS) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  std::vector<std::string> Files;
+  unsigned NumErrors = 0;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,55 @@
+#include "support/OStream.h"
+
+#include <cinttypes>
+
+using namespace mpc;
+
+OStream::~OStream() = default;
+
+OStream &OStream::operator<<(int64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(uint64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(double D) {
+  char Buf[48];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::operator<<(const void *P) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%p", P);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+OStream &OStream::indent(unsigned N) {
+  for (unsigned I = 0; I < N; ++I)
+    write(" ", 1);
+  return *this;
+}
+
+void FileOStream::write(const char *Data, size_t Size) {
+  std::fwrite(Data, 1, Size, File);
+}
+
+OStream &mpc::outs() {
+  static FileOStream S(stdout);
+  return S;
+}
+
+OStream &mpc::errs() {
+  static FileOStream S(stderr);
+  return S;
+}

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny raw_ostream-style output abstraction. Library code never includes
+/// <iostream> (which injects static constructors); it writes through OStream
+/// instead. FileOStream wraps a C FILE*, StringOStream appends to a string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_OSTREAM_H
+#define MPC_SUPPORT_OSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mpc {
+
+/// Lightweight formatted output stream.
+class OStream {
+public:
+  virtual ~OStream();
+
+  /// Writes \p Size raw bytes.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  OStream &operator<<(std::string_view S) {
+    write(S.data(), S.size());
+    return *this;
+  }
+  OStream &operator<<(const char *S) { return *this << std::string_view(S); }
+  OStream &operator<<(const std::string &S) {
+    return *this << std::string_view(S);
+  }
+  OStream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+  OStream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+  OStream &operator<<(int64_t N);
+  OStream &operator<<(uint64_t N);
+  OStream &operator<<(int N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(unsigned N) { return *this << static_cast<uint64_t>(N); }
+  OStream &operator<<(long long N) { return *this << static_cast<int64_t>(N); }
+  OStream &operator<<(unsigned long long N) {
+    return *this << static_cast<uint64_t>(N);
+  }
+  OStream &operator<<(double D);
+  OStream &operator<<(const void *P);
+
+  /// Writes \p N spaces (indentation helper).
+  OStream &indent(unsigned N);
+};
+
+/// Stream over a C FILE handle; does not own the handle.
+class FileOStream : public OStream {
+public:
+  explicit FileOStream(std::FILE *F) : File(F) {}
+  void write(const char *Data, size_t Size) override;
+
+private:
+  std::FILE *File;
+};
+
+/// Stream that appends to a std::string buffer.
+class StringOStream : public OStream {
+public:
+  StringOStream() = default;
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+  const std::string &str() const { return Buffer; }
+  void clear() { Buffer.clear(); }
+
+private:
+  std::string Buffer;
+};
+
+/// Stream that discards everything written to it.
+class NullOStream : public OStream {
+public:
+  void write(const char *, size_t) override {}
+};
+
+/// Standard output stream (function-local static, no global ctor).
+OStream &outs();
+/// Standard error stream.
+OStream &errs();
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_OSTREAM_H

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation (SplitMix64). Used by the
+/// synthetic workload generator and property-style tests; never seeded from
+/// wall-clock time so every run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_RNG_H
+#define MPC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mpc {
+
+/// SplitMix64: tiny, fast, and statistically solid for workload generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() bounds out of order");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T, size_t N> const T &pick(const T (&Items)[N]) {
+    return Items[below(N)];
+  }
+
+  /// Forks an independent stream (e.g. one per compilation unit).
+  Rng fork() { return Rng(next() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_RNG_H

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters in the spirit of LLVM's Statistic class. Phases bump
+/// counters (nodes visited, trees rebuilt, hooks executed...) and benchmarks
+/// read them back to explain measured effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_STATISTICS_H
+#define MPC_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mpc {
+
+class OStream;
+
+/// A bag of named uint64 counters. Not thread-safe; the compiler is
+/// single-threaded like the paper's measurement configuration.
+class StatsRegistry {
+public:
+  uint64_t &counter(const std::string &Key) { return Counters[Key]; }
+
+  uint64_t get(const std::string &Key) const {
+    auto It = Counters.find(Key);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  void clear() { Counters.clear(); }
+
+  /// Prints "key = value" lines sorted by key.
+  void print(OStream &OS) const;
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_STATISTICS_H

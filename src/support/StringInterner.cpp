@@ -1,0 +1,28 @@
+#include "support/StringInterner.h"
+
+#include <cstdio>
+
+using namespace mpc;
+
+Name StringInterner::intern(std::string_view Text) {
+  auto It = Map.find(Text);
+  if (It != Map.end())
+    return Name(It->second);
+
+  char *Copy = Storage.copyBytes(Text.data(), Text.size());
+  auto *Entry = static_cast<detail::NameEntry *>(
+      Storage.allocate(sizeof(detail::NameEntry), alignof(detail::NameEntry)));
+  Entry->Text = Copy;
+  Entry->Length = static_cast<uint32_t>(Text.size());
+  Entry->Ordinal = NextOrdinal++;
+  Map.emplace(std::string_view(Copy, Text.size()), Entry);
+  return Name(Entry);
+}
+
+Name StringInterner::internSuffixed(std::string_view Base, uint64_t N) {
+  char Buf[160];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%.*s$%llu",
+                          static_cast<int>(Base.size()), Base.data(),
+                          static_cast<unsigned long long>(N));
+  return intern(std::string_view(Buf, static_cast<size_t>(Len)));
+}

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifier names. A Name is a cheap value type (a pointer into
+/// the interner) with O(1) equality, a stable ordinal for deterministic
+/// ordering, and the original text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_STRINGINTERNER_H
+#define MPC_SUPPORT_STRINGINTERNER_H
+
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mpc {
+
+class StringInterner;
+
+namespace detail {
+struct NameEntry {
+  const char *Text;
+  uint32_t Length;
+  uint32_t Ordinal;
+};
+} // namespace detail
+
+/// An interned string; trivially copyable, compares by identity.
+class Name {
+public:
+  Name() : Entry(nullptr) {}
+
+  /// The empty/invalid name.
+  bool isEmpty() const { return Entry == nullptr; }
+  explicit operator bool() const { return Entry != nullptr; }
+
+  std::string_view text() const {
+    if (!Entry)
+      return std::string_view();
+    return std::string_view(Entry->Text, Entry->Length);
+  }
+  std::string str() const { return std::string(text()); }
+
+  /// Stable ordinal within the owning interner (deterministic sort key).
+  uint32_t ordinal() const { return Entry ? Entry->Ordinal : 0; }
+
+  bool operator==(const Name &O) const { return Entry == O.Entry; }
+  bool operator!=(const Name &O) const { return Entry != O.Entry; }
+  bool operator<(const Name &O) const { return ordinal() < O.ordinal(); }
+
+private:
+  friend class StringInterner;
+  friend struct NameHash;
+  explicit Name(const detail::NameEntry *E) : Entry(E) {}
+  const detail::NameEntry *Entry;
+};
+
+struct NameHash {
+  size_t operator()(const Name &N) const {
+    return std::hash<const void *>()(N.Entry);
+  }
+};
+
+/// Owns interned strings; all Names it returns stay valid for its lifetime.
+class StringInterner {
+public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Interns \p Text, returning the canonical Name for it.
+  Name intern(std::string_view Text);
+
+  /// Interns "<Base>$<N>" — handy for synthesizing fresh names.
+  Name internSuffixed(std::string_view Base, uint64_t N);
+
+  size_t size() const { return Map.size(); }
+
+private:
+  Arena Storage;
+  std::unordered_map<std::string_view, detail::NameEntry *> Map;
+  uint32_t NextOrdinal = 1;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_STRINGINTERNER_H

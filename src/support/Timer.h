@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing helpers used by the stage-time benchmarks (Fig 4/9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_TIMER_H
+#define MPC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace mpc {
+
+/// Monotonic stopwatch measuring seconds as double.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void reset() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates time across multiple start/stop windows.
+class StopWatch {
+public:
+  void start() { T.reset(); }
+  void stop() { Total += T.elapsedSeconds(); }
+  double seconds() const { return Total; }
+  void clear() { Total = 0; }
+
+private:
+  Timer T;
+  double Total = 0;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_TIMER_H

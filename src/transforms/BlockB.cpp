@@ -1,0 +1,649 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fusion block B: PatternMatcher, InterceptedMethods, Splitter,
+/// ElimByName, Getters, ExplicitOuter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Phases.h"
+
+#include "ast/TreeUtils.h"
+#include "transforms/TransformUtils.h"
+
+using namespace mpc;
+
+//===----------------------------------------------------------------------===//
+// PatternMatcher
+//===----------------------------------------------------------------------===//
+
+PatternMatcherPhase::PatternMatcherPhase()
+    : MiniPhase("PatternMatcher", "compiles pattern matches") {
+  declareTransforms({TreeKind::Match});
+  declarePrepares({TreeKind::DefDef});
+  // Paper §6.3: "the phase that removes pattern matching requires the tail
+  // recursion elimination phase to finish processing all the trees".
+  addRunsAfterGroupsOf("TailRec");
+}
+
+void PatternMatcherPhase::prepareForDefDef(DefDef *T, PhaseRunContext &Ctx) {
+  (void)Ctx;
+  MethodStack.push_back(T->sym());
+}
+void PatternMatcherPhase::leaveDefDef(DefDef *T, PhaseRunContext &Ctx) {
+  (void)T;
+  (void)Ctx;
+  MethodStack.pop_back();
+}
+
+namespace {
+/// Translates one Match into tests/casts/conditionals. Failure
+/// continuations are shared subtrees (immutability makes the result a DAG,
+/// which reference counting handles naturally).
+class MatchCompiler {
+public:
+  MatchCompiler(PhaseRunContext &Ctx, Symbol *Owner, const Type *ResultTy)
+      : Ctx(Ctx), Owner(Owner), ResultTy(ResultTy) {}
+
+  TreePtr compile(Match *M) {
+    TreeContext &Trees = Ctx.trees();
+    SourceLoc Loc = M->loc();
+    Symbol *Sel = Ctx.syms().makeTerm(
+        Ctx.syms().freshName("selector"), Owner,
+        SymFlag::Local | SymFlag::Synthetic, M->selector()->type());
+    // No case matched: throw new MatchError.
+    const Type *MatchErrTy =
+        Ctx.types().classType(Ctx.syms().matchErrorClass());
+    TreePtr Chain = Trees.makeThrow(
+        Loc, Trees.makeNew(Loc, MatchErrTy, {}),
+        Ctx.types().nothingType());
+    for (unsigned I = M->numCases(); I-- > 0;) {
+      auto *C = cast<CaseDef>(M->caseAt(I));
+      TreePtr Scrut = Trees.makeIdent(Loc, Sel, Sel->info());
+      TreePtr Success = TreePtr(C->body());
+      if (C->guard())
+        Success = Trees.makeIf(C->loc(), TreePtr(C->guard()),
+                               std::move(Success), Chain, ResultTy);
+      Chain = compilePat(C->pat(), std::move(Scrut), std::move(Success),
+                         Chain);
+    }
+    TreeList Stats;
+    Stats.push_back(Trees.makeValDef(Loc, Sel, TreePtr(M->selector())));
+    return Trees.makeBlock(Loc, std::move(Stats), std::move(Chain));
+  }
+
+private:
+  TreePtr castIfNeeded(TreePtr Scrut, const Type *Ty) {
+    if (Scrut->type() == Ty)
+      return Scrut;
+    SourceLoc Loc = Scrut->loc(); // sequenced before the move below
+    return makeCast(Ctx, Loc, std::move(Scrut), Ty);
+  }
+
+  /// Universal, null-safe equality via Runtime.equals.
+  TreePtr equalityTest(SourceLoc Loc, TreePtr Scrut, TreePtr Lit) {
+    SymbolTable &Syms = Ctx.syms();
+    TreePtr RuntimeRef = Ctx.trees().makeIdent(
+        Loc, Syms.runtimeModule(), Syms.runtimeModule()->info());
+    TreeList Args;
+    Args.push_back(std::move(Scrut));
+    Args.push_back(std::move(Lit));
+    return makeMemberCall(Ctx, Loc, std::move(RuntimeRef),
+                          Syms.runtimeEqualsMethod(),
+                          Syms.runtimeEqualsMethod()->info(),
+                          std::move(Args));
+  }
+
+  TreePtr compilePat(Tree *Pat, TreePtr Scrut, TreePtr Success,
+                     TreePtr Fail) {
+    TreeContext &Trees = Ctx.trees();
+    SourceLoc Loc = Pat->loc();
+    switch (Pat->kind()) {
+    case TreeKind::Literal:
+      return Trees.makeIf(
+          Loc, equalityTest(Loc, std::move(Scrut), TreePtr(Pat)),
+          std::move(Success), std::move(Fail), ResultTy);
+    case TreeKind::Ident:
+      // Wildcard: always matches, no binding.
+      return Success;
+    case TreeKind::Bind: {
+      auto *B = cast<Bind>(Pat);
+      Symbol *Var = B->sym();
+      TreeList Stats;
+      Stats.push_back(
+          Trees.makeValDef(Loc, Var, castIfNeeded(Scrut, Var->info())));
+      TreePtr Bound =
+          Trees.makeBlock(Loc, std::move(Stats), std::move(Success));
+      return compilePat(B->pat(), std::move(Scrut), std::move(Bound),
+                        std::move(Fail));
+    }
+    case TreeKind::Typed: {
+      const Type *TestTy = Pat->type();
+      TreePtr Test = makeIsInstanceOf(Ctx, Loc, std::move(Scrut), TestTy);
+      return Trees.makeIf(Loc, std::move(Test), std::move(Success),
+                          std::move(Fail), ResultTy);
+    }
+    case TreeKind::UnApply: {
+      auto *U = cast<UnApply>(Pat);
+      ClassSymbol *Cls = U->caseClass();
+      const Type *ClsTy = Pat->type();
+      Symbol *Tmp = Ctx.syms().makeTerm(
+          Ctx.syms().freshName("unapply"), Owner,
+          SymFlag::Local | SymFlag::Synthetic, ClsTy);
+      // Destructure fields positionally, innermost test first when
+      // folding from the right.
+      TreePtr Inner = std::move(Success);
+      const auto &Fields = Cls->caseFields();
+      for (unsigned I = U->numKids(); I-- > 0;) {
+        Symbol *Field = Fields[I];
+        TreePtr FieldRead;
+        TreePtr TmpRef = Trees.makeIdent(Loc, Tmp, ClsTy);
+        if (Field->isMethod() || Field->is(SymFlag::Accessor)) {
+          // Getters may already have converted the field.
+          FieldRead = makeMemberCall(
+              Ctx, Loc, std::move(TmpRef), Field,
+              Ctx.types().methodType({}, Field->info()->widenByName()),
+              {});
+        } else {
+          FieldRead =
+              Trees.makeSelect(Loc, std::move(TmpRef), Field,
+                               Field->info());
+        }
+        Inner = compilePat(U->kid(I), std::move(FieldRead),
+                           std::move(Inner), Fail);
+      }
+      TreeList Stats;
+      TreePtr CastScrut = castIfNeeded(Scrut, ClsTy);
+      Stats.push_back(Trees.makeValDef(Loc, Tmp, std::move(CastScrut)));
+      TreePtr Body =
+          Trees.makeBlock(Loc, std::move(Stats), std::move(Inner));
+      TreePtr Test = makeIsInstanceOf(Ctx, Loc, std::move(Scrut),
+                                      Ctx.types().classType(Cls));
+      return Trees.makeIf(Loc, std::move(Test), std::move(Body),
+                          std::move(Fail), ResultTy);
+    }
+    case TreeKind::Alternative: {
+      TreePtr Result = std::move(Fail);
+      for (unsigned I = Pat->numKids(); I-- > 0;)
+        Result = compilePat(Pat->kid(I), Scrut, Success, std::move(Result));
+      return Result;
+    }
+    default:
+      // Unknown pattern form: treat as non-matching.
+      return Fail;
+    }
+  }
+
+  PhaseRunContext &Ctx;
+  Symbol *Owner;
+  const Type *ResultTy;
+};
+} // namespace
+
+TreePtr PatternMatcherPhase::transformMatch(Match *T, PhaseRunContext &Ctx) {
+  Symbol *Owner = MethodStack.empty() ? Ctx.syms().rootPackage()
+                                      : MethodStack.back();
+  MatchCompiler MC(Ctx, Owner, T->type());
+  return MC.compile(T);
+}
+
+bool PatternMatcherPhase::checkPostCondition(const Tree *T,
+                                             CompilerContext &Comp) const {
+  (void)Comp;
+  // Match expressions and the complex pattern forms are gone. CaseDef and
+  // Bind survive only in the restricted catch-handler position of Try
+  // (simple `e @ (_: T)` shapes the backend executes directly).
+  switch (T->kind()) {
+  case TreeKind::Match:
+  case TreeKind::UnApply:
+  case TreeKind::Alternative:
+    return false;
+  default:
+    return true;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// InterceptedMethods
+//===----------------------------------------------------------------------===//
+
+InterceptedMethodsPhase::InterceptedMethodsPhase()
+    : MiniPhase("InterceptedMethods",
+                "special handling of ==, != and equals") {
+  declareTransforms({TreeKind::Apply});
+}
+
+TreePtr InterceptedMethodsPhase::transformApply(Apply *T,
+                                                PhaseRunContext &Ctx) {
+  const auto *Sel = dyn_cast<Select>(T->fun());
+  if (!Sel || T->numArgs() != 1)
+    return TreePtr(T);
+  SymbolTable &Syms = Ctx.syms();
+  Symbol *Sym = Sel->sym();
+  ClassSymbol *Obj = Syms.objectClass();
+  bool IsEq = Sym->owner() == Obj && (Sym->name() == Syms.std().EqEq ||
+                                      Sym->name() == Syms.std().Equals);
+  bool IsNe = Sym->owner() == Obj && Sym->name() == Syms.std().BangEq;
+  if (!IsEq && !IsNe)
+    return TreePtr(T);
+
+  TreePtr RuntimeRef = Ctx.trees().makeIdent(
+      T->loc(), Syms.runtimeModule(), Syms.runtimeModule()->info());
+  TreeList Args;
+  Args.push_back(TreePtr(Sel->qual()));
+  Args.push_back(TreePtr(T->arg(0)));
+  TreePtr Call = makeMemberCall(Ctx, T->loc(), std::move(RuntimeRef),
+                                Syms.runtimeEqualsMethod(),
+                                Syms.runtimeEqualsMethod()->info(),
+                                std::move(Args));
+  if (!IsNe)
+    return Call;
+  // a != b  ->  !(Runtime.equals(a, b))
+  Symbol *Not = Syms.primOp(PrimKind::Boolean,
+                            Ctx.Comp.names().intern("unary_!"));
+  return makeMemberCall(Ctx, T->loc(), std::move(Call), Not, Not->info(),
+                        {});
+}
+
+//===----------------------------------------------------------------------===//
+// Splitter
+//===----------------------------------------------------------------------===//
+
+SplitterPhase::SplitterPhase()
+    : MiniPhase("Splitter",
+                "expands selections on union types into conditionals") {
+  declareTransforms({TreeKind::Apply, TreeKind::Select});
+  declarePrepares({TreeKind::DefDef});
+}
+
+void SplitterPhase::prepareForDefDef(DefDef *T, PhaseRunContext &Ctx) {
+  (void)Ctx;
+  MethodStack.push_back(T->sym());
+}
+void SplitterPhase::leaveDefDef(DefDef *T, PhaseRunContext &Ctx) {
+  (void)T;
+  (void)Ctx;
+  MethodStack.pop_back();
+}
+
+/// Collects the class-type leaves of a union; returns false when a leaf is
+/// not a plain class type.
+static bool unionLeaves(const Type *T, std::vector<const ClassType *> &Out) {
+  if (const auto *U = dyn_cast<UnionType>(T))
+    return unionLeaves(U->left(), Out) && unionLeaves(U->right(), Out);
+  if (const auto *CT = dyn_cast<ClassType>(T)) {
+    Out.push_back(CT);
+    return true;
+  }
+  return false;
+}
+
+TreePtr SplitterPhase::transformApply(Apply *T, PhaseRunContext &Ctx) {
+  const auto *Sel = dyn_cast<Select>(T->fun());
+  if (!Sel || !Sel->qual()->type() ||
+      !isa<UnionType>(Sel->qual()->type()))
+    return TreePtr(T);
+  std::vector<const ClassType *> Leaves;
+  if (!unionLeaves(Sel->qual()->type(), Leaves) || Leaves.size() < 2)
+    return TreePtr(T);
+
+  TreeContext &Trees = Ctx.trees();
+  SourceLoc Loc = T->loc();
+  Symbol *Owner = MethodStack.empty() ? Ctx.syms().rootPackage()
+                                      : MethodStack.back();
+  Symbol *Tmp = Ctx.syms().makeTerm(Ctx.syms().freshName("union"), Owner,
+                                    SymFlag::Local | SymFlag::Synthetic,
+                                    Sel->qual()->type());
+
+  // Innermost alternative: unconditionally dispatch on the last leaf.
+  auto MakeBranchCall = [&](const ClassType *Leaf) -> TreePtr {
+    Symbol *Member = Leaf->cls()->findMember(Sel->sym()->name());
+    if (!Member)
+      Member = Sel->sym();
+    TreePtr Recv = makeCast(
+        Ctx, Loc, Trees.makeIdent(Loc, Tmp, Tmp->info()), Leaf);
+    TreePtr Fun = Trees.makeSelect(Loc, std::move(Recv), Member,
+                                   Sel->type());
+    TreeList Args;
+    for (unsigned I = 0; I < T->numArgs(); ++I)
+      Args.push_back(TreePtr(T->arg(I)));
+    return Trees.makeApply(Loc, std::move(Fun), std::move(Args), T->type());
+  };
+
+  TreePtr Chain = MakeBranchCall(Leaves.back());
+  for (unsigned I = static_cast<unsigned>(Leaves.size()) - 1; I-- > 0;) {
+    TreePtr Test = makeIsInstanceOf(
+        Ctx, Loc, Trees.makeIdent(Loc, Tmp, Tmp->info()), Leaves[I]);
+    Chain = Trees.makeIf(Loc, std::move(Test), MakeBranchCall(Leaves[I]),
+                         std::move(Chain), T->type());
+  }
+  TreeList Stats;
+  Stats.push_back(Trees.makeValDef(Loc, Tmp, TreePtr(Sel->qual())));
+  return Trees.makeBlock(Loc, std::move(Stats), std::move(Chain));
+}
+
+TreePtr SplitterPhase::transformSelect(Select *T, PhaseRunContext &Ctx) {
+  // Bare selections on unions (field reads) — rare after Getters, but
+  // handled the same way.
+  if (!T->qual()->type() || !isa<UnionType>(T->qual()->type()))
+    return TreePtr(T);
+  if (T->type() && (isa<MethodType>(T->type()) || isa<PolyType>(T->type())))
+    return TreePtr(T); // function position; the Apply hook splits it
+  std::vector<const ClassType *> Leaves;
+  if (!unionLeaves(T->qual()->type(), Leaves) || Leaves.size() < 2)
+    return TreePtr(T);
+
+  TreeContext &Trees = Ctx.trees();
+  SourceLoc Loc = T->loc();
+  Symbol *Owner = MethodStack.empty() ? Ctx.syms().rootPackage()
+                                      : MethodStack.back();
+  Symbol *Tmp = Ctx.syms().makeTerm(Ctx.syms().freshName("union"), Owner,
+                                    SymFlag::Local | SymFlag::Synthetic,
+                                    T->qual()->type());
+  auto MakeBranch = [&](const ClassType *Leaf) -> TreePtr {
+    Symbol *Member = Leaf->cls()->findMember(T->sym()->name());
+    if (!Member)
+      Member = T->sym();
+    TreePtr Recv = makeCast(
+        Ctx, Loc, Trees.makeIdent(Loc, Tmp, Tmp->info()), Leaf);
+    return Trees.makeSelect(Loc, std::move(Recv), Member, T->type());
+  };
+  TreePtr Chain = MakeBranch(Leaves.back());
+  for (unsigned I = static_cast<unsigned>(Leaves.size()) - 1; I-- > 0;) {
+    TreePtr Test = makeIsInstanceOf(
+        Ctx, Loc, Trees.makeIdent(Loc, Tmp, Tmp->info()), Leaves[I]);
+    Chain = Trees.makeIf(Loc, std::move(Test), MakeBranch(Leaves[I]),
+                         std::move(Chain), T->type());
+  }
+  TreeList Stats;
+  Stats.push_back(Trees.makeValDef(Loc, Tmp, TreePtr(T->qual())));
+  return Trees.makeBlock(Loc, std::move(Stats), std::move(Chain));
+}
+
+bool SplitterPhase::checkPostCondition(const Tree *T,
+                                       CompilerContext &Comp) const {
+  // Erasure's precondition (paper §6.2.2): no member selections on
+  // union-typed receivers. The type-test intrinsics are exempt — they
+  // are erased, not dispatched.
+  if (const auto *Sel = dyn_cast<Select>(T)) {
+    if (Sel->sym() == Comp.syms().isInstanceOfMethod() ||
+        Sel->sym() == Comp.syms().asInstanceOfMethod())
+      return true;
+    const Type *QT = Sel->qual()->type();
+    if (QT && isa<UnionType>(QT)) {
+      std::vector<const ClassType *> Leaves;
+      if (unionLeaves(QT, Leaves))
+        return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ElimByName
+//===----------------------------------------------------------------------===//
+
+ElimByNamePhase::ElimByNamePhase()
+    : MiniPhase("ElimByName",
+                "expands by-name parameters and arguments") {
+  declareTransforms({TreeKind::Ident, TreeKind::Apply, TreeKind::DefDef});
+}
+
+TreePtr ElimByNamePhase::transformIdent(Ident *T, PhaseRunContext &Ctx) {
+  Symbol *Sym = T->sym();
+  if (!Sym || !Sym->is(SymFlag::Param) || !Sym->info() ||
+      !isa<ExprType>(Sym->info()))
+    return TreePtr(T);
+  // x  ->  x.apply()   (the parameter becomes a Function0 thunk).
+  TypeContext &Types = Ctx.types();
+  const Type *ValueTy = cast<ExprType>(Sym->info())->result();
+  const Type *ThunkTy = Types.functionType({}, ValueTy);
+  TreePtr Ref = Ctx.trees().makeIdent(T->loc(), Sym, ThunkTy);
+  Symbol *ApplySym =
+      Ctx.syms().functionClass(0)->findDeclaredMember(Ctx.syms().std().Apply);
+  return makeMemberCall(Ctx, T->loc(), std::move(Ref), ApplySym,
+                        Types.methodType({}, ValueTy), {});
+}
+
+TreePtr ElimByNamePhase::transformApply(Apply *T, PhaseRunContext &Ctx) {
+  const auto *MT = dyn_cast_or_null<MethodType>(T->fun()->type());
+  if (!MT)
+    return TreePtr(T);
+  bool HasByName = false;
+  for (const Type *P : MT->params())
+    if (isa<ExprType>(P))
+      HasByName = true;
+  if (!HasByName)
+    return TreePtr(T);
+
+  TypeContext &Types = Ctx.types();
+  TreeList Args;
+  std::vector<const Type *> NewParams;
+  for (unsigned I = 0; I < T->numArgs(); ++I) {
+    const Type *P = I < MT->params().size() ? MT->params()[I] : nullptr;
+    if (P && isa<ExprType>(P)) {
+      const Type *ValueTy = cast<ExprType>(P)->result();
+      const Type *ThunkTy = Types.functionType({}, ValueTy);
+      Args.push_back(Ctx.trees().makeClosure(T->arg(I)->loc(), {},
+                                             TreePtr(T->arg(I)), ThunkTy));
+      NewParams.push_back(ThunkTy);
+    } else {
+      Args.push_back(TreePtr(T->arg(I)));
+      NewParams.push_back(P);
+    }
+  }
+  TreePtr NewFun = Ctx.trees().withType(
+      T->fun(), Types.methodType(std::move(NewParams), MT->result()));
+  return Ctx.trees().makeApply(T->loc(), std::move(NewFun), std::move(Args),
+                               T->type());
+}
+
+TreePtr ElimByNamePhase::transformDefDef(DefDef *T, PhaseRunContext &Ctx) {
+  TypeContext &Types = Ctx.types();
+  Symbol *Sym = T->sym();
+  bool Any = false;
+  for (unsigned I = 0; I < T->numParamsTotal(); ++I) {
+    auto *PD = cast<ValDef>(T->paramAt(I));
+    if (const auto *ET = dyn_cast_or_null<ExprType>(PD->sym()->info())) {
+      PD->sym()->setInfo(Types.functionType({}, ET->result()));
+      Any = true;
+    }
+  }
+  if (!Any)
+    return TreePtr(T);
+  const Type *Info = Sym->info();
+  const PolyType *Poly = dyn_cast<PolyType>(Info);
+  const auto *MT = cast<MethodType>(Poly ? Poly->underlying() : Info);
+  std::vector<const Type *> Params;
+  for (const Type *P : MT->params())
+    Params.push_back(isa<ExprType>(P)
+                         ? Types.functionType(
+                               {}, cast<ExprType>(P)->result())
+                         : P);
+  const Type *NewMT = Types.methodType(std::move(Params), MT->result());
+  Sym->setInfo(Poly ? Types.polyType(Poly->typeParams(), NewMT) : NewMT);
+  return TreePtr(T);
+}
+
+bool ElimByNamePhase::checkPostCondition(const Tree *T,
+                                         CompilerContext &Comp) const {
+  (void)Comp;
+  if (const auto *DD = dyn_cast<DefDef>(T)) {
+    for (unsigned I = 0; I < DD->numParamsTotal(); ++I) {
+      const auto *PD = cast<ValDef>(DD->paramAt(I));
+      if (PD->sym()->info() && isa<ExprType>(PD->sym()->info()))
+        return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Getters
+//===----------------------------------------------------------------------===//
+
+GettersPhase::GettersPhase()
+    : MiniPhase("Getters",
+                "replaces non-private vals with getter defs") {
+  declareTransforms({TreeKind::ValDef, TreeKind::Select});
+}
+
+bool GettersPhase::isGetterCandidate(const Symbol *S) {
+  if (!S || S->isClass())
+    return false;
+  Symbol *Owner = S->owner();
+  if (!Owner || !Owner->isClass())
+    return false;
+  if (S->is(SymFlag::Local) || S->is(SymFlag::Mutable) ||
+      S->is(SymFlag::Private) || S->is(SymFlag::Builtin))
+    return false;
+  return S->is(SymFlag::Field) || S->is(SymFlag::Accessor);
+}
+
+TreePtr GettersPhase::transformValDef(ValDef *T, PhaseRunContext &Ctx) {
+  Symbol *Sym = T->sym();
+  if (!isGetterCandidate(Sym) || Sym->is(SymFlag::Accessor))
+    return TreePtr(T);
+  // val x: T = rhs  ->  def x(): T = rhs  (field re-added by Memoize).
+  const Type *ValueTy = Sym->info();
+  Sym->setFlag(SymFlag::Method | SymFlag::Accessor);
+  Sym->clearFlag(SymFlag::Field);
+  Sym->setInfo(Ctx.types().methodType({}, ValueTy));
+  return Ctx.trees().makeDefDef(T->loc(), Sym, {0}, {}, TreePtr(T->rhs()));
+}
+
+TreePtr GettersPhase::transformSelect(Select *T, PhaseRunContext &Ctx) {
+  Symbol *Sym = T->sym();
+  if (!isGetterCandidate(Sym))
+    return TreePtr(T);
+  if (T->type() && isa<MethodType>(T->type()))
+    return TreePtr(T); // already in function position
+  // x  ->  x()   (field read becomes accessor call).
+  const Type *ValueTy = T->type();
+  TreePtr Fun = Ctx.trees().withType(
+      T, Ctx.types().methodType({}, ValueTy));
+  return Ctx.trees().makeApply(T->loc(), std::move(Fun), {}, ValueTy);
+}
+
+//===----------------------------------------------------------------------===//
+// ExplicitOuter
+//===----------------------------------------------------------------------===//
+
+ExplicitOuterPhase::ExplicitOuterPhase()
+    : MiniPhase("ExplicitOuter",
+                "adds outer pointers to nested classes") {
+  declareTransforms({TreeKind::This, TreeKind::New, TreeKind::ClassDef});
+  declarePrepares({TreeKind::ClassDef});
+}
+
+bool ExplicitOuterPhase::needsOuter(const ClassSymbol *Cls) {
+  if (!Cls || Cls->isTrait() || Cls->is(SymFlag::ModuleClass) ||
+      Cls->is(SymFlag::Builtin) || Cls->is(SymFlag::Synthetic))
+    return false;
+  Symbol *Owner = Cls->owner();
+  return Owner && Owner->isClass() && !Owner->is(SymFlag::ModuleClass);
+}
+
+Symbol *ExplicitOuterPhase::outerFieldOf(ClassSymbol *Cls,
+                                         PhaseRunContext &Ctx) {
+  auto It = OuterFields.find(Cls);
+  if (It != OuterFields.end())
+    return It->second;
+  auto *OwnerCls = cast<ClassSymbol>(Cls->owner());
+  Symbol *Field = Ctx.syms().makeTerm(
+      Ctx.syms().std().Outer, Cls,
+      SymFlag::Field | SymFlag::Synthetic | SymFlag::Local,
+      Ctx.types().classType(OwnerCls));
+  Cls->enterMember(Field);
+  OuterFields[Cls] = Field;
+  return Field;
+}
+
+void ExplicitOuterPhase::prepareForClassDef(ClassDef *T,
+                                            PhaseRunContext &Ctx) {
+  (void)Ctx;
+  ClassStack.push_back(T->sym());
+}
+void ExplicitOuterPhase::leaveClassDef(ClassDef *T, PhaseRunContext &Ctx) {
+  (void)T;
+  (void)Ctx;
+  ClassStack.pop_back();
+}
+
+TreePtr ExplicitOuterPhase::transformThis(This *T, PhaseRunContext &Ctx) {
+  if (ClassStack.empty())
+    return TreePtr(T);
+  ClassSymbol *Inner = ClassStack.back();
+  if (!needsOuter(Inner) || T->cls() == Inner ||
+      T->cls() != Inner->owner())
+    return TreePtr(T);
+  // this(Outer)  ->  this(Inner).$outer
+  Symbol *Field = outerFieldOf(Inner, Ctx);
+  TreePtr Self = makeSelfRef(Ctx, T->loc(), Inner);
+  return Ctx.trees().makeSelect(T->loc(), std::move(Self), Field,
+                                Field->info());
+}
+
+TreePtr ExplicitOuterPhase::transformNew(New *T, PhaseRunContext &Ctx) {
+  ClassSymbol *Cls = T->classTy()->classSymbol();
+  if (!Cls || !needsOuter(Cls))
+    return TreePtr(T);
+  // new Inner(args)  ->  new Inner(args, <enclosing this>).
+  auto *OwnerCls = cast<ClassSymbol>(Cls->owner());
+  TreeList Args = T->kids();
+  Args.push_back(makeSelfRef(Ctx, T->loc(), OwnerCls));
+  return Ctx.trees().makeNew(T->loc(), T->classTy(), std::move(Args));
+}
+
+TreePtr ExplicitOuterPhase::transformClassDef(ClassDef *T,
+                                              PhaseRunContext &Ctx) {
+  ClassSymbol *Cls = T->sym();
+  if (!needsOuter(Cls))
+    return TreePtr(T);
+  TypeContext &Types = Ctx.types();
+  auto *OwnerCls = cast<ClassSymbol>(Cls->owner());
+  const Type *OuterTy = Types.classType(OwnerCls);
+  Symbol *Field = outerFieldOf(Cls, Ctx);
+
+  // Extend <init> with the trailing $outer parameter and the field store.
+  Symbol *Init = Cls->findDeclaredMember(Ctx.syms().std().Init);
+  TreeList Body = T->kids();
+  for (TreePtr &Member : Body) {
+    auto *DD = dyn_cast_or_null<DefDef>(Member.get());
+    if (!DD || DD->sym() != Init)
+      continue;
+    Symbol *Param = Ctx.syms().makeTerm(
+        Ctx.syms().freshName("outer"), Init,
+        SymFlag::Param | SymFlag::Local | SymFlag::Synthetic, OuterTy);
+    const auto *MT = cast<MethodType>(Init->info());
+    std::vector<const Type *> Params = MT->params();
+    Params.push_back(OuterTy);
+    Init->setInfo(Types.methodType(std::move(Params), MT->result()));
+
+    TreeList Kids = DD->kids();
+    TreePtr Rhs = std::move(Kids.back());
+    Kids.pop_back();
+    Kids.push_back(Ctx.trees().makeValDef(T->loc(), Param, nullptr));
+    // Prepend the store to the constructor body.
+    TreePtr Store = Ctx.trees().makeAssign(
+        T->loc(),
+        Ctx.trees().makeSelect(T->loc(), makeSelfRef(Ctx, T->loc(), Cls),
+                               Field, Field->info()),
+        Ctx.trees().makeIdent(T->loc(), Param, OuterTy),
+        Types.unitType());
+    TreeList RhsStats;
+    RhsStats.push_back(std::move(Store));
+    RhsStats.push_back(std::move(Rhs));
+    TreePtr NewRhs = Ctx.trees().makeBlock(T->loc(), std::move(RhsStats),
+                                           makeUnitLit(Ctx, T->loc()));
+    std::vector<uint32_t> Sizes = DD->paramListSizes();
+    if (Sizes.empty())
+      Sizes.push_back(0);
+    Sizes.back() += 1;
+    Member = Ctx.trees().makeDefDef(DD->loc(), Init, std::move(Sizes),
+                                    std::move(Kids), std::move(NewRhs));
+  }
+  // Add the field declaration itself.
+  Body.push_back(Ctx.trees().makeValDef(T->loc(), Field, nullptr));
+  return Ctx.trees().makeClassDef(T->loc(), Cls, std::move(Body));
+}

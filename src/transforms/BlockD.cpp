@@ -1,0 +1,293 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fusion block D: Constructors, FunctionValues, ElimStaticThis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Phases.h"
+
+#include "ast/TreeUtils.h"
+#include "transforms/TransformUtils.h"
+#include "transforms/TreeClone.h"
+
+using namespace mpc;
+
+//===----------------------------------------------------------------------===//
+// Constructors
+//===----------------------------------------------------------------------===//
+
+ConstructorsPhase::ConstructorsPhase()
+    : MiniPhase("Constructors",
+                "collects initialization code in primary constructors") {
+  declareTransforms({TreeKind::ClassDef});
+  addRunsAfter("Memoize");
+}
+
+TreePtr ConstructorsPhase::transformClassDef(ClassDef *T,
+                                             PhaseRunContext &Ctx) {
+  ClassSymbol *Cls = T->sym();
+  if (Cls->isTrait())
+    return TreePtr(T);
+  TreeContext &Trees = Ctx.trees();
+  TypeContext &Types = Ctx.types();
+  Symbol *Init = Cls->findDeclaredMember(Ctx.syms().std().Init);
+  if (!Init)
+    return TreePtr(T);
+
+  // Gather field initializers in declaration order.
+  TreeList InitStats;
+  TreeList Body;
+  const DefDef *CtorDef = nullptr;
+  size_t CtorIndex = 0;
+  for (const TreePtr &Member : T->kids()) {
+    if (auto *VD = dyn_cast_or_null<ValDef>(Member.get())) {
+      if (VD->rhs() && VD->sym()->is(SymFlag::Field)) {
+        TreePtr Store = Trees.makeAssign(
+            VD->loc(),
+            Trees.makeSelect(VD->loc(), makeSelfRef(Ctx, VD->loc(), Cls),
+                             VD->sym(), VD->sym()->info()),
+            TreePtr(VD->rhs()), Types.unitType());
+        InitStats.push_back(std::move(Store));
+        Body.push_back(Trees.makeValDef(VD->loc(), VD->sym(), nullptr));
+        continue;
+      }
+    }
+    if (auto *DD = dyn_cast_or_null<DefDef>(Member.get()))
+      if (DD->sym() == Init) {
+        CtorDef = DD;
+        CtorIndex = Body.size();
+      }
+    Body.push_back(Member);
+  }
+  if (InitStats.empty() || !CtorDef)
+    return TreePtr(T);
+
+  // Constructor body: existing statements (super call), then field
+  // initialization in declaration order.
+  TreeList CtorStats;
+  if (CtorDef->rhs())
+    CtorStats.push_back(TreePtr(CtorDef->rhs()));
+  for (TreePtr &S : InitStats)
+    CtorStats.push_back(std::move(S));
+  TreePtr NewRhs = Trees.makeBlock(CtorDef->loc(), std::move(CtorStats),
+                                   makeUnitLit(Ctx, CtorDef->loc()));
+  TreeList CtorKids = CtorDef->kids();
+  CtorKids.back() = std::move(NewRhs);
+  Body[CtorIndex] = Trees.withNewChildren(const_cast<DefDef *>(CtorDef),
+                                          std::move(CtorKids));
+  return Trees.makeClassDef(T->loc(), Cls, std::move(Body));
+}
+
+bool ConstructorsPhase::checkPostCondition(const Tree *T,
+                                           CompilerContext &Comp) const {
+  (void)Comp;
+  // Class-level fields carry no initializer anymore.
+  if (const auto *VD = dyn_cast<ValDef>(T)) {
+    Symbol *S = VD->sym();
+    if (S->is(SymFlag::Field) && S->owner() && S->owner()->isClass() &&
+        !cast<ClassSymbol>(S->owner())->isTrait())
+      return VD->rhs() == nullptr;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FunctionValues
+//===----------------------------------------------------------------------===//
+
+FunctionValuesPhase::FunctionValuesPhase()
+    : MiniPhase("FunctionValues",
+                "rewrites closures to instances of FunctionN classes") {
+  declareTransforms({TreeKind::Closure});
+  declarePrepares({TreeKind::ClassDef});
+  addRunsAfter("Constructors");
+}
+
+void FunctionValuesPhase::prepareForUnit(PhaseRunContext &Ctx) {
+  (void)Ctx;
+  ClassStack.clear();
+  PendingClasses.clear();
+}
+
+void FunctionValuesPhase::prepareForClassDef(ClassDef *T,
+                                             PhaseRunContext &Ctx) {
+  (void)Ctx;
+  ClassStack.push_back(T->sym());
+}
+void FunctionValuesPhase::leaveClassDef(ClassDef *T, PhaseRunContext &Ctx) {
+  (void)T;
+  (void)Ctx;
+  ClassStack.pop_back();
+}
+
+TreePtr FunctionValuesPhase::transformClosure(Closure *T,
+                                              PhaseRunContext &Ctx) {
+  TreeContext &Trees = Ctx.trees();
+  TypeContext &Types = Ctx.types();
+  SymbolTable &Syms = Ctx.syms();
+  SourceLoc Loc = T->loc();
+  unsigned Arity = T->numParams();
+  ClassSymbol *Enclosing = ClassStack.empty() ? nullptr : ClassStack.back();
+
+  // The anonymous function class.
+  ClassSymbol *Anon = Syms.makeClass(
+      Syms.freshName("anonfun"), Syms.rootPackage(),
+      SymFlag::Final | SymFlag::Synthetic);
+  Anon->setParents(
+      {Syms.objectType(), Types.classType(Syms.functionClass(Arity))});
+  Anon->setInfo(Types.classType(Anon));
+  const Type *AnonTy = Anon->info();
+
+  // Captured environment: free locals plus (optionally) the enclosing
+  // `this`.
+  bool UsesThis = false;
+  std::vector<Symbol *> Captured = freeLocals(T->body(), &UsesThis);
+  // Closure parameters are not captures.
+  std::set<Symbol *> OwnParams;
+  for (unsigned I = 0; I < Arity; ++I)
+    OwnParams.insert(cast<ValDef>(T->param(I))->sym());
+  std::vector<Symbol *> Env;
+  for (Symbol *S : Captured)
+    if (!OwnParams.count(S))
+      Env.push_back(S);
+
+  TreeList Fields;
+  TreeList CtorParams;
+  TreeList CtorStats;
+  std::vector<const Type *> CtorParamTys;
+  IdentMap EnvSubst;
+
+  Symbol *CtorSym = Syms.makeTerm(Syms.std().Init, Anon,
+                                  SymFlag::Method | SymFlag::Constructor |
+                                      SymFlag::Synthetic);
+  TreePtr SelfRef = Trees.makeThis(Loc, Anon, AnonTy);
+
+  auto AddCapture = [&](Name FieldName, const Type *Ty) {
+    Symbol *Field = Syms.makeTerm(Syms.freshName(FieldName.str()), Anon,
+                                  SymFlag::Field | SymFlag::Synthetic, Ty);
+    Anon->enterMember(Field);
+    Fields.push_back(Trees.makeValDef(Loc, Field, nullptr));
+    Symbol *Param =
+        Syms.makeTerm(FieldName, CtorSym,
+                      SymFlag::Param | SymFlag::Local | SymFlag::Synthetic,
+                      Ty);
+    CtorParams.push_back(Trees.makeValDef(Loc, Param, nullptr));
+    CtorParamTys.push_back(Ty);
+    CtorStats.push_back(Trees.makeAssign(
+        Loc, Trees.makeSelect(Loc, SelfRef, Field, Ty),
+        Trees.makeIdent(Loc, Param, Ty), Types.unitType()));
+    return Field;
+  };
+
+  TreePtr ThisReplacement;
+  if (UsesThis && Enclosing) {
+    Symbol *SelfField =
+        AddCapture(Ctx.Comp.names().intern("self"), Enclosing->info());
+    ThisReplacement = Trees.makeSelect(Loc, SelfRef, SelfField,
+                                       SelfField->info());
+  }
+  for (Symbol *S : Env) {
+    Symbol *Field = AddCapture(S->name(), S->info());
+    EnvSubst[S] =
+        Trees.makeSelect(Loc, SelfRef, Field, Field->info());
+  }
+
+  CtorSym->setInfo(Types.methodType(CtorParamTys, Types.unitType()));
+  Anon->enterMember(CtorSym);
+
+  // The apply method: cloned body with env/this substitution.
+  std::vector<const Type *> ApplyParamTys;
+  for (unsigned I = 0; I < Arity; ++I)
+    ApplyParamTys.push_back(cast<ValDef>(T->param(I))->sym()->info());
+  Symbol *ApplySym = Syms.makeTerm(
+      Syms.std().Apply, Anon, SymFlag::Method | SymFlag::Synthetic,
+      Types.methodType(ApplyParamTys, T->body()->type()));
+  Anon->enterMember(ApplySym);
+
+  SymbolMap Subst;
+  TreeList ApplyParams;
+  for (unsigned I = 0; I < Arity; ++I) {
+    Symbol *Old = cast<ValDef>(T->param(I))->sym();
+    Symbol *Fresh = Syms.makeTerm(Old->name(), ApplySym,
+                                  Old->flags(), Old->info());
+    Subst[Old] = Fresh;
+    ApplyParams.push_back(Trees.makeValDef(Loc, Fresh, nullptr));
+  }
+  TreePtr ApplyBody =
+      cloneTree(Ctx.Comp, T->body(), Subst, ApplySym, Enclosing,
+                ThisReplacement, &EnvSubst);
+
+  // Assemble the class: fields, <init>, apply.
+  TreeList ClsBody = std::move(Fields);
+  TreePtr CtorRhs = Trees.makeBlock(Loc, std::move(CtorStats),
+                                    makeUnitLit(Ctx, Loc));
+  ClsBody.push_back(Trees.makeDefDef(
+      Loc, CtorSym, {static_cast<uint32_t>(CtorParamTys.size())},
+      std::move(CtorParams), std::move(CtorRhs)));
+  ClsBody.push_back(Trees.makeDefDef(Loc, ApplySym, {Arity},
+                                     std::move(ApplyParams),
+                                     std::move(ApplyBody)));
+  PendingClasses.push_back(
+      Trees.makeClassDef(Loc, Anon, std::move(ClsBody)));
+
+  // The closure value: new anonfun$N(captures...).
+  TreeList NewArgs;
+  if (UsesThis && Enclosing)
+    NewArgs.push_back(makeSelfRef(Ctx, Loc, Enclosing));
+  for (Symbol *S : Env)
+    NewArgs.push_back(Trees.makeIdent(Loc, S, S->info()));
+  return Trees.makeNew(Loc, AnonTy, std::move(NewArgs));
+}
+
+TreePtr FunctionValuesPhase::transformUnit(TreePtr Root,
+                                           PhaseRunContext &Ctx) {
+  // §4.2: unit finalization appends the synthesized classes at top level.
+  if (PendingClasses.empty())
+    return Root;
+  auto *Pkg = cast<PackageDef>(Root.get());
+  TreeList Kids = Root->kids();
+  for (TreePtr &Cls : PendingClasses)
+    Kids.push_back(std::move(Cls));
+  PendingClasses.clear();
+  return Ctx.trees().makePackageDef(Root->loc(), Pkg->pkgName(),
+                                    std::move(Kids));
+}
+
+bool FunctionValuesPhase::checkPostCondition(const Tree *T,
+                                             CompilerContext &Comp) const {
+  (void)Comp;
+  return T->kind() != TreeKind::Closure;
+}
+
+//===----------------------------------------------------------------------===//
+// ElimStaticThis
+//===----------------------------------------------------------------------===//
+
+ElimStaticThisPhase::ElimStaticThisPhase()
+    : MiniPhase("ElimStaticThis",
+                "replaces this-references to module classes by the "
+                "module instance") {
+  declareTransforms({TreeKind::This});
+}
+
+Symbol *ElimStaticThisPhase::moduleValueOf(ClassSymbol *ModuleCls,
+                                           CompilerContext &Comp) {
+  for (const auto &Owned : Comp.syms().allSymbols()) {
+    Symbol *S = Owned.get();
+    if (S->is(SymFlag::Module) && S->info() &&
+        S->info()->classSymbol() == ModuleCls)
+      return S;
+  }
+  return nullptr;
+}
+
+TreePtr ElimStaticThisPhase::transformThis(This *T, PhaseRunContext &Ctx) {
+  ClassSymbol *Cls = T->cls();
+  if (!Cls || !Cls->is(SymFlag::ModuleClass))
+    return TreePtr(T);
+  Symbol *ModVal = moduleValueOf(Cls, Ctx.Comp);
+  if (!ModVal)
+    return TreePtr(T);
+  return Ctx.trees().makeIdent(T->loc(), ModVal, ModVal->info());
+}

@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fusion block F: CollectEntryPoints, FlattenBlocks, LabelDefs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Phases.h"
+
+#include "ast/TreeUtils.h"
+
+using namespace mpc;
+
+//===----------------------------------------------------------------------===//
+// CollectEntryPoints
+//===----------------------------------------------------------------------===//
+
+CollectEntryPointsPhase::CollectEntryPointsPhase()
+    : MiniPhase("CollectEntryPoints", "finds classes with main methods") {
+  declareTransforms({TreeKind::DefDef});
+  // Entry points register with global backend state and read final
+  // ownership, so scope repair must have finished the whole unit.
+  addRunsAfterGroupsOf("RestoreScopes");
+}
+
+TreePtr CollectEntryPointsPhase::transformDefDef(DefDef *T,
+                                                 PhaseRunContext &Ctx) {
+  Symbol *Sym = T->sym();
+  if (Sym->name() != Ctx.syms().std().Main || !Sym->owner() ||
+      !Sym->owner()->is(SymFlag::ModuleClass))
+    return TreePtr(T);
+  const auto *MT = dyn_cast_or_null<MethodType>(Sym->info());
+  if (!MT || MT->params().size() != 1 || !MT->result()->isUnit())
+    return TreePtr(T);
+  if (!isa<ArrayType>(MT->params()[0]))
+    return TreePtr(T);
+  if (!Sym->is(SymFlag::EntryPoint)) {
+    Sym->setFlag(SymFlag::EntryPoint);
+    Entries.push_back(Sym);
+  }
+  return TreePtr(T);
+}
+
+//===----------------------------------------------------------------------===//
+// FlattenBlocks
+//===----------------------------------------------------------------------===//
+
+FlattenBlocksPhase::FlattenBlocksPhase()
+    : MiniPhase("FlattenBlocks",
+                "cleanup: merges nested blocks, drops empty ones") {
+  declareTransforms({TreeKind::Block});
+}
+
+TreePtr FlattenBlocksPhase::transformBlock(Block *T, PhaseRunContext &Ctx) {
+  // {} -> (); { e } -> e; { stats; { stats2; e } } -> { stats; stats2; e }
+  if (T->numStats() == 0)
+    return TreePtr(T->expr());
+  bool NeedsWork = isa<Block>(T->expr());
+  for (unsigned I = 0; I < T->numStats() && !NeedsWork; ++I)
+    if (isa<Block>(T->stat(I)) || isa<Literal>(T->stat(I)))
+      NeedsWork = true;
+  if (!NeedsWork)
+    return TreePtr(T);
+
+  TreeList Stats;
+  auto Append = [&](Tree *Stat) {
+    // Pure statements are dropped; nested statement blocks are inlined.
+    if (isa<Literal>(Stat))
+      return;
+    if (auto *Inner = dyn_cast<Block>(Stat)) {
+      for (unsigned K = 0; K < Inner->numStats(); ++K)
+        Stats.push_back(TreePtr(Inner->stat(K)));
+      if (!isa<Literal>(Inner->expr()))
+        Stats.push_back(TreePtr(Inner->expr()));
+      return;
+    }
+    Stats.push_back(TreePtr(Stat));
+  };
+  for (unsigned I = 0; I < T->numStats(); ++I)
+    Append(T->stat(I));
+
+  TreePtr Expr;
+  if (auto *Inner = dyn_cast<Block>(T->expr())) {
+    for (unsigned K = 0; K < Inner->numStats(); ++K)
+      Stats.push_back(TreePtr(Inner->stat(K)));
+    Expr = TreePtr(Inner->expr());
+  } else {
+    Expr = TreePtr(T->expr());
+  }
+  if (Stats.empty())
+    return Expr;
+  return Ctx.trees().makeBlock(T->loc(), std::move(Stats), std::move(Expr));
+}
+
+//===----------------------------------------------------------------------===//
+// LabelDefs
+//===----------------------------------------------------------------------===//
+
+LabelDefsPhase::LabelDefsPhase()
+    : MiniPhase("LabelDefs",
+                "verifies label/jump structure for the backend") {
+  declareTransforms({TreeKind::Goto});
+  declarePrepares({TreeKind::Labeled});
+}
+
+void LabelDefsPhase::prepareForLabeled(Labeled *T, PhaseRunContext &Ctx) {
+  (void)Ctx;
+  LabelStack.push_back(T->label());
+}
+void LabelDefsPhase::leaveLabeled(Labeled *T, PhaseRunContext &Ctx) {
+  (void)T;
+  (void)Ctx;
+  LabelStack.pop_back();
+}
+
+TreePtr LabelDefsPhase::transformGoto(Goto *T, PhaseRunContext &Ctx) {
+  bool Enclosing = false;
+  for (Symbol *L : LabelStack)
+    if (L == T->label())
+      Enclosing = true;
+  if (!Enclosing)
+    Ctx.Comp.diags().error(T->loc(),
+                           "jump to non-enclosing label " +
+                               T->label()->name().str());
+  return TreePtr(T);
+}
+
+bool LabelDefsPhase::checkPostCondition(const Tree *T,
+                                        CompilerContext &Comp) const {
+  (void)Comp;
+  // Every Goto inside this subtree targets an enclosing Labeled of the
+  // same subtree when the subtree is a whole method body; checked
+  // structurally at the Labeled level.
+  if (const auto *L = dyn_cast<Labeled>(T))
+    return L->body() != nullptr;
+  return true;
+}

@@ -1,0 +1,257 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Erasure megaphase (paper §6.2.2). Erases generics, unions,
+/// intersections, function and by-name types to the runtime model. It
+/// modifies the types of many trees and mutates the global symbol table,
+/// which is why it cannot be fused with other phases: it violates fusion
+/// rule 2 (later phases could not handle half-erased trees) and rule 3
+/// (it assumes Splitter finished the entire compilation unit).
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Phases.h"
+
+#include "ast/TreeUtils.h"
+
+using namespace mpc;
+
+ErasurePhase::ErasurePhase()
+    : Phase("Erasure", "rewrites types to the runtime model, erasing type "
+                       "parameters, unions and refinements") {
+  addRunsAfterGroupsOf("Splitter");
+  addRunsAfterGroupsOf("ElimByName");
+}
+
+/// Nearest common class ancestor for erased unions.
+static ClassSymbol *commonAncestor(ClassSymbol *A, ClassSymbol *B) {
+  if (!A || !B)
+    return nullptr;
+  if (B->derivesFrom(A))
+    return A;
+  std::vector<ClassSymbol *> Ancestors;
+  A->collectAncestors(Ancestors);
+  ClassSymbol *Best = nullptr;
+  for (ClassSymbol *Anc : Ancestors) {
+    if (!B->derivesFrom(Anc))
+      continue;
+    if (!Best || Anc->derivesFrom(Best))
+      Best = Anc;
+  }
+  return Best;
+}
+
+const Type *ErasurePhase::eraseType(const Type *T, CompilerContext &Comp) {
+  if (!T)
+    return nullptr;
+  TypeContext &Types = Comp.types();
+  switch (T->kind()) {
+  case TypeKind::Primitive:
+    return T;
+  case TypeKind::Class: {
+    const auto *CT = cast<ClassType>(T);
+    if (CT->args().empty())
+      return T;
+    return Types.classType(CT->cls());
+  }
+  case TypeKind::Array:
+    return Types.arrayType(eraseType(cast<ArrayType>(T)->elem(), Comp));
+  case TypeKind::Method: {
+    const auto *MT = cast<MethodType>(T);
+    std::vector<const Type *> Params;
+    for (const Type *P : MT->params())
+      Params.push_back(eraseType(P, Comp));
+    return Types.methodType(std::move(Params),
+                            eraseType(MT->result(), Comp));
+  }
+  case TypeKind::Poly:
+    return eraseType(cast<PolyType>(T)->underlying(), Comp);
+  case TypeKind::Function: {
+    const auto *FT = cast<FunctionType>(T);
+    unsigned Arity = static_cast<unsigned>(FT->params().size());
+    return Types.classType(Comp.syms().functionClass(Arity));
+  }
+  case TypeKind::Expr:
+    return Types.classType(Comp.syms().functionClass(0));
+  case TypeKind::Repeated:
+    return Types.arrayType(
+        eraseType(cast<RepeatedType>(T)->elem(), Comp));
+  case TypeKind::Union: {
+    const auto *UT = cast<UnionType>(T);
+    const Type *L = eraseType(UT->left(), Comp);
+    const Type *R = eraseType(UT->right(), Comp);
+    if (L == R)
+      return L;
+    if (L->isNothing())
+      return R;
+    if (R->isNothing())
+      return L;
+    ClassSymbol *Join = commonAncestor(L->classSymbol(), R->classSymbol());
+    if (Join)
+      return Types.classType(Join);
+    return Comp.syms().objectType();
+  }
+  case TypeKind::Intersection:
+    return eraseType(cast<IntersectionType>(T)->left(), Comp);
+  case TypeKind::TypeParam:
+    return Comp.syms().objectType();
+  }
+  return T;
+}
+
+void ErasurePhase::eraseSymbolInfos(CompilerContext &Comp) {
+  for (const auto &Owned : Comp.syms().allSymbols()) {
+    Symbol *S = Owned.get();
+    if (S->is(SymFlag::TypeParam))
+      continue;
+    if (const Type *Info = S->info())
+      S->setInfo(eraseType(Info, Comp));
+  }
+}
+
+TreePtr ErasurePhase::eraseTree(Tree *T, CompilerContext &Comp) {
+  TreeContext &Trees = Comp.trees();
+
+  // Erase children first (postorder, like any other phase).
+  TreeList NewKids;
+  NewKids.reserve(T->numKids());
+  bool KidsChanged = false;
+  for (const TreePtr &K : T->kids()) {
+    if (!K) {
+      NewKids.push_back(nullptr);
+      continue;
+    }
+    TreePtr NK = eraseTree(K.get(), Comp);
+    if (NK.get() != K.get())
+      KidsChanged = true;
+    NewKids.push_back(std::move(NK));
+  }
+
+  const Type *ErasedTy = eraseType(T->type(), Comp);
+
+  switch (T->kind()) {
+  case TreeKind::TypeApply: {
+    // Generic applications erase to their function; the isInstanceOf /
+    // asInstanceOf intrinsics keep their (erased) type argument.
+    auto *TA = cast<TypeApply>(T);
+    Symbol *Sym = nullptr;
+    if (const auto *Sel = dyn_cast<Select>(TA->fun()))
+      Sym = Sel->sym();
+    bool IsTest = Sym == Comp.syms().isInstanceOfMethod() ||
+                  Sym == Comp.syms().asInstanceOfMethod() ||
+                  Sym == Comp.syms().newArrayMethod();
+    if (!IsTest)
+      return NewKids[0] ? std::move(NewKids[0]) : TreePtr(TA->fun());
+    std::vector<const Type *> Args;
+    for (const Type *A : TA->typeArgs())
+      Args.push_back(eraseType(A, Comp));
+    return Trees.makeTypeApply(T->loc(), std::move(NewKids[0]),
+                               std::move(Args), ErasedTy);
+  }
+  case TreeKind::New: {
+    const Type *ClsTy = eraseType(cast<New>(T)->classTy(), Comp);
+    return Trees.makeNew(T->loc(), ClsTy, std::move(NewKids));
+  }
+  case TreeKind::SeqLiteral: {
+    const Type *Elem =
+        eraseType(cast<SeqLiteral>(T)->elemType(), Comp);
+    return Trees.makeSeqLiteral(T->loc(), std::move(NewKids), Elem,
+                                Comp.types().arrayType(Elem));
+  }
+  case TreeKind::Apply: {
+    // The value has the erased result type of the (erased) function; when
+    // the statically known type was more precise, insert a cast.
+    TreePtr Node;
+    const Type *FunTy = NewKids[0]->type();
+    const auto *MT = dyn_cast_or_null<MethodType>(FunTy);
+    const Type *ResultTy = MT ? MT->result() : ErasedTy;
+    Node = Trees.makeApply(
+        T->loc(), std::move(NewKids[0]),
+        TreeList(std::make_move_iterator(NewKids.begin() + 1),
+                 std::make_move_iterator(NewKids.end())),
+        ResultTy);
+    if (ResultTy != ErasedTy && ErasedTy &&
+        !Comp.types().isSubtype(ResultTy, ErasedTy))
+      Node = Trees.makeTyped(T->loc(), std::move(Node), ErasedTy);
+    return Node;
+  }
+  case TreeKind::Select: {
+    auto *Sel = cast<Select>(T);
+    Symbol *Sym = Sel->sym();
+    const Type *OldTy = T->type();
+    bool IsValuePos = OldTy && !isa<MethodType>(OldTy) &&
+                      !isa<PolyType>(OldTy);
+    if (IsValuePos && Sym && Sym->info() &&
+        !isa<MethodType>(Sym->info())) {
+      // Field read: value has the erased declared type; cast if the
+      // static type was more precise.
+      const Type *DeclTy = Sym->info();
+      TreePtr Node = Trees.makeSelect(T->loc(), std::move(NewKids[0]),
+                                      Sym, DeclTy);
+      if (DeclTy != ErasedTy && ErasedTy &&
+          !Comp.types().isSubtype(DeclTy, ErasedTy))
+        return Trees.makeTyped(T->loc(), std::move(Node), ErasedTy);
+      return Node;
+    }
+    // Method position: erase the signature recorded on the node.
+    return Trees.makeSelect(T->loc(), std::move(NewKids[0]), Sym,
+                            ErasedTy);
+  }
+  default:
+    break;
+  }
+
+  TreePtr Node;
+  if (KidsChanged)
+    Node = Trees.withNewChildrenForced(T, std::move(NewKids));
+  else
+    Node = TreePtr(T);
+  if (ErasedTy != Node->type())
+    Node = Trees.withType(Node.get(), ErasedTy);
+  return Node;
+}
+
+void ErasurePhase::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
+  // Global symbol-table rewrite happens once per pipeline run — the global
+  // mutation that makes Erasure unfusable (rule 3).
+  if (!SymbolsErased) {
+    eraseSymbolInfos(Comp);
+    SymbolsErased = true;
+  }
+  Unit.Root = eraseTree(Unit.Root.get(), Comp);
+}
+
+/// True when \p T contains no pre-erasure type forms.
+static bool typeIsErased(const Type *T) {
+  if (!T)
+    return true;
+  switch (T->kind()) {
+  case TypeKind::Primitive:
+    return true;
+  case TypeKind::Class:
+    return cast<ClassType>(T)->args().empty();
+  case TypeKind::Array:
+    return typeIsErased(cast<ArrayType>(T)->elem());
+  case TypeKind::Method: {
+    const auto *MT = cast<MethodType>(T);
+    for (const Type *P : MT->params())
+      if (!typeIsErased(P))
+        return false;
+    return typeIsErased(MT->result());
+  }
+  default:
+    return false;
+  }
+}
+
+bool ErasurePhase::checkPostCondition(const Tree *T,
+                                      CompilerContext &Comp) const {
+  (void)Comp;
+  if (!typeIsErased(T->type()))
+    return false;
+  if (const auto *VD = dyn_cast<ValDef>(T))
+    return typeIsErased(VD->sym()->info());
+  if (const auto *DD = dyn_cast<DefDef>(T))
+    return typeIsErased(DD->sym()->info());
+  return true;
+}

@@ -1,0 +1,31 @@
+#include "transforms/TransformUtils.h"
+
+using namespace mpc;
+
+TreePtr mpc::makeIsInstanceOf(PhaseRunContext &Ctx, SourceLoc Loc,
+                              TreePtr Recv, const Type *TestTy) {
+  SymbolTable &Syms = Ctx.syms();
+  TypeContext &Types = Ctx.types();
+  Symbol *Sym = Syms.isInstanceOfMethod();
+  TreePtr Sel = Ctx.trees().makeSelect(Loc, std::move(Recv), Sym,
+                                       Sym->info());
+  const Type *MT = Types.methodType({}, Types.booleanType());
+  TreePtr TApp = Ctx.trees().makeTypeApply(Loc, std::move(Sel), {TestTy}, MT);
+  return Ctx.trees().makeApply(Loc, std::move(TApp), {},
+                               Types.booleanType());
+}
+
+TreePtr mpc::makeCast(PhaseRunContext &Ctx, SourceLoc Loc, TreePtr Recv,
+                      const Type *TargetTy) {
+  return Ctx.trees().makeTyped(Loc, std::move(Recv), TargetTy);
+}
+
+TreePtr mpc::makeMemberCall(PhaseRunContext &Ctx, SourceLoc Loc, TreePtr Recv,
+                            Symbol *Member, const Type *MemberMT,
+                            TreeList Args) {
+  const auto *MT = cast<MethodType>(MemberMT);
+  TreePtr Sel =
+      Ctx.trees().makeSelect(Loc, std::move(Recv), Member, MemberMT);
+  return Ctx.trees().makeApply(Loc, std::move(Sel), std::move(Args),
+                               MT->result());
+}

@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small shared helpers for transformation phases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_TRANSFORMS_TRANSFORMUTILS_H
+#define MPC_TRANSFORMS_TRANSFORMUTILS_H
+
+#include "core/Phase.h"
+
+namespace mpc {
+
+/// () literal of type Unit.
+inline TreePtr makeUnitLit(PhaseRunContext &Ctx, SourceLoc Loc) {
+  return Ctx.trees().makeLiteral(Loc, Constant::makeUnit(),
+                                 Ctx.types().unitType());
+}
+
+/// `this` of \p Cls with its (possibly generic) self type.
+inline TreePtr makeSelfRef(PhaseRunContext &Ctx, SourceLoc Loc,
+                           ClassSymbol *Cls) {
+  return Ctx.trees().makeThis(Loc, Cls, Cls->info());
+}
+
+/// Call `<receiver>.isInstanceOf[TestTy]` (fully applied).
+TreePtr makeIsInstanceOf(PhaseRunContext &Ctx, SourceLoc Loc, TreePtr Recv,
+                         const Type *TestTy);
+
+/// Cast `<receiver>.asInstanceOf[TargetTy]`, represented as Typed.
+TreePtr makeCast(PhaseRunContext &Ctx, SourceLoc Loc, TreePtr Recv,
+                 const Type *TargetTy);
+
+/// Fully applied call of a member: `recv.sym(args)` with explicit types.
+TreePtr makeMemberCall(PhaseRunContext &Ctx, SourceLoc Loc, TreePtr Recv,
+                       Symbol *Member, const Type *MemberMT, TreeList Args);
+
+} // namespace mpc
+
+#endif // MPC_TRANSFORMS_TRANSFORMUTILS_H

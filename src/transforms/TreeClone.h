@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep tree cloning with symbol substitution. Used by phases that move or
+/// duplicate code (Mixin copies trait members, FunctionValues turns
+/// closures into classes, LambdaLift moves local methods): every local
+/// definition inside the cloned tree gets a fresh symbol so the copy never
+/// aliases the original's locals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_TRANSFORMS_TREECLONE_H
+#define MPC_TRANSFORMS_TREECLONE_H
+
+#include "core/CompilerContext.h"
+
+#include <unordered_map>
+
+namespace mpc {
+
+/// Symbol replacement map for cloning.
+using SymbolMap = std::unordered_map<Symbol *, Symbol *>;
+
+/// Whole-tree replacements for identifier references (the replacement
+/// subtree is shared across occurrences; trees are immutable DAGs).
+using IdentMap = std::unordered_map<Symbol *, TreePtr>;
+
+/// Deep-copies \p T. Symbol occurrences found in \p Subst are replaced;
+/// Ident nodes whose symbol is in \p Idents are replaced by the mapped
+/// tree. Local definitions (ValDef/DefDef/Bind/Labeled) whose symbols are
+/// NOT in \p Subst get fresh clones (added to \p Subst), with \p NewOwner
+/// as the owner for method-less locals. `this` nodes of \p ThisFrom are
+/// replaced by \p ThisReplacement when the latter is non-null.
+TreePtr cloneTree(CompilerContext &Comp, Tree *T, SymbolMap &Subst,
+                  Symbol *NewOwner, ClassSymbol *ThisFrom = nullptr,
+                  TreePtr ThisReplacement = nullptr,
+                  const IdentMap *Idents = nullptr);
+
+/// Collects the free local value symbols of \p T: referenced symbols with
+/// the Local flag (params, locals) that are not defined within \p T.
+/// Returns them in first-use order. `this` references to classes in
+/// \p OuterThis (when non-null) are reported via \p UsesThis.
+std::vector<Symbol *> freeLocals(Tree *T, bool *UsesThis = nullptr);
+
+} // namespace mpc
+
+#endif // MPC_TRANSFORMS_TREECLONE_H

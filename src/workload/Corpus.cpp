@@ -1,0 +1,356 @@
+#include "workload/Corpus.h"
+
+using namespace mpc;
+
+namespace {
+std::vector<CorpusProgram> buildCorpus() {
+  std::vector<CorpusProgram> Programs;
+
+  Programs.push_back(
+      {"listing1",
+       R"(
+trait Interface {
+  def interfaceMethod: Int = 1
+  lazy val interfaceField: Int = 2
+}
+
+class Increment(by: Int) extends Interface {
+  def incOrZero(b: Any): Int = b match {
+    case b: Int => b + by
+    case _ => 0
+  }
+}
+
+object Main {
+  def main(args: Array[String]): Unit = {
+    val inc = new Increment(10)
+    println(inc.incOrZero(5))
+    println(inc.incOrZero("five"))
+    println(inc.interfaceMethod)
+    println(inc.interfaceField)
+  }
+}
+)",
+       "15\n0\n1\n2\n",
+       "PatternMatcher, LazyVals, Mixin, FirstTransform"});
+
+  Programs.push_back(
+      {"tailrec_factorial",
+       R"(
+object Main {
+  def fact(n: Int, acc: Int): Int =
+    if (n <= 1) acc else fact(n - 1, acc * n)
+  def fib(n: Int): Int =
+    if (n < 2) n else fib(n - 1) + fib(n - 2)
+  def main(args: Array[String]): Unit = {
+    println(fact(10, 1))
+    println(fib(15))
+    var total = 0
+    var i = 0
+    while (i < 100) { total = total + i; i = i + 1 }
+    println(total)
+  }
+}
+)",
+       "3628800\n610\n4950\n",
+       "TailRec, Uncurry, while loops"});
+
+  Programs.push_back(
+      {"patterns_generic",
+       R"(
+trait Shape
+case class Circle(r: Int) extends Shape
+case class Rect(w: Int, h: Int) extends Shape
+case class Box[T](value: T)
+
+object Main {
+  def area(s: Shape): Int = s match {
+    case Circle(r) => 3 * r * r
+    case Rect(w, h) => w * h
+  }
+  def describe(x: Any): String = x match {
+    case 0 => "zero"
+    case n: Int => "int " + n
+    case s: String => "str " + s
+    case Circle(r) if r > 10 => "big circle"
+    case Circle(r) => "circle " + r
+    case _ => "other"
+  }
+  def unbox(b: Box[Int]): Int = b match {
+    case Box(v) => v
+  }
+  def main(args: Array[String]): Unit = {
+    println(area(Circle(2)))
+    println(area(Rect(3, 4)))
+    println(describe(0))
+    println(describe(42))
+    println(describe("hi"))
+    println(describe(Circle(20)))
+    println(describe(Circle(3)))
+    println(describe(true))
+    println(unbox(Box(7)))
+    println(Circle(5) == Circle(5))
+    println(Circle(5) == Circle(6))
+  }
+}
+)",
+       "12\n12\nzero\nint 42\nstr hi\nbig circle\ncircle 3\nother\n7\n"
+       "true\nfalse\n",
+       "PatternMatcher (guards, literals, generics), InterceptedMethods"});
+
+  Programs.push_back(
+      {"traits_lazy",
+       R"(
+trait Counter {
+  def start: Int = 100
+  lazy val expensive: Int = { println("computing"); start + 1 }
+  def doubled: Int = expensive + expensive
+}
+
+class Basic extends Counter
+class Shifted extends Counter {
+  override def start: Int = 200
+}
+
+object Main {
+  def main(args: Array[String]): Unit = {
+    val b = new Basic
+    println(b.doubled)
+    val s = new Shifted
+    println(s.expensive)
+    println(s.expensive)
+  }
+}
+)",
+       "computing\n202\ncomputing\n201\n201\n",
+       "Mixin, LazyVals, Memoize, Getters"});
+
+  Programs.push_back(
+      {"closures_captures",
+       R"(
+object Main {
+  def applyTwice(f: (Int) => Int, x: Int): Int = f(f(x))
+  def makeAdder(n: Int): (Int) => Int = (x: Int) => x + n
+  def sumWith(limit: Int): Int = {
+    var acc = 0
+    var i = 0
+    val bump = (k: Int) => { acc = acc + k; () }
+    while (i < limit) { bump(i); i = i + 1 }
+    acc
+  }
+  def findFirst(xs: Array[Int], p: (Int) => Boolean): Int = {
+    var i = 0
+    while (i < xs.length) {
+      if (p(xs(i))) return xs(i)
+      i = i + 1
+    }
+    0 - 1
+  }
+  def main(args: Array[String]): Unit = {
+    println(applyTwice((x: Int) => x * 3, 2))
+    val add5 = makeAdder(5)
+    println(add5(10))
+    println(sumWith(10))
+    println(findFirst(Array(3, 8, 11, 20), (x: Int) => x > 9))
+  }
+}
+)",
+       "18\n15\n45\n11\n",
+       "FunctionValues, CapturedVars, NonLocalReturns, LambdaLift"});
+
+  Programs.push_back(
+      {"try_lift",
+       R"(
+object Main {
+  def risky(n: Int): Int =
+    if (n < 0) throw new Throwable("negative") else n * 2
+  def compute(n: Int): Int = {
+    // try as a subexpression: LiftTry moves it into its own method.
+    val x = 1 + (try risky(n) catch { case t: Throwable => 0 })
+    x
+  }
+  def withFinally(n: Int): Int = {
+    try {
+      if (n == 0) throw new Throwable("zero")
+      n
+    } catch {
+      case t: Throwable => 0 - 1
+    } finally {
+      println("done")
+    }
+  }
+  def main(args: Array[String]): Unit = {
+    println(compute(5))
+    println(compute(0 - 3))
+    println(withFinally(7))
+    println(withFinally(0))
+  }
+}
+)",
+       "11\n1\ndone\n7\ndone\n-1\n",
+       "LiftTry (prepares!), try/catch/finally, NonLocalReturns"});
+
+  Programs.push_back(
+      {"varargs_arrays",
+       R"(
+object Main {
+  def sum(xs: Int*): Int = {
+    var total = 0
+    var i = 0
+    while (i < xs.length) { total = total + xs(i); i = i + 1 }
+    total
+  }
+  def join(sep: String, parts: String*): String = {
+    var out = ""
+    var i = 0
+    while (i < parts.length) {
+      if (i > 0) out = out + sep
+      out = out + parts(i)
+      i = i + 1
+    }
+    out
+  }
+  def main(args: Array[String]): Unit = {
+    println(sum())
+    println(sum(1, 2, 3, 4))
+    println(join("-", "a", "b", "c"))
+    val arr = new Array[Int](3)
+    arr(0) = 10
+    arr(2) = 30
+    println(arr(0) + arr(1) + arr(2))
+    println(Array(5, 6, 7).length)
+  }
+}
+)",
+       "0\n10\na-b-c\n40\n3\n",
+       "ElimRepeated, array intrinsics"});
+
+  Programs.push_back(
+      {"unions_split",
+       R"(
+trait Pet { def name: String = "pet" }
+class Dog extends Pet {
+  override def name: String = "dog"
+  def fetch(): String = "ball"
+}
+class Cat extends Pet {
+  override def name: String = "cat"
+  def nap(): Int = 9
+}
+
+object Main {
+  def pick(flag: Boolean, d: Dog, c: Cat): Dog | Cat =
+    if (flag) d else c
+  def main(args: Array[String]): Unit = {
+    val a = pick(true, new Dog, new Cat)
+    println(a.name)
+    val b = pick(false, new Dog, new Cat)
+    println(b.name)
+  }
+}
+)",
+       "dog\ncat\n",
+       "Splitter (union selections), Erasure"});
+
+  Programs.push_back(
+      {"byname_and_defaults",
+       R"(
+object Main {
+  var evaluations: Int = 0
+  def tick(): Int = {
+    evaluations = evaluations + 1
+    evaluations
+  }
+  def unless(cond: Boolean, body: => Int): Int =
+    if (cond) 0 else body
+  def main(args: Array[String]): Unit = {
+    println(unless(true, tick()))
+    println(evaluations)
+    println(unless(false, tick()))
+    println(evaluations)
+  }
+}
+)",
+       "0\n0\n1\n1\n",
+       "ElimByName (thunking), evaluation-count semantics"});
+
+  Programs.push_back(
+      {"nested_outer",
+       R"(
+class Outer(base: Int) {
+  val offset: Int = base * 10
+  class Inner(x: Int) {
+    def total(): Int = offset + x
+  }
+  def makeInner(x: Int): Int = {
+    val inner = new Inner(x)
+    inner.total()
+  }
+}
+
+object Main {
+  def main(args: Array[String]): Unit = {
+    val o = new Outer(3)
+    println(o.makeInner(4))
+    println(o.makeInner(9))
+  }
+}
+)",
+       "34\n39\n",
+       "ExplicitOuter, Flatten, Constructors"});
+
+  Programs.push_back(
+      {"local_defs",
+       R"(
+object Main {
+  def compute(n: Int): Int = {
+    val base = n * 2
+    def helper(k: Int): Int = base + k
+    def twice(k: Int): Int = helper(helper(k))
+    twice(5)
+  }
+  def curried(a: Int)(b: Int)(c: Int): Int = a * 100 + b * 10 + c
+  def main(args: Array[String]): Unit = {
+    println(compute(10))
+    println(curried(1)(2)(3))
+  }
+}
+)",
+       "45\n123\n",
+       "LambdaLift (transitive free vars), Uncurry"});
+
+  Programs.push_back(
+      {"classof_and_super",
+       R"(
+class Animal(kind: String) {
+  def describe(): String = "animal:" + kind
+}
+class Bird extends Animal("bird") {
+  override def describe(): String = "flying " + super.describe()
+}
+
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(new Bird().describe())
+    println(classOf[Bird] == classOf[Bird])
+  }
+}
+)",
+       "flying animal:bird\ntrue\n",
+       "ClassOf, super calls, constructors with parent args"});
+
+  return Programs;
+}
+} // namespace
+
+const std::vector<CorpusProgram> &mpc::corpusPrograms() {
+  static std::vector<CorpusProgram> Programs = buildCorpus();
+  return Programs;
+}
+
+const CorpusProgram *mpc::findCorpusProgram(const std::string &Name) {
+  for (const CorpusProgram &P : corpusPrograms())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

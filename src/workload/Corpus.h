@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canned MiniScala programs with known outputs. Each exercises specific
+/// miniphases; the integration tests compile every program with both the
+/// fused and the unfused pipeline and require identical behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_WORKLOAD_CORPUS_H
+#define MPC_WORKLOAD_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// One runnable corpus program.
+struct CorpusProgram {
+  std::string Name;
+  std::string Source;
+  std::string ExpectedOutput;
+  /// Phases this program primarily exercises (documentation).
+  std::string Exercises;
+};
+
+/// All corpus programs.
+const std::vector<CorpusProgram> &corpusPrograms();
+
+/// Looks one up by name (null when absent).
+const CorpusProgram *findCorpusProgram(const std::string &Name);
+
+} // namespace mpc
+
+#endif // MPC_WORKLOAD_CORPUS_H

@@ -1,0 +1,226 @@
+#include "workload/ProgramGenerator.h"
+
+#include "support/Rng.h"
+
+#include <sstream>
+
+using namespace mpc;
+
+WorkloadProfile mpc::stdlibProfile(double Scale) {
+  WorkloadProfile P;
+  P.Name = "stdlib";
+  P.Seed = 0x5ca1ab1eULL;
+  P.TargetLoc = static_cast<unsigned>(34000 * Scale);
+  P.UnitsHint = static_cast<unsigned>(80 * Scale) + 4;
+  P.MatchPercent = 70; // collection-like code is match-heavy
+  P.LazyPercent = 35;
+  P.ClosurePercent = 55;
+  P.TryPercent = 15;
+  P.VarargPercent = 25;
+  P.TraitPercent = 50;
+  return P;
+}
+
+WorkloadProfile mpc::dottyProfile(double Scale) {
+  WorkloadProfile P;
+  P.Name = "dotty";
+  P.Seed = 0xd017eeULL;
+  P.TargetLoc = static_cast<unsigned>(50000 * Scale);
+  P.UnitsHint = static_cast<unsigned>(120 * Scale) + 4;
+  P.MatchPercent = 80; // compilers pattern-match all the time
+  P.LazyPercent = 25;
+  P.ClosurePercent = 45;
+  P.TryPercent = 20;
+  P.VarargPercent = 15;
+  P.TraitPercent = 45;
+  return P;
+}
+
+namespace {
+
+/// Emits one synthetic compilation unit. The generated code is closed
+/// (each unit references only its own definitions plus units' shared
+/// shapes) and well-typed by construction.
+class UnitGenerator {
+public:
+  UnitGenerator(Rng &R, const WorkloadProfile &P, unsigned UnitIdx)
+      : R(R), P(P), U(UnitIdx) {}
+
+  std::string generate(unsigned TargetLines) {
+    // A family of case classes for matching.
+    line("trait Node" + id() + " { def weight: Int = 1 }");
+    line("case class Leaf" + id() + "(value: Int) extends Node" + id());
+    line("case class Pair" + id() + "(left: Int, right: Int) extends Node" +
+         id());
+    line("case class Tag" + id() + "(name: String, value: Int) extends "
+         "Node" + id());
+    blank();
+
+    if (R.chance(P.TraitPercent)) {
+      HasMixin = true;
+      line("trait Mixin" + id() + " {");
+      line("  def base: Int = " + num(1, 50));
+      if (R.chance(P.LazyPercent))
+        line("  lazy val cached: Int = base * " + num(2, 9));
+      else
+        line("  val cached: Int = " + num(10, 99));
+      line("  def scaled(k: Int): Int = cached * k");
+      line("}");
+      blank();
+    }
+
+    unsigned Cls = 0;
+    while (Lines < TargetLines - 20) {
+      genClass(Cls++);
+      blank();
+    }
+
+    // The unit's driver object ties everything together so nothing is
+    // dead code.
+    line("object Driver" + id() + " {");
+    line("  def run(): Int = {");
+    line("    var total = 0");
+    for (unsigned C = 0; C < Cls; ++C)
+      line("    total = total + new Worker" + id() + "_" +
+           std::to_string(C) + "(" + num(1, 9) + ").work(" + num(1, 20) +
+           ")");
+    line("    total");
+    line("  }");
+    line("}");
+    return Out.str();
+  }
+
+  unsigned lineCount() const { return Lines; }
+
+private:
+  std::string id() const { return std::to_string(U); }
+  std::string num(int Lo, int Hi) {
+    return std::to_string(R.range(Lo, Hi));
+  }
+
+  void line(const std::string &S) {
+    Out << S << '\n';
+    ++Lines;
+  }
+  void blank() {
+    Out << '\n';
+    ++Lines;
+  }
+
+  void genClass(unsigned C) {
+    std::string Cls = "Worker" + id() + "_" + std::to_string(C);
+    bool WithTrait = HasMixin && R.chance(P.TraitPercent);
+    line("class " + Cls + "(seed: Int)" +
+         (WithTrait ? " extends Mixin" + id() : "") + " {");
+    line("  val bias: Int = seed * " + num(2, 5));
+    if (R.chance(P.LazyPercent))
+      line("  lazy val table: Int = { var t = 0; var i = 0; while (i < "
+           "seed) { t = t + i; i = i + 1 }; t }");
+    unsigned Methods = static_cast<unsigned>(R.range(2, 5));
+    for (unsigned M = 0; M < Methods; ++M)
+      genMethod(M);
+    // The entry method chains the others.
+    line("  def work(n: Int): Int = {");
+    line("    var acc = bias");
+    for (unsigned M = 0; M < Methods; ++M)
+      line("    acc = acc + m" + std::to_string(M) + "(acc % " +
+           num(5, 30) + ")");
+    line("    acc");
+    line("  }");
+    line("}");
+  }
+
+  void genMethod(unsigned M) {
+    std::string Name = "m" + std::to_string(M);
+    unsigned Style = static_cast<unsigned>(R.below(100));
+    if (Style < P.MatchPercent) {
+      // Pattern-matching style.
+      line("  def " + Name + "(x: Int): Int = {");
+      line("    val node: Node" + id() + " = if (x % 3 == 0) Leaf" + id() +
+           "(x) else if (x % 3 == 1) Pair" + id() + "(x, x + 1) else Tag" +
+           id() + "(\"t\", x)");
+      line("    node match {");
+      line("      case Leaf" + id() + "(v) => v + " + num(1, 9));
+      line("      case Pair" + id() + "(a, b) if a < b => a * b + " +
+           num(1, 9));
+      line("      case Pair" + id() + "(a, b) => a - b");
+      line("      case Tag" + id() + "(n, v) => v + n.length");
+      line("      case _ => 0");
+      line("    }");
+      line("  }");
+      return;
+    }
+    Style -= P.MatchPercent;
+    if (R.chance(P.ClosurePercent)) {
+      line("  def " + Name + "(x: Int): Int = {");
+      line("    val f = (k: Int) => k * " + num(2, 7) + " + x");
+      line("    var acc = 0");
+      line("    var i = 0");
+      line("    while (i < " + num(3, 12) + ") { acc = acc + f(i); i = i "
+           "+ 1 }");
+      line("    acc");
+      line("  }");
+      return;
+    }
+    if (R.chance(P.TryPercent)) {
+      line("  def " + Name + "(x: Int): Int = {");
+      line("    val safe = 1 + (try { if (x == 0) throw new "
+           "Throwable(\"zero\") else 100 / x } catch { case t: Throwable "
+           "=> 0 })");
+      line("    safe + x");
+      line("  }");
+      return;
+    }
+    if (R.chance(P.VarargPercent)) {
+      line("  def sum" + Name + "(xs: Int*): Int = {");
+      line("    var t = 0; var i = 0");
+      line("    while (i < xs.length) { t = t + xs(i); i = i + 1 }");
+      line("    t");
+      line("  }");
+      line("  def " + Name + "(x: Int): Int = sum" + Name + "(x, x + 1, "
+           "x + 2) + " + num(1, 9));
+      return;
+    }
+    // Tail-recursive accumulator.
+    line("  def " + Name + "(x: Int): Int = {");
+    line("    def loop(n: Int, acc: Int): Int =");
+    line("      if (n <= 0) acc else loop(n - 1, acc + n)");
+    line("    loop(x % " + num(5, 40) + ", " + num(0, 5) + ")");
+    line("  }");
+  }
+
+  Rng &R;
+  const WorkloadProfile &P;
+  unsigned U;
+  std::ostringstream Out;
+  unsigned Lines = 0;
+  bool HasMixin = false;
+};
+
+} // namespace
+
+std::vector<SourceInput>
+mpc::generateWorkload(const WorkloadProfile &Profile) {
+  Rng Root(Profile.Seed);
+  std::vector<SourceInput> Sources;
+  unsigned Units = Profile.UnitsHint == 0 ? 1 : Profile.UnitsHint;
+  unsigned PerUnit = Profile.TargetLoc / Units;
+  for (unsigned U = 0; U < Units; ++U) {
+    Rng UnitRng = Root.fork();
+    UnitGenerator G(UnitRng, Profile, U);
+    SourceInput Src;
+    Src.FileName = Profile.Name + "_" + std::to_string(U) + ".scala";
+    Src.Text = G.generate(PerUnit);
+    Sources.push_back(std::move(Src));
+  }
+  return Sources;
+}
+
+uint64_t mpc::countLines(const std::vector<SourceInput> &Sources) {
+  uint64_t N = 0;
+  for (const SourceInput &S : Sources)
+    for (char C : S.Text)
+      if (C == '\n')
+        ++N;
+  return N;
+}

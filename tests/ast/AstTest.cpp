@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+// AST substrate tests: tree copier reuse, refcount lifetimes, type
+// interning/subtyping/lub/substitution, symbols, and tree utilities.
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreeUtils.h"
+#include "core/CompilerContext.h"
+#include "transforms/Phases.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+TEST(Copier, ReusesNodeWhenChildrenUnchanged) {
+  CompilerContext Comp;
+  TreePtr A = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                       Comp.types().intType());
+  TreePtr Blk = Comp.trees().makeBlock(SourceLoc(), {}, A);
+  uint64_t RebuiltBefore = Comp.trees().rebuildCount();
+  TreeList SameKids = Blk->kids();
+  TreePtr Same = Comp.trees().withNewChildren(Blk.get(), std::move(SameKids));
+  EXPECT_EQ(Same.get(), Blk.get()) << "paper's reuse optimization";
+  EXPECT_EQ(Comp.trees().rebuildCount(), RebuiltBefore);
+
+  TreeList NewKids;
+  NewKids.push_back(Comp.trees().makeLiteral(
+      SourceLoc(), Constant::makeInt(2), Comp.types().intType()));
+  TreePtr Changed =
+      Comp.trees().withNewChildren(Blk.get(), std::move(NewKids));
+  EXPECT_NE(Changed.get(), Blk.get());
+  EXPECT_EQ(Comp.trees().rebuildCount(), RebuiltBefore + 1);
+}
+
+TEST(Copier, ForcedCopyIgnoresReuse) {
+  CompilerContext Comp;
+  TreePtr A = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                       Comp.types().intType());
+  TreePtr Blk = Comp.trees().makeBlock(SourceLoc(), {}, A);
+  TreeList SameKids = Blk->kids();
+  TreePtr Copy =
+      Comp.trees().withNewChildrenForced(Blk.get(), std::move(SameKids));
+  EXPECT_NE(Copy.get(), Blk.get()) << "legacy always-copy configuration";
+  EXPECT_TRUE(treeEquals(Copy.get(), Blk.get()));
+}
+
+TEST(RefCounting, NodesDieWhenUnreferenced) {
+  CompilerContext Comp;
+  HeapStats Before = Comp.heap().stats();
+  {
+    TreePtr A = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                         Comp.types().intType());
+    TreePtr B = Comp.trees().makeBlock(SourceLoc(), {}, A);
+    EXPECT_EQ(A->refCount(), 2u); // local ref + child slot
+  }
+  HeapStats After = Comp.heap().stats();
+  EXPECT_EQ(After.FreedObjects - Before.FreedObjects, 2u);
+  EXPECT_EQ(After.LiveBytes, Before.LiveBytes);
+}
+
+TEST(Types, InterningGivesPointerEquality) {
+  CompilerContext Comp;
+  TypeContext &T = Comp.types();
+  EXPECT_EQ(T.arrayType(T.intType()), T.arrayType(T.intType()));
+  EXPECT_EQ(T.methodType({T.intType()}, T.unitType()),
+            T.methodType({T.intType()}, T.unitType()));
+  EXPECT_NE(T.methodType({T.intType()}, T.unitType()),
+            T.methodType({T.doubleType()}, T.unitType()));
+  EXPECT_EQ(T.unionType(T.intType(), T.intType()), T.intType());
+}
+
+TEST(Types, SubtypingRules) {
+  CompilerContext Comp;
+  TypeContext &T = Comp.types();
+  SymbolTable &S = Comp.syms();
+  ClassSymbol *Animal = S.makeClass(Comp.names().intern("Animal"),
+                                    S.rootPackage(), 0);
+  Animal->setParents({S.objectType()});
+  ClassSymbol *Dog =
+      S.makeClass(Comp.names().intern("Dog"), S.rootPackage(), 0);
+  Dog->setParents({T.classType(Animal)});
+
+  EXPECT_TRUE(T.isSubtype(T.classType(Dog), T.classType(Animal)));
+  EXPECT_FALSE(T.isSubtype(T.classType(Animal), T.classType(Dog)));
+  EXPECT_TRUE(T.isSubtype(T.nothingType(), T.classType(Dog)));
+  EXPECT_TRUE(T.isSubtype(T.classType(Dog), T.anyType()));
+  EXPECT_TRUE(T.isSubtype(T.nullType(), T.classType(Dog)));
+  // Unions.
+  const Type *U = T.unionType(T.classType(Dog), T.classType(Animal));
+  EXPECT_TRUE(T.isSubtype(U, T.classType(Animal)));
+  EXPECT_TRUE(T.isSubtype(T.classType(Dog), U));
+  // Intersections.
+  const Type *I =
+      T.intersectionType(T.classType(Dog), T.classType(Animal));
+  EXPECT_TRUE(T.isSubtype(I, T.classType(Dog)));
+  EXPECT_TRUE(T.isSubtype(I, T.classType(Animal)));
+}
+
+TEST(Types, SubstitutionAndErasureInteraction) {
+  CompilerContext Comp;
+  TypeContext &T = Comp.types();
+  SymbolTable &S = Comp.syms();
+  Symbol *TP = S.makeTerm(Comp.names().intern("T"), S.rootPackage(),
+                          SymFlag::TypeParam);
+  const Type *Ref = T.typeParamRef(TP);
+  const Type *MT = T.methodType({Ref}, T.arrayType(Ref));
+  const Type *Inst = T.substitute(MT, {TP}, {T.intType()});
+  EXPECT_EQ(Inst, T.methodType({T.intType()}, T.arrayType(T.intType())));
+
+  const Type *Erased = ErasurePhase::eraseType(MT, Comp);
+  const auto *EM = cast<MethodType>(Erased);
+  EXPECT_EQ(EM->params()[0], S.objectType());
+}
+
+TEST(Types, ErasureOfUnionsAndFunctions) {
+  CompilerContext Comp;
+  TypeContext &T = Comp.types();
+  SymbolTable &S = Comp.syms();
+  ClassSymbol *Base =
+      S.makeClass(Comp.names().intern("Base"), S.rootPackage(), 0);
+  Base->setParents({S.objectType()});
+  ClassSymbol *A = S.makeClass(Comp.names().intern("A"), S.rootPackage(), 0);
+  A->setParents({T.classType(Base)});
+  ClassSymbol *B = S.makeClass(Comp.names().intern("B"), S.rootPackage(), 0);
+  B->setParents({T.classType(Base)});
+
+  const Type *U = T.unionType(T.classType(A), T.classType(B));
+  EXPECT_EQ(ErasurePhase::eraseType(U, Comp), T.classType(Base))
+      << "erased union joins at the nearest common ancestor";
+
+  const Type *F = T.functionType({T.intType()}, T.intType());
+  EXPECT_EQ(ErasurePhase::eraseType(F, Comp),
+            T.classType(S.functionClass(1)));
+}
+
+TEST(Symbols, MemberLookupWalksAncestors) {
+  CompilerContext Comp;
+  SymbolTable &S = Comp.syms();
+  ClassSymbol *Base =
+      S.makeClass(Comp.names().intern("Base2"), S.rootPackage(), 0);
+  Base->setParents({S.objectType()});
+  Symbol *M = S.makeTerm(Comp.names().intern("m"), Base, SymFlag::Method,
+                         Comp.types().methodType({}, Comp.types().intType()));
+  Base->enterMember(M);
+  ClassSymbol *Derived =
+      S.makeClass(Comp.names().intern("Derived2"), S.rootPackage(), 0);
+  Derived->setParents({Comp.types().classType(Base)});
+  EXPECT_EQ(Derived->findMember(Comp.names().intern("m")), M);
+  EXPECT_EQ(Derived->findDeclaredMember(Comp.names().intern("m")), nullptr);
+  EXPECT_TRUE(Derived->derivesFrom(Base));
+  EXPECT_TRUE(Derived->derivesFrom(S.objectClass()));
+}
+
+TEST(TreeUtils, CountAndFind) {
+  CompilerContext Comp;
+  TreePtr L1 = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                        Comp.types().intType());
+  TreePtr L2 = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(2),
+                                        Comp.types().intType());
+  TreeList Stats;
+  Stats.push_back(std::move(L1));
+  TreePtr B = Comp.trees().makeBlock(SourceLoc(), std::move(Stats),
+                                     std::move(L2));
+  EXPECT_EQ(countNodes(B.get()), 3u);
+  EXPECT_EQ(countKind(B.get(), TreeKind::Literal), 2u);
+  EXPECT_EQ(treeDepth(B.get()), 2u);
+  EXPECT_NE(findFirst(B.get(), TreeKind::Literal), nullptr);
+  EXPECT_EQ(findFirst(B.get(), TreeKind::Match), nullptr);
+}
+
+TEST(KindSetTest, Basics) {
+  KindSet S{TreeKind::Apply, TreeKind::Literal};
+  EXPECT_TRUE(S.contains(TreeKind::Apply));
+  EXPECT_FALSE(S.contains(TreeKind::Block));
+  EXPECT_TRUE(KindSet::all().contains(TreeKind::PackageDef));
+  EXPECT_TRUE(KindSet().empty());
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+// Backend tests: bytecode generation structure and interpreter semantics
+// on small focused programs.
+//===----------------------------------------------------------------------===//
+
+#include "backend/CodeGen.h"
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+CompileOutput compile(CompilerContext &Comp, const char *Source) {
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"b.scala", Source});
+  CompileOutput Out =
+      compileProgram(Comp, std::move(Sources), PipelineKind::StandardFused);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  return Out;
+}
+
+TEST(CodeGenTest, EmitsClassesAndMethods) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+class Calc(base: Int) {
+  def add(x: Int): Int = base + x
+  def branch(b: Boolean): Int = if (b) 1 else 2
+  def spin(n: Int): Int = { var i = 0; while (i < n) i = i + 1; i }
+}
+)");
+  ASSERT_EQ(Out.Prog.Classes.size(), 1u);
+  const ClassFile &CF = Out.Prog.Classes[0];
+  EXPECT_EQ(std::string(CF.Cls->name().text()), "Calc");
+  // base field + <init> + 3 methods.
+  EXPECT_GE(CF.Fields.size(), 1u);
+  EXPECT_GE(CF.Methods.size(), 4u);
+  EXPECT_GT(Out.Prog.totalInstructions(), 20u);
+
+  // Branches must have valid targets.
+  for (const MethodCode &M : CF.Methods)
+    for (const Instr &I : M.Code)
+      if (I.Code == Op::Jump || I.Code == Op::JumpIfFalse) {
+        EXPECT_GE(I.Target, 0);
+        EXPECT_LE(static_cast<size_t>(I.Target), M.Code.size());
+      }
+}
+
+TEST(CodeGenTest, TryProducesHandlerTable) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+class C {
+  def f(x: Int): Int =
+    try 100 / x catch { case t: Throwable => 0 }
+}
+)");
+  bool SawHandler = false;
+  for (const ClassFile &CF : Out.Prog.Classes)
+    for (const MethodCode &M : CF.Methods)
+      if (!M.Handlers.empty()) {
+        SawHandler = true;
+        EXPECT_LT(M.Handlers[0].Start, M.Handlers[0].End);
+        EXPECT_GE(M.Handlers[0].Entry, M.Handlers[0].End);
+      }
+  EXPECT_TRUE(SawHandler);
+}
+
+TEST(InterpreterTest, ArithmeticAndComparisons) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(7 / 2)
+    println(7 % 3)
+    println(2.5 * 2)
+    println(1 + 2 * 3 - 4)
+    println(3 < 4)
+    println(!(3 < 4) || 2 >= 2)
+    println(-5)
+  }
+}
+)");
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_FALSE(R.Uncaught) << R.Error;
+  EXPECT_EQ(R.Output, "3\n1\n5\n3\ntrue\ntrue\n-5\n");
+}
+
+TEST(InterpreterTest, ExceptionsPropagateAndPrint) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(1 / 1)
+    println(1 / 0)
+  }
+}
+)");
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_TRUE(R.Uncaught);
+  EXPECT_NE(R.Error.find("ArithmeticException"), std::string::npos);
+  EXPECT_EQ(R.Output, "1\n"); // output before the crash is retained
+}
+
+TEST(InterpreterTest, VirtualDispatchAndOverrides) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+class Animal { def sound(): String = "..." }
+class Dog extends Animal { override def sound(): String = "woof" }
+object Main {
+  def speak(a: Animal): String = a.sound()
+  def main(args: Array[String]): Unit = {
+    println(speak(new Animal))
+    println(speak(new Dog))
+  }
+}
+)");
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_FALSE(R.Uncaught) << R.Error;
+  EXPECT_EQ(R.Output, "...\nwoof\n");
+}
+
+TEST(InterpreterTest, StepLimitGuardsInfiniteLoops) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    var i = 0
+    while (true) { i = i + 1 }
+  }
+}
+)");
+  Interpreter I(Comp, Out.Units, /*StepLimit=*/10000);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_TRUE(R.Uncaught);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, CaseClassEqualityAndToString) {
+  CompilerContext Comp;
+  CompileOutput Out = compile(Comp, R"(
+case class P(x: Int, y: Int)
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(P(1, 2))
+    println(P(1, 2) == P(1, 2))
+    println(P(1, 2) == P(2, 1))
+  }
+}
+)");
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_FALSE(R.Uncaught) << R.Error;
+  EXPECT_EQ(R.Output, "P(1, 2)\ntrue\nfalse\n");
+}
+
+} // namespace

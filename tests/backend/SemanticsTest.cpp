@@ -1,0 +1,899 @@
+//===----------------------------------------------------------------------===//
+// Language-semantics execution tests: each test compiles a focused program
+// through the full fused pipeline and checks the observable behaviour of
+// the lowered+interpreted result. Together with CorpusEndToEndTest (which
+// re-runs programs unfused), these pin down the behaviour that phase
+// fusion must preserve (§6 of the paper).
+//===----------------------------------------------------------------------===//
+
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+/// Compiles \p Source with the fused pipeline and runs main; returns the
+/// produced output, failing the test on any compile/check/run error.
+std::string run(const char *Source) {
+  CompilerContext Comp;
+  Comp.options().CheckTrees = true;
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"sem.scala", Source});
+  CompileOutput Out =
+      compileProgram(Comp, std::move(Sources), PipelineKind::StandardFused);
+  if (Comp.diags().hasErrors()) {
+    StringOStream OS;
+    Comp.diags().printAll(OS);
+    ADD_FAILURE() << "frontend errors:\n" << OS.str();
+    return "";
+  }
+  if (!Out.CheckFailures.empty()) {
+    ADD_FAILURE() << "tree checker: " << Out.CheckFailures.front().PhaseName
+                  << ": " << Out.CheckFailures.front().Message;
+    return "";
+  }
+  if (Out.EntryPoints.empty()) {
+    ADD_FAILURE() << "no entry point";
+    return "";
+  }
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_FALSE(R.Uncaught) << R.Error;
+  return R.Output;
+}
+
+/// Runs \p Source expecting an uncaught exception; returns its message.
+std::string runExpectingCrash(const char *Source) {
+  CompilerContext Comp;
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"sem.scala", Source});
+  CompileOutput Out =
+      compileProgram(Comp, std::move(Sources), PipelineKind::StandardFused);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  if (Out.EntryPoints.empty()) {
+    ADD_FAILURE() << "no entry point";
+    return "";
+  }
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_TRUE(R.Uncaught) << "expected an uncaught exception";
+  return R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Strings and primitives
+//===----------------------------------------------------------------------===//
+
+TEST(StringSemantics, ConcatenationAndLength) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val s = "foo" + "bar"
+    println(s)
+    println(s.length)
+    println("" + 1 + 2)
+    println(1 + 2 + "")
+  }
+}
+)"),
+            "foobar\n6\n12\n3\n");
+}
+
+TEST(StringSemantics, EqualityIsStructural) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val a = "ab" + "c"
+    println(a == "abc")
+    println(a != "abd")
+    println("x" == "y")
+  }
+}
+)"),
+            "true\ntrue\nfalse\n");
+}
+
+TEST(StringSemantics, ToStringOnPrimitives) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(42.toString())
+    println(true.toString())
+    println((1 + 2).toString().length)
+  }
+}
+)"),
+            "42\ntrue\n1\n");
+}
+
+TEST(PrimitiveSemantics, IntegerOverflowWrapsLikeJvm) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val big = 2147483647
+    println(big + 1)
+    println(-2147483647 - 2)
+  }
+}
+)"),
+            "-2147483648\n2147483647\n");
+}
+
+TEST(PrimitiveSemantics, DivisionAndModuloTruncateTowardZero) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(-7 / 2)
+    println(-7 % 2)
+    println(7 / -2)
+    println(7 % -2)
+  }
+}
+)"),
+            "-3\n-1\n-3\n1\n");
+}
+
+TEST(PrimitiveSemantics, ShortCircuitEvaluation) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var hits: Int = 0
+  def touch(r: Boolean): Boolean = { hits = hits + 1; r }
+  def main(args: Array[String]): Unit = {
+    println(false && touch(true))
+    println(hits)
+    println(true || touch(false))
+    println(hits)
+    println(true && touch(true))
+    println(hits)
+  }
+}
+)"),
+            "false\n0\ntrue\n0\ntrue\n1\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Recursion, tail calls, control flow
+//===----------------------------------------------------------------------===//
+
+TEST(RecursionSemantics, DeepTailRecursionDoesNotGrowStack) {
+  // 200k self tail-calls: only survivable because TailRec rewrote the
+  // method into a loop (the interpreter's call depth is bounded).
+  EXPECT_EQ(run(R"(
+object Main {
+  def count(n: Int, acc: Int): Int =
+    if (n == 0) acc else count(n - 1, acc + 1)
+  def main(args: Array[String]): Unit =
+    println(count(200000, 0))
+}
+)"),
+            "200000\n");
+}
+
+TEST(RecursionSemantics, NonTailRecursionStillWorks) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def fib(n: Int): Int =
+    if (n < 2) n else fib(n - 1) + fib(n - 2)
+  def main(args: Array[String]): Unit =
+    println(fib(15))
+}
+)"),
+            "610\n");
+}
+
+TEST(RecursionSemantics, MutualRecursion) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def isEven(n: Int): Boolean = if (n == 0) true else isOdd(n - 1)
+  def isOdd(n: Int): Boolean = if (n == 0) false else isEven(n - 1)
+  def main(args: Array[String]): Unit = {
+    println(isEven(10))
+    println(isOdd(7))
+  }
+}
+)"),
+            "true\ntrue\n");
+}
+
+TEST(ControlFlowSemantics, NestedWhileLoops) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    var total = 0
+    var i = 0
+    while (i < 4) {
+      var j = 0
+      while (j < 3) { total = total + i * j; j = j + 1 }
+      i = i + 1
+    }
+    println(total)
+  }
+}
+)"),
+            "18\n");
+}
+
+TEST(ControlFlowSemantics, ReturnExitsMethodEarly) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def firstAbove(limit: Int): Int = {
+    var i = 0
+    while (i < 100) {
+      if (i * i > limit) return i
+      i = i + 1
+    }
+    -1
+  }
+  def main(args: Array[String]): Unit = {
+    println(firstAbove(50))
+    println(firstAbove(20000))
+  }
+}
+)"),
+            "8\n-1\n");
+}
+
+TEST(ControlFlowSemantics, NonLocalReturnFromClosure) {
+  // A `return` inside a lambda must exit the enclosing METHOD, not just
+  // the lambda — the NonLocalReturns phase implements this via a thrown
+  // marker that the method catches.
+  EXPECT_EQ(run(R"(
+object Main {
+  def apply3(f: (Int) => Int): Int = f(3)
+  def find(): Int = {
+    val r = apply3((x: Int) => return x * 100)
+    r + 1
+  }
+  def main(args: Array[String]): Unit =
+    println(find())
+}
+)"),
+            "300\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Exceptions
+//===----------------------------------------------------------------------===//
+
+TEST(ExceptionSemantics, ThrowAndCatchUserException) {
+  EXPECT_EQ(run(R"(
+class Boom(val code: Int) extends Throwable
+object Main {
+  def risky(n: Int): Int =
+    if (n > 10) throw new Boom(n) else n
+  def main(args: Array[String]): Unit = {
+    println(try risky(5) catch { case b: Boom => -1 })
+    println(try risky(50) catch { case b: Boom => b.code })
+  }
+}
+)"),
+            "5\n50\n");
+}
+
+TEST(ExceptionSemantics, FinallyRunsOnBothPaths) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var log: Int = 0
+  def f(crash: Boolean): Int =
+    try { if (crash) 1 / 0 else 1 }
+    catch { case t: Throwable => 2 }
+    finally { log = log + 10 }
+  def main(args: Array[String]): Unit = {
+    println(f(false))
+    println(f(true))
+    println(log)
+  }
+}
+)"),
+            "1\n2\n20\n");
+}
+
+TEST(ExceptionSemantics, UncaughtTypedExceptionPropagates) {
+  // A catch whose pattern does not match must rethrow.
+  std::string Err = runExpectingCrash(R"(
+class A(val x: Int) extends Throwable
+class B(val y: Int) extends Throwable
+object Main {
+  def main(args: Array[String]): Unit = {
+    val r = try { throw new B(1) } catch { case a: A => a.x }
+    println(r)
+  }
+}
+)");
+  EXPECT_NE(Err.find("B"), std::string::npos) << Err;
+}
+
+TEST(ExceptionSemantics, TryAsExpressionInsideArithmetic) {
+  // Exercises LiftTry: the try sits in expression position.
+  EXPECT_EQ(run(R"(
+object Main {
+  def f(d: Int): Int = 100 + (try 10 / d catch { case t: Throwable => 0 })
+  def main(args: Array[String]): Unit = {
+    println(f(5))
+    println(f(0))
+  }
+}
+)"),
+            "102\n100\n");
+}
+
+TEST(ExceptionSemantics, NestedTryBlocks) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val r = try {
+      try 1 / 0 catch { case t: Throwable => throw new Throwable }
+    } catch { case t: Throwable => 7 }
+    println(r)
+  }
+}
+)"),
+            "7\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Pattern matching
+//===----------------------------------------------------------------------===//
+
+TEST(MatchSemantics, LiteralAndDefaultCases) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def classify(n: Int): String = n match {
+    case 0 => "zero"
+    case 1 | 2 => "small"
+    case _ => "big"
+  }
+  def main(args: Array[String]): Unit = {
+    println(classify(0))
+    println(classify(2))
+    println(classify(9))
+  }
+}
+)"),
+            "zero\nsmall\nbig\n");
+}
+
+TEST(MatchSemantics, GuardsAreEvaluatedInOrder) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def f(n: Int): String = n match {
+    case x if x < 0 => "neg"
+    case x if x == 0 => "zero"
+    case x if x % 2 == 0 => "even"
+    case _ => "odd"
+  }
+  def main(args: Array[String]): Unit = {
+    println(f(-3))
+    println(f(0))
+    println(f(4))
+    println(f(5))
+  }
+}
+)"),
+            "neg\nzero\neven\nodd\n");
+}
+
+TEST(MatchSemantics, NestedCaseClassPatterns) {
+  EXPECT_EQ(run(R"(
+case class Leaf(v: Int)
+case class Node(l: Leaf, r: Leaf)
+object Main {
+  def sum(n: Node): Int = n match {
+    case Node(Leaf(a), Leaf(b)) => a + b
+  }
+  def main(args: Array[String]): Unit =
+    println(sum(Node(Leaf(4), Leaf(38))))
+}
+)"),
+            "42\n");
+}
+
+TEST(MatchSemantics, BinderCapturesWholeValue) {
+  EXPECT_EQ(run(R"(
+case class P(a: Int, b: Int)
+object Main {
+  def f(x: Any): Int = x match {
+    case p @ P(a, _) if a > 0 => p.b
+    case _ => -1
+  }
+  def main(args: Array[String]): Unit = {
+    println(f(P(1, 9)))
+    println(f(P(-1, 9)))
+    println(f("str"))
+  }
+}
+)"),
+            "9\n-1\n-1\n");
+}
+
+TEST(MatchSemantics, TypeTestsSelectByRuntimeClass) {
+  EXPECT_EQ(run(R"(
+class Base { def tag(): Int = 0 }
+class DerivedA extends Base { override def tag(): Int = 1 }
+class DerivedB extends Base { override def tag(): Int = 2 }
+object Main {
+  def f(x: Any): Int = x match {
+    case a: DerivedA => a.tag() * 10
+    case b: Base => b.tag()
+    case s: String => s.length
+    case _ => -1
+  }
+  def main(args: Array[String]): Unit = {
+    println(f(new DerivedA))
+    println(f(new DerivedB))
+    println(f(new Base))
+    println(f("four"))
+    println(f(true))
+  }
+}
+)"),
+            "10\n2\n0\n4\n-1\n");
+}
+
+TEST(MatchSemantics, MatchIsAnExpression) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val x = 3 match { case 3 => 30; case _ => 0 }
+    println(x + (2 match { case 1 => 100; case _ => 200 }))
+  }
+}
+)"),
+            "230\n");
+}
+
+TEST(MatchSemantics, MatchErrorOnNoCase) {
+  std::string Err = runExpectingCrash(R"(
+object Main {
+  def f(n: Int): Int = n match { case 1 => 10 }
+  def main(args: Array[String]): Unit = println(f(2))
+}
+)");
+  EXPECT_NE(Err.find("MatchError"), std::string::npos) << Err;
+}
+
+TEST(MatchSemantics, ScrutineeEvaluatedExactlyOnce) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var calls: Int = 0
+  def next(): Int = { calls = calls + 1; calls }
+  def main(args: Array[String]): Unit = {
+    val r = next() match {
+      case 2 => "two"
+      case x if x == 1 => "one"
+      case _ => "other"
+    }
+    println(r)
+    println(calls)
+  }
+}
+)"),
+            "one\n1\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Laziness, by-name, evaluation order
+//===----------------------------------------------------------------------===//
+
+TEST(LazySemantics, LazyValEvaluatedAtMostOnce) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var inits: Int = 0
+  def main(args: Array[String]): Unit = {
+    val h = new Holder
+    println(inits)
+    println(h.cached + h.cached + h.cached)
+    println(inits)
+  }
+}
+class Holder {
+  lazy val cached: Int = { Main.inits = Main.inits + 1; 7 }
+}
+)"),
+            "0\n21\n1\n");
+}
+
+TEST(LazySemantics, LazyValNeverForcedIfUnused) {
+  EXPECT_EQ(run(R"(
+class H { lazy val boom: Int = 1 / 0 }
+object Main {
+  def main(args: Array[String]): Unit = {
+    val h = new H
+    println("alive")
+  }
+}
+)"),
+            "alive\n");
+}
+
+TEST(ByNameSemantics, ArgumentReevaluatedPerUse) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var n: Int = 0
+  def tick(): Int = { n = n + 1; n }
+  def twice(body: => Int): Int = body + body
+  def main(args: Array[String]): Unit = {
+    println(twice(tick()))
+    println(n)
+  }
+}
+)"),
+            "3\n2\n");
+}
+
+TEST(EvaluationOrder, ArgumentsLeftToRight) {
+  EXPECT_EQ(run(R"(
+object Main {
+  var log: String = ""
+  def t(tag: String, v: Int): Int = { log = log + tag; v }
+  def f(a: Int, b: Int, c: Int): Int = a * 100 + b * 10 + c
+  def main(args: Array[String]): Unit = {
+    println(f(t("a", 1), t("b", 2), t("c", 3)))
+    println(log)
+  }
+}
+)"),
+            "123\nabc\n");
+}
+
+TEST(EvaluationOrder, FieldInitializersRunInDeclarationOrder) {
+  EXPECT_EQ(run(R"(
+class C {
+  var log: String = "-"
+  val a: Int = { log = log + "a"; 1 }
+  val b: Int = { log = log + "b"; a + 1 }
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    val c = new C
+    println(c.log)
+    println(c.b)
+  }
+}
+)"),
+            "-ab\n2\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Closures and captures
+//===----------------------------------------------------------------------===//
+
+TEST(ClosureSemantics, CapturedVarMutationIsShared) {
+  // CapturedVars must box `counter` so the closure and the method see the
+  // same cell.
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    var counter = 0
+    val inc = (by: Int) => { counter = counter + by; counter }
+    println(inc(5))
+    println(inc(10))
+    println(counter)
+  }
+}
+)"),
+            "5\n15\n15\n");
+}
+
+TEST(ClosureSemantics, EachClosureGetsOwnEnvironment) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def makeCounter(): () => Int = {
+    var n = 0
+    () => { n = n + 1; n }
+  }
+  def main(args: Array[String]): Unit = {
+    val a = makeCounter()
+    val b = makeCounter()
+    println(a())
+    println(a())
+    println(b())
+  }
+}
+)"),
+            "1\n2\n1\n");
+}
+
+TEST(ClosureSemantics, ClosuresAreFirstClassValues) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def compose(f: (Int) => Int, g: (Int) => Int): (Int) => Int =
+    (x: Int) => f(g(x))
+  def main(args: Array[String]): Unit = {
+    val addOne = (x: Int) => x + 1
+    val double = (x: Int) => x * 2
+    println(compose(addOne, double)(10))
+    println(compose(double, addOne)(10))
+  }
+}
+)"),
+            "21\n22\n");
+}
+
+TEST(ClosureSemantics, ClosureCapturingThis) {
+  EXPECT_EQ(run(R"(
+class Scaler(factor: Int) {
+  def scaled(): (Int) => Int = (x: Int) => x * factor
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(new Scaler(3).scaled()(7))
+  }
+}
+)"),
+            "21\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Classes, traits, objects
+//===----------------------------------------------------------------------===//
+
+TEST(ClassSemantics, ConstructorParamsAndFieldInit) {
+  EXPECT_EQ(run(R"(
+class Rect(val w: Int, val h: Int) {
+  val area: Int = w * h
+  def scaled(k: Int): Int = area * k
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    val r = new Rect(3, 4)
+    println(r.w)
+    println(r.area)
+    println(r.scaled(2))
+  }
+}
+)"),
+            "3\n12\n24\n");
+}
+
+TEST(ClassSemantics, InheritanceChainDispatch) {
+  EXPECT_EQ(run(R"(
+class A { def f(): Int = 1; def g(): Int = f() * 10 }
+class B extends A { override def f(): Int = 2 }
+class C extends B { override def f(): Int = 3 }
+object Main {
+  def main(args: Array[String]): Unit = {
+    val objs = new C
+    println(objs.g())
+    val asA: A = new B
+    println(asA.g())
+  }
+}
+)"),
+            "30\n20\n");
+}
+
+TEST(ClassSemantics, SuperCallsSkipOwnOverride) {
+  EXPECT_EQ(run(R"(
+class A { def f(): String = "A" }
+class B extends A { override def f(): String = "B<" + super.f() + ">" }
+class C extends B { override def f(): String = "C<" + super.f() + ">" }
+object Main {
+  def main(args: Array[String]): Unit = println(new C().f())
+}
+)"),
+            "C<B<A>>\n");
+}
+
+TEST(TraitSemantics, DiamondLinearization) {
+  EXPECT_EQ(run(R"(
+trait Base { def describe(): String = "base" }
+trait Left extends Base { def leftish(): Int = 1 }
+trait Right extends Base { def rightish(): Int = 2 }
+class Both extends Left with Right {
+  def total(): Int = leftish() + rightish()
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    val b = new Both
+    println(b.describe())
+    println(b.total())
+  }
+}
+)"),
+            "base\n3\n");
+}
+
+TEST(TraitSemantics, TraitOverridesClassDefault) {
+  EXPECT_EQ(run(R"(
+trait Loud { def volume(): Int = 11 }
+class Radio { def volume(): Int = 5 }
+class GuitarAmp extends Radio with Loud {
+  override def volume(): Int = 12
+}
+object Main {
+  def main(args: Array[String]): Unit =
+    println(new GuitarAmp().volume())
+}
+)"),
+            "12\n");
+}
+
+TEST(ObjectSemantics, SingletonSharesState) {
+  EXPECT_EQ(run(R"(
+object Registry {
+  var count: Int = 0
+  def register(): Int = { count = count + 1; count }
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    println(Registry.register())
+    println(Registry.register())
+    println(Registry.count)
+  }
+}
+)"),
+            "1\n2\n2\n");
+}
+
+TEST(ObjectSemantics, ObjectExtendsTraitAndClassWorks) {
+  EXPECT_EQ(run(R"(
+trait Named { def name(): String = "anon" }
+object Config extends Named {
+  override def name(): String = "config"
+}
+object Main {
+  def main(args: Array[String]): Unit = println(Config.name())
+}
+)"),
+            "config\n");
+}
+
+TEST(InnerClassSemantics, InnerSeesOuterFields) {
+  EXPECT_EQ(run(R"(
+class Outer(val base: Int) {
+  class Inner {
+    def plus(x: Int): Int = base + x
+  }
+  def mk(): Inner = new Inner
+}
+object Main {
+  def main(args: Array[String]): Unit = {
+    val o1 = new Outer(100)
+    val o2 = new Outer(200)
+    println(o1.mk().plus(1))
+    println(o2.mk().plus(2))
+  }
+}
+)"),
+            "101\n202\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Generics, erasure-visible behaviour, casts
+//===----------------------------------------------------------------------===//
+
+TEST(GenericSemantics, GenericBoxRoundTrips) {
+  EXPECT_EQ(run(R"(
+case class Box[T](value: T)
+object Main {
+  def unbox[T](b: Box[T]): T = b.value
+  def main(args: Array[String]): Unit = {
+    println(unbox(Box(41)) + 1)
+    println(unbox(Box("str")))
+  }
+}
+)"),
+            "42\nstr\n");
+}
+
+TEST(CastSemantics, IsInstanceOfRespectsHierarchy) {
+  EXPECT_EQ(run(R"(
+class A
+class B extends A
+object Main {
+  def main(args: Array[String]): Unit = {
+    val b: Any = new B
+    println(b.isInstanceOf[B])
+    println(b.isInstanceOf[A])
+    val a: Any = new A
+    println(a.isInstanceOf[B])
+    println(a.isInstanceOf[A])
+  }
+}
+)"),
+            "true\ntrue\nfalse\ntrue\n");
+}
+
+TEST(CastSemantics, AsInstanceOfFailureThrows) {
+  std::string Err = runExpectingCrash(R"(
+class A
+class B extends A
+object Main {
+  def main(args: Array[String]): Unit = {
+    val a: Any = new A
+    val b = a.asInstanceOf[B]
+    println("unreachable")
+  }
+}
+)");
+  EXPECT_NE(Err.find("ClassCast"), std::string::npos) << Err;
+}
+
+TEST(UnionSemantics, MemberSelectionOnUnion) {
+  EXPECT_EQ(run(R"(
+class Meters(val v: Int) { def show(): String = v.toString() + "m" }
+class Feet(val v: Int) { def show(): String = v.toString() + "ft" }
+object Main {
+  def len(metric: Boolean): Meters | Feet =
+    if (metric) new Meters(5) else new Feet(16)
+  def main(args: Array[String]): Unit = {
+    println(len(true).show())
+    println(len(false).show())
+  }
+}
+)"),
+            "5m\n16ft\n");
+}
+
+TEST(IntersectionSemantics, ValueSatisfiesBothSides) {
+  EXPECT_EQ(run(R"(
+trait Reader { def read(): Int = 1 }
+trait Writer { def write(): Int = 2 }
+class File extends Reader with Writer
+object Main {
+  def use(rw: Reader & Writer): Int = rw.read() + rw.write()
+  def main(args: Array[String]): Unit = println(use(new File))
+}
+)"),
+            "3\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Varargs and arrays
+//===----------------------------------------------------------------------===//
+
+TEST(VarargSemantics, EmptyAndManyArguments) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def count(xs: Int*): Int = xs.length
+  def main(args: Array[String]): Unit = {
+    println(count())
+    println(count(1))
+    println(count(1, 2, 3, 4, 5))
+  }
+}
+)"),
+            "0\n1\n5\n");
+}
+
+TEST(ArraySemantics, NewArrayReadWrite) {
+  EXPECT_EQ(run(R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    val a = new Array[Int](3)
+    a(0) = 10
+    a(2) = 30
+    println(a(0) + a(1) + a(2))
+    println(a.length)
+  }
+}
+)"),
+            "40\n3\n");
+}
+
+//===----------------------------------------------------------------------===//
+// classOf / getClass
+//===----------------------------------------------------------------------===//
+
+TEST(ReflectionSemantics, GetClassDiscriminatesRuntimeTypes) {
+  EXPECT_EQ(run(R"(
+class A
+class B extends A
+object Main {
+  def main(args: Array[String]): Unit = {
+    val x: A = new B
+    println(x.getClass() == classOf[B])
+    println(x.getClass() == classOf[A])
+    println(new A().getClass() == classOf[A])
+  }
+}
+)"),
+            "true\nfalse\ntrue\n");
+}
+
+} // namespace

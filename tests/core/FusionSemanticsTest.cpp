@@ -1,0 +1,246 @@
+//===----------------------------------------------------------------------===//
+// Framework semantics tests: the fusion ordering guarantees of §4
+// (Figures 2/3), prepares/leaves, unit hooks, identity skipping, the
+// fused-vs-unfused equivalence, and startup plan validation (§6.3).
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreeUtils.h"
+#include "core/FusedBlock.h"
+#include "core/PhasePlan.h"
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+/// Records every event with a phase tag, for order assertions.
+struct EventLog {
+  std::vector<std::string> Events;
+  void hit(const std::string &E) { Events.push_back(E); }
+};
+
+/// Phase that logs transforms of Literal and Block nodes and bumps ints.
+class LoggingPhase : public MiniPhase {
+public:
+  LoggingPhase(std::string Tag, EventLog &Log)
+      : MiniPhase("Log" + Tag, "test"), Tag(std::move(Tag)), Log(Log) {
+    declareTransforms({TreeKind::Literal, TreeKind::Block});
+    declarePrepares({TreeKind::Block});
+  }
+  TreePtr transformLiteral(Literal *T, PhaseRunContext &Ctx) override {
+    Log.hit(Tag + ":lit" + std::to_string(T->value().intValue()));
+    return Ctx.trees().makeLiteral(
+        T->loc(), Constant::makeInt(T->value().intValue() * 10),
+        T->type());
+  }
+  TreePtr transformBlock(Block *T, PhaseRunContext &Ctx) override {
+    (void)Ctx;
+    Log.hit(Tag + ":block");
+    return TreePtr(T);
+  }
+  void prepareForBlock(Block *T, PhaseRunContext &Ctx) override {
+    (void)T;
+    (void)Ctx;
+    Log.hit(Tag + ":prep");
+  }
+  void leaveBlock(Block *T, PhaseRunContext &Ctx) override {
+    (void)T;
+    (void)Ctx;
+    Log.hit(Tag + ":leave");
+  }
+  void prepareForUnit(PhaseRunContext &Ctx) override {
+    (void)Ctx;
+    Log.hit(Tag + ":unitPrep");
+  }
+  TreePtr transformUnit(TreePtr Root, PhaseRunContext &Ctx) override {
+    (void)Ctx;
+    Log.hit(Tag + ":unitDone");
+    return Root;
+  }
+
+private:
+  std::string Tag;
+  EventLog &Log;
+};
+
+TreePtr literalBlock(CompilerContext &Comp, std::initializer_list<int> Vals) {
+  TreeList Stats;
+  TreePtr Last;
+  for (int V : Vals) {
+    TreePtr L = Comp.trees().makeLiteral(
+        SourceLoc(), Constant::makeInt(V), Comp.types().intType());
+    if (Last)
+      Stats.push_back(std::move(Last));
+    Last = std::move(L);
+  }
+  return Comp.trees().makeBlock(SourceLoc(), std::move(Stats),
+                                std::move(Last));
+}
+
+TEST(FusionSemantics, PipeliningOrderPerNode) {
+  // Figure 2: a leaf node is processed by ALL fused phases before any
+  // other node is processed.
+  CompilerContext Comp;
+  EventLog Log;
+  LoggingPhase A("A", Log), B("B", Log);
+  FusedBlock Blk({&A, &B});
+  CompilationUnit Unit;
+  Unit.Root = literalBlock(Comp, {1, 2});
+  Blk.runOnUnit(Unit, Comp);
+
+  std::vector<std::string> Expected = {
+      "A:unitPrep", "B:unitPrep",
+      "A:prep",     "B:prep", // preorder prepares at the Block
+      "A:lit1",     "B:lit10", // leaf 1 fully pipelined first (Fig 2)
+      "A:lit2",     "B:lit20", // then leaf 2
+      "A:block",    "B:block", // parent after children (Fig 3)
+      "B:leave",    "A:leave", // balanced leaves, reverse order
+      "A:unitDone", "B:unitDone",
+  };
+  EXPECT_EQ(Log.Events, Expected);
+}
+
+TEST(FusionSemantics, ChildrenSeeTheFuture) {
+  // Figure 3: when phase A transforms the parent, the children have
+  // already been transformed by B (a LATER phase) as well: A sees 10*,
+  // not the originals. We verify via the tree: values went through both
+  // phases exactly once: 1 -> 10 (A) -> 100 (B).
+  CompilerContext Comp;
+  EventLog Log;
+  LoggingPhase A("A", Log), B("B", Log);
+  FusedBlock Blk({&A, &B});
+  CompilationUnit Unit;
+  Unit.Root = literalBlock(Comp, {1, 2});
+  Blk.runOnUnit(Unit, Comp);
+  auto *Root = cast<Block>(Unit.Root.get());
+  EXPECT_EQ(cast<Literal>(Root->stat(0))->value().intValue(), 100);
+  EXPECT_EQ(cast<Literal>(Root->expr())->value().intValue(), 200);
+}
+
+TEST(FusionSemantics, IdentitySkipAvoidsUninterestedPhases) {
+  CompilerContext Comp;
+  EventLog Log;
+  LoggingPhase A("A", Log); // interested in Literal+Block only
+  FusedBlock Blk({&A});
+  CompilationUnit Unit;
+  // An If node: A has no If hook, so only the literal hooks run.
+  TreePtr C = Comp.trees().makeLiteral(SourceLoc(), Constant::makeBool(true),
+                                       Comp.types().booleanType());
+  TreePtr T1 = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                        Comp.types().intType());
+  TreePtr T2 = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(2),
+                                        Comp.types().intType());
+  Unit.Root = Comp.trees().makeIf(SourceLoc(), std::move(C), std::move(T1),
+                                  std::move(T2), Comp.types().intType());
+  Blk.runOnUnit(Unit, Comp);
+  // 3 literal hooks (bool literal is a Literal too!), 0 If hooks.
+  EXPECT_EQ(Blk.hooksExecuted(), 3u);
+  EXPECT_EQ(Blk.nodesVisited(), 4u);
+}
+
+/// Phase changing node KIND: Literal -> Block (wrapping). A later phase's
+/// Block hook must then see it (re-dispatch, Listing 6).
+class WrapInBlock : public MiniPhase {
+public:
+  explicit WrapInBlock(EventLog &Log)
+      : MiniPhase("Wrap", "test"), Log(Log) {
+    declareTransforms({TreeKind::Literal});
+  }
+  TreePtr transformLiteral(Literal *T, PhaseRunContext &Ctx) override {
+    Log.hit("wrap");
+    return Ctx.trees().makeBlock(T->loc(), {}, TreePtr(T));
+  }
+  EventLog &Log;
+};
+
+TEST(FusionSemantics, KindChangeRedispatch) {
+  CompilerContext Comp;
+  EventLog Log;
+  WrapInBlock W(Log);
+  LoggingPhase B("B", Log); // interested in Block
+  FusedBlock Blk({&W, &B});
+  CompilationUnit Unit;
+  Unit.Root = literalBlock(Comp, {7});
+  Blk.runOnUnit(Unit, Comp);
+  // The literal 7 was wrapped by W; B's *Block* hook then ran on the new
+  // node (B:block appears for both the wrapper and the outer block).
+  int BlockHits = 0;
+  for (const std::string &E : Log.Events)
+    if (E == "B:block")
+      ++BlockHits;
+  EXPECT_EQ(BlockHits, 2);
+}
+
+TEST(FusionSemantics, FusedEqualsUnfused) {
+  // §6: fusing must not change behaviour for rule-respecting phases.
+  // One context (interned types compare by pointer), two identical trees.
+  CompilerContext Comp;
+  EventLog L1, L2;
+  LoggingPhase A1("A", L1), B1("B", L1);
+  LoggingPhase A2("A", L2), B2("B", L2);
+
+  CompilationUnit U1, U2;
+  U1.Root = literalBlock(Comp, {3, 4, 5});
+  U2.Root = literalBlock(Comp, {3, 4, 5});
+
+  FusedBlock Fused({&A1, &B1});
+  Fused.runOnUnit(U1, Comp);
+
+  A2.runOnUnit(U2, Comp); // separate traversals (Megaphase style)
+  B2.runOnUnit(U2, Comp);
+
+  EXPECT_TRUE(treeEquals(U1.Root.get(), U2.Root.get()));
+}
+
+TEST(PhasePlanValidation, DetectsOrderingViolations) {
+  // §6.3: ordering constraints are validated at startup.
+  class NeedsX : public MiniPhase {
+  public:
+    NeedsX() : MiniPhase("NeedsX", "test") { addRunsAfter("X"); }
+  };
+  std::vector<std::unique_ptr<Phase>> Phases;
+  Phases.push_back(std::make_unique<NeedsX>());
+  std::vector<std::string> Errors;
+  PhasePlan Plan = PhasePlan::build(std::move(Phases), true, Errors);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("unknown phase"), std::string::npos);
+}
+
+TEST(PhasePlanValidation, RunsAfterGroupsOfSplitsBlocks) {
+  class P1 : public MiniPhase {
+  public:
+    P1() : MiniPhase("P1", "test") {}
+  };
+  class P2 : public MiniPhase {
+  public:
+    P2() : MiniPhase("P2", "test") { addRunsAfterGroupsOf("P1"); }
+  };
+  std::vector<std::unique_ptr<Phase>> Phases;
+  Phases.push_back(std::make_unique<P1>());
+  Phases.push_back(std::make_unique<P2>());
+  std::vector<std::string> Errors;
+  PhasePlan Plan = PhasePlan::build(std::move(Phases), true, Errors);
+  EXPECT_TRUE(Errors.empty());
+  // P2 must land in a group after P1's.
+  ASSERT_EQ(Plan.groups().size(), 2u);
+  EXPECT_EQ(Plan.groups()[0].Members[0]->name(), "P1");
+  EXPECT_EQ(Plan.groups()[1].Members[0]->name(), "P2");
+}
+
+TEST(PhasePlanValidation, WithoutFusionEveryPhaseIsAGroup) {
+  class P : public MiniPhase {
+  public:
+    explicit P(int I) : MiniPhase("P" + std::to_string(I), "test") {}
+  };
+  std::vector<std::unique_ptr<Phase>> Phases;
+  for (int I = 0; I < 5; ++I)
+    Phases.push_back(std::make_unique<P>(I));
+  std::vector<std::string> Errors;
+  PhasePlan Plan = PhasePlan::build(std::move(Phases), false, Errors);
+  EXPECT_TRUE(Errors.empty());
+  EXPECT_EQ(Plan.groups().size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+// Parallel batch-compilation tests: the worker pool must produce results
+// identical to serial compilation, in job order, with per-job error
+// isolation. Compiler contexts share nothing, so this exercise also
+// guards against anyone introducing global mutable state.
+//===----------------------------------------------------------------------===//
+
+#include "backend/Interpreter.h"
+#include "driver/Batch.h"
+#include "workload/Corpus.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+BatchJob jobFor(const CorpusProgram &P, PipelineKind Kind) {
+  BatchJob J;
+  J.Sources.push_back({P.Name + ".scala", P.Source});
+  J.Kind = Kind;
+  return J;
+}
+
+std::string execute(BatchResult &R) {
+  if (R.HadErrors || R.Out.EntryPoints.empty())
+    return "<error>";
+  Interpreter I(*R.Comp, R.Out.Units);
+  ExecResult E = I.runMain(R.Out.EntryPoints.front());
+  return E.Uncaught ? "<crash: " + E.Error + ">" : E.Output;
+}
+
+TEST(BatchCompile, WholeCorpusInParallelMatchesExpectedOutputs) {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusProgram &P : corpusPrograms())
+    Jobs.push_back(jobFor(P, PipelineKind::StandardFused));
+  std::vector<BatchResult> Results =
+      compileBatch(std::move(Jobs), /*Threads=*/4);
+  ASSERT_EQ(Results.size(), corpusPrograms().size());
+  for (size_t I = 0; I < Results.size(); ++I) {
+    EXPECT_FALSE(Results[I].HadErrors)
+        << corpusPrograms()[I].Name << ": " << Results[I].DiagText;
+    EXPECT_EQ(execute(Results[I]), corpusPrograms()[I].ExpectedOutput)
+        << corpusPrograms()[I].Name;
+  }
+}
+
+TEST(BatchCompile, ParallelEqualsSerial) {
+  auto MakeJobs = []() {
+    std::vector<BatchJob> Jobs;
+    for (const CorpusProgram &P : corpusPrograms())
+      Jobs.push_back(jobFor(P, PipelineKind::StandardUnfused));
+    return Jobs;
+  };
+  std::vector<BatchResult> Serial = compileBatch(MakeJobs(), /*Threads=*/1);
+  std::vector<BatchResult> Parallel = compileBatch(MakeJobs(), /*Threads=*/8);
+  ASSERT_EQ(Serial.size(), Parallel.size());
+  for (size_t I = 0; I < Serial.size(); ++I) {
+    EXPECT_EQ(execute(Serial[I]), execute(Parallel[I]));
+    EXPECT_EQ(Serial[I].Out.Prog.totalInstructions(),
+              Parallel[I].Out.Prog.totalInstructions());
+  }
+}
+
+TEST(BatchCompile, ErrorsAreIsolatedPerJob) {
+  std::vector<BatchJob> Jobs;
+  Jobs.push_back(jobFor(corpusPrograms()[0], PipelineKind::StandardFused));
+  BatchJob Bad;
+  Bad.Sources.push_back({"bad.scala", "class C { def f(): Int = missing }"});
+  Jobs.push_back(std::move(Bad));
+  Jobs.push_back(jobFor(corpusPrograms()[1], PipelineKind::StandardFused));
+
+  std::vector<BatchResult> Results = compileBatch(std::move(Jobs), 3);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_FALSE(Results[0].HadErrors);
+  EXPECT_TRUE(Results[1].HadErrors);
+  EXPECT_NE(Results[1].DiagText.find("not found: missing"),
+            std::string::npos);
+  EXPECT_FALSE(Results[2].HadErrors);
+  EXPECT_EQ(execute(Results[0]), corpusPrograms()[0].ExpectedOutput);
+  EXPECT_EQ(execute(Results[2]), corpusPrograms()[1].ExpectedOutput);
+}
+
+TEST(BatchCompile, CheckTreesOptionIsHonoredPerJob) {
+  BatchJob J = jobFor(corpusPrograms()[0], PipelineKind::StandardFused);
+  J.Options.CheckTrees = true;
+  std::vector<BatchJob> Jobs;
+  Jobs.push_back(std::move(J));
+  std::vector<BatchResult> Results = compileBatch(std::move(Jobs), 1);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_FALSE(Results[0].HadErrors);
+  EXPECT_TRUE(Results[0].Out.CheckFailures.empty());
+}
+
+TEST(BatchCompile, ManyGeneratedWorkloadsInParallel) {
+  // A heavier soak: 12 generated code bases across 4 workers, checkers on.
+  std::vector<BatchJob> Jobs;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    WorkloadProfile P = stdlibProfile(0.01);
+    P.Seed = Seed;
+    P.UnitsHint = 2;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    J.Options.CheckTrees = true;
+    Jobs.push_back(std::move(J));
+  }
+  std::vector<BatchResult> Results = compileBatch(std::move(Jobs), 4);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    EXPECT_FALSE(Results[I].HadErrors) << "job " << I;
+    EXPECT_TRUE(Results[I].Out.CheckFailures.empty()) << "job " << I;
+    EXPECT_GT(Results[I].Out.Prog.totalInstructions(), 0u) << "job " << I;
+  }
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===----------------------------------------------------------------------===//
+// Smoke tests: lex/parse/type the paper's Listing 1 and friends.
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreePrinter.h"
+#include "ast/TreeUtils.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+const char *ListingOne = R"(
+trait Interface {
+  def interfaceMethod: Int = 1
+  lazy val interfaceField: Int = 2
+}
+
+class Increment(by: Int) extends Interface {
+  def incOrZero(b: Any): Int = b match {
+    case b: Int => b + by
+    case _ => 0
+  }
+}
+)";
+
+TEST(FrontendSmoke, ListingOneTypes) {
+  CompilerContext Comp;
+  CompilationUnit Unit = compileSingleSource(Comp, ListingOne);
+  ASSERT_TRUE(Unit.Root);
+  EXPECT_EQ(Unit.Root->kind(), TreeKind::PackageDef);
+  // Two top-level classes.
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::ClassDef), 2u);
+  // The match survives typing as a Match tree with two cases.
+  Tree *M = findFirst(Unit.Root.get(), TreeKind::Match);
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(cast<Match>(M)->numCases(), 2u);
+  // Lazy val is flagged.
+  std::vector<Tree *> Vals;
+  collectKind(Unit.Root.get(), TreeKind::ValDef, Vals);
+  bool SawLazy = false;
+  for (Tree *V : Vals)
+    if (cast<ValDef>(V)->sym()->is(SymFlag::Lazy))
+      SawLazy = true;
+  EXPECT_TRUE(SawLazy);
+}
+
+TEST(FrontendSmoke, ExpressionsAndCalls) {
+  CompilerContext Comp;
+  CompilationUnit Unit = compileSingleSource(Comp, R"(
+object Main {
+  def fact(n: Int): Int = if (n <= 1) 1 else n * fact(n - 1)
+  def main(args: Array[String]): Unit = {
+    val x: Int = fact(5)
+    var acc = 0
+    var i = 0
+    while (i < x) { acc = acc + i; i = i + 1 }
+    println("result: " + acc)
+  }
+}
+)");
+  ASSERT_TRUE(Unit.Root);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  EXPECT_GE(countKind(Unit.Root.get(), TreeKind::Apply), 5u);
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::WhileDo), 1u);
+}
+
+TEST(FrontendSmoke, GenericsLambdasVarargsTry) {
+  CompilerContext Comp;
+  CompilationUnit Unit = compileSingleSource(Comp, R"(
+case class Box[T](value: T)
+
+class Util {
+  def id[T](x: T): T = x
+  def sum(xs: Int*): Int = {
+    var total = 0
+    var i = 0
+    while (i < xs.length) { total = total + xs(i); i = i + 1 }
+    total
+  }
+  def applyFn(f: (Int) => Int, x: Int): Int = f(x)
+  def risky(flag: Boolean): Int =
+    try { if (flag) throw new Throwable("bad") else 1 }
+    catch { case t: Throwable => 0 }
+  def useAll(): Int = {
+    val b: Box[Int] = Box(41)
+    val g: (Int) => Int = (y: Int) => y + 1
+    applyFn(g, id[Int](1)) + sum(1, 2, 3) + b.value + risky(false)
+  }
+}
+)");
+  ASSERT_TRUE(Unit.Root);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::Closure), 1u);
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::Try), 1u);
+  // Vararg call is not yet packaged (ElimRepeated does that later).
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::SeqLiteral), 0u);
+}
+
+TEST(FrontendSmoke, UnionTypesAndPatterns) {
+  CompilerContext Comp;
+  CompilationUnit Unit = compileSingleSource(Comp, R"(
+trait Shape { def area: Int = 0 }
+case class Circle(r: Int) extends Shape {
+  override def area: Int = 3 * r * r
+}
+case class Rect(w: Int, h: Int) extends Shape {
+  override def area: Int = w * h
+}
+
+object Geometry {
+  def pick(flag: Boolean, c: Circle, r: Rect): Circle | Rect =
+    if (flag) c else r
+  def measure(s: Shape): Int = s match {
+    case Circle(r) => r
+    case Rect(w, h) => w + h
+    case _ => 0 - 1
+  }
+  def unionArea(flag: Boolean): Int = {
+    val x: Circle | Rect = pick(flag, Circle(2), Rect(2, 3))
+    x.area
+  }
+}
+)");
+  ASSERT_TRUE(Unit.Root);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  EXPECT_EQ(countKind(Unit.Root.get(), TreeKind::UnApply), 2u);
+}
+
+TEST(FrontendSmoke, DiagnosticsOnErrors) {
+  CompilerContext Comp;
+  std::vector<SourceInput> Bad;
+  Bad.push_back({"bad.scala", "class C { def f(): Int = unknownName }"});
+  runFrontEnd(Comp, std::move(Bad));
+  EXPECT_TRUE(Comp.diags().hasErrors());
+}
+
+} // namespace

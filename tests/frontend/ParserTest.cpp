@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+// Lexer and parser tests: token streams, semicolon inference, precedence,
+// and the syntax-tree shapes of every supported construct.
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+std::vector<Token> lex(const char *Src, StringInterner &Names,
+                       DiagnosticEngine &Diags) {
+  Lexer L(Src, 0, Names, Diags);
+  return L.lexAll();
+}
+
+TEST(LexerTest, TokensAndLiterals) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  auto Toks = lex(R"(class Foo { val x = 42; var s = "hi\n"; 3.5 })", Names,
+                  Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].Kind, Tok::KwClass);
+  EXPECT_EQ(Toks[1].Kind, Tok::Id);
+  EXPECT_EQ(Toks[1].Text.text(), "Foo");
+  bool SawInt = false, SawStr = false, SawDouble = false;
+  for (const Token &T : Toks) {
+    if (T.Kind == Tok::IntLit && T.IntValue == 42)
+      SawInt = true;
+    if (T.Kind == Tok::StringLit && T.Text.text() == "hi\n")
+      SawStr = true;
+    if (T.Kind == Tok::DoubleLit && T.DoubleValue == 3.5)
+      SawDouble = true;
+  }
+  EXPECT_TRUE(SawInt);
+  EXPECT_TRUE(SawStr);
+  EXPECT_TRUE(SawDouble);
+}
+
+TEST(LexerTest, SemicolonInference) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  // Newline after `1` ends the statement; after `+` it must not.
+  auto Toks = lex("val x = 1\nval y = 2 +\n3", Names, Diags);
+  int Semis = 0;
+  for (const Token &T : Toks)
+    if (T.Kind == Tok::Semi)
+      ++Semis;
+  EXPECT_EQ(Semis, 1) << "one inferred separator, none after '+'";
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  auto Toks = lex("// line\n/* block\nstill */ val x = 1", Names, Diags);
+  EXPECT_EQ(Toks[0].Kind, Tok::KwVal);
+}
+
+SynUnit parse(const char *Src, SynArena &Arena, StringInterner &Names,
+              DiagnosticEngine &Diags) {
+  Lexer L(Src, 0, Names, Diags);
+  Parser P(L.lexAll(), Arena, Names, Diags);
+  return P.parseUnit();
+}
+
+TEST(ParserTest, ClassShapes) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse(R"(
+case class Point(x: Int, y: Int)
+trait Drawable { def draw(): Int }
+object Origin extends Drawable { def draw(): Int = 0 }
+class Generic[T](v: T)
+)",
+                    Arena, Names, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(U.TopLevel.size(), 4u);
+  EXPECT_TRUE(U.TopLevel[0]->is(SynFlag::Case));
+  EXPECT_EQ(U.TopLevel[0]->NumParams, 2u);
+  EXPECT_TRUE(U.TopLevel[1]->is(SynFlag::Trait));
+  EXPECT_TRUE(U.TopLevel[2]->is(SynFlag::Object));
+  EXPECT_EQ(U.TopLevel[2]->Parents.size(), 1u);
+  EXPECT_EQ(U.TopLevel[3]->TypeParamNames.size(), 1u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse("class C { def f(): Int = 1 + 2 * 3 }", Arena, Names,
+                    Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  // Body: Apply(Select(1, +), Apply(Select(2, *), 3)).
+  SynNode *Def = U.TopLevel[0]->Kids[0];
+  SynNode *Body = Def->Kids.back();
+  ASSERT_EQ(Body->K, SynKind::Apply);
+  SynNode *OuterSel = Body->Kids[0];
+  EXPECT_EQ(OuterSel->N.text(), "+");
+  SynNode *Rhs = Body->Kids[1];
+  ASSERT_EQ(Rhs->K, SynKind::Apply);
+  EXPECT_EQ(Rhs->Kids[0]->N.text(), "*");
+}
+
+TEST(ParserTest, PatternForms) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse(R"(
+class C {
+  def f(x: Any): Int = x match {
+    case 1 | 2 => 1
+    case n: Int => n
+    case p @ Pair(a, _) => a
+    case _ => 0
+  }
+}
+)",
+                    Arena, Names, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  SynNode *Def = U.TopLevel[0]->Kids[0];
+  SynNode *Match = Def->Kids.back();
+  ASSERT_EQ(Match->K, SynKind::Match);
+  ASSERT_EQ(Match->Kids.size(), 5u); // selector + 4 cases
+  EXPECT_EQ(Match->Kids[1]->Kids[0]->K, SynKind::PatAlt);
+  EXPECT_EQ(Match->Kids[2]->Kids[0]->K, SynKind::PatBind);
+  EXPECT_EQ(Match->Kids[3]->Kids[0]->K, SynKind::PatBind);
+  EXPECT_EQ(Match->Kids[3]->Kids[0]->Kids[0]->K, SynKind::PatCtor);
+  EXPECT_EQ(Match->Kids[4]->Kids[0]->K, SynKind::PatWild);
+}
+
+TEST(ParserTest, TypesIncludingUnionsAndFunctions) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse(R"(
+class C {
+  def f(a: Int | String, g: (Int) => Int, h: => Int, v: Int*): Int = 0
+}
+)",
+                    Arena, Names, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  SynNode *Def = U.TopLevel[0]->Kids[0];
+  ASSERT_EQ(Def->ParamListSizes.size(), 1u);
+  ASSERT_EQ(Def->ParamListSizes[0], 4u);
+  EXPECT_EQ(Def->Kids[0]->Ty->K, SynType::Union);
+  EXPECT_EQ(Def->Kids[1]->Ty->K, SynType::Func);
+  EXPECT_EQ(Def->Kids[2]->Ty->K, SynType::ByName);
+  EXPECT_EQ(Def->Kids[3]->Ty->K, SynType::Repeated);
+}
+
+TEST(ParserTest, LambdaVsParenExpr) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse(R"(
+class C {
+  def f(): Int = {
+    val g = (x: Int) => x + 1
+    val y = (1 + 2) * 3
+    g(y)
+  }
+}
+)",
+                    Arena, Names, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  // Find the lambda node.
+  SynNode *Block = U.TopLevel[0]->Kids[0]->Kids.back();
+  ASSERT_EQ(Block->K, SynKind::Block);
+  EXPECT_EQ(Block->Kids[0]->Kids[0]->K, SynKind::Lambda);
+  EXPECT_EQ(Block->Kids[1]->Kids[0]->K, SynKind::Apply);
+}
+
+TEST(ParserTest, ErrorRecoveryKeepsGoing) {
+  StringInterner Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  SynUnit U = parse("class C { def f(: Int = 1 }\nclass D", Arena, Names,
+                    Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // D still parsed.
+  bool SawD = false;
+  for (SynNode *T : U.TopLevel)
+    if (T->N.text() == "D")
+      SawD = true;
+  EXPECT_TRUE(SawD);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+// End-to-end semantics: every corpus program compiles through the full
+// pipeline and produces its expected output. Parameterized over pipeline
+// kind — the fused (Miniphase) and unfused (Megaphase) configurations
+// must agree (the paper's §6 soundness property, made executable).
+//===----------------------------------------------------------------------===//
+
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "support/OStream.h"
+#include "workload/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+struct TestCase {
+  const CorpusProgram *Program;
+  PipelineKind Kind;
+};
+
+class CorpusEndToEnd
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::string runProgram(const CorpusProgram &P, PipelineKind Kind,
+                       bool CheckTrees, std::string *FailureOut) {
+  CompilerContext Comp;
+  Comp.options().CheckTrees = CheckTrees;
+  std::vector<SourceInput> Sources;
+  Sources.push_back({P.Name + ".scala", P.Source});
+  CompileOutput Out = compileProgram(Comp, std::move(Sources), Kind);
+
+  if (!Out.PlanErrors.empty()) {
+    *FailureOut = "plan error: " + Out.PlanErrors.front();
+    return "";
+  }
+  if (Comp.diags().hasErrors()) {
+    StringOStream OS;
+    Comp.diags().printAll(OS);
+    *FailureOut = "frontend errors:\n" + OS.str();
+    return "";
+  }
+  if (!Out.CheckFailures.empty()) {
+    *FailureOut = "tree checker: " + Out.CheckFailures.front().Message;
+    return "";
+  }
+  if (Out.EntryPoints.empty()) {
+    *FailureOut = "no entry point found";
+    return "";
+  }
+  Interpreter Interp(Comp, Out.Units);
+  ExecResult R = Interp.runMain(Out.EntryPoints.front());
+  if (R.Uncaught) {
+    *FailureOut = "execution failed: " + R.Error;
+    return "";
+  }
+  return R.Output;
+}
+
+TEST_P(CorpusEndToEnd, ProducesExpectedOutput) {
+  const auto &[ProgIdx, KindIdx] = GetParam();
+  const CorpusProgram &P = corpusPrograms()[ProgIdx];
+  PipelineKind Kind = KindIdx == 0 ? PipelineKind::StandardFused
+                                   : PipelineKind::StandardUnfused;
+  std::string Failure;
+  std::string Output = runProgram(P, Kind, /*CheckTrees=*/true, &Failure);
+  ASSERT_TRUE(Failure.empty()) << P.Name << ": " << Failure;
+  EXPECT_EQ(Output, P.ExpectedOutput) << P.Name;
+}
+
+std::string testName(
+    const ::testing::TestParamInfo<std::tuple<int, int>> &Info) {
+  const auto &[ProgIdx, KindIdx] = Info.param;
+  return corpusPrograms()[ProgIdx].Name +
+         (KindIdx == 0 ? "_fused" : "_unfused");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, CorpusEndToEnd,
+    ::testing::Combine(
+        ::testing::Range(0, int(corpusPrograms().size())),
+        ::testing::Values(0, 1)),
+    testName);
+
+// The legacy (scalac-like) pipeline must agree semantically as well.
+TEST(CorpusLegacy, ListingOneAgrees) {
+  const CorpusProgram *P = findCorpusProgram("listing1");
+  ASSERT_NE(P, nullptr);
+  std::string Failure;
+  std::string Output =
+      runProgram(*P, PipelineKind::Legacy, /*CheckTrees=*/false, &Failure);
+  ASSERT_TRUE(Failure.empty()) << Failure;
+  EXPECT_EQ(Output, P->ExpectedOutput);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+// Support-layer tests: interning, arena, RNG determinism, diagnostics.
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Diagnostics.h"
+#include "support/OStream.h"
+#include "support/Rng.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+TEST(Interner, IdentityAndOrdinals) {
+  StringInterner I;
+  Name A = I.intern("hello");
+  Name B = I.intern("hello");
+  Name C = I.intern("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A.text(), "hello");
+  EXPECT_LT(A.ordinal(), C.ordinal());
+  Name D = I.internSuffixed("tmp", 7);
+  EXPECT_EQ(D.text(), "tmp$7");
+  EXPECT_TRUE(Name().isEmpty());
+}
+
+TEST(ArenaTest, AlignmentAndGrowth) {
+  Arena A;
+  void *P1 = A.allocate(3, 1);
+  void *P2 = A.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_NE(P1, P2);
+  // Force slab growth.
+  void *Big = A.allocate(100000);
+  EXPECT_NE(Big, nullptr);
+  EXPECT_GE(A.bytesUsed(), 100011u);
+}
+
+TEST(RngTest, DeterministicAcrossRuns) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(43);
+  EXPECT_NE(Rng(42).next(), C.next());
+  Rng D(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = D.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(DiagnosticsTest, CollectsAndPrints) {
+  DiagnosticEngine D;
+  uint32_t F = D.addFile("a.scala");
+  D.error({F, 3, 7}, "something broke");
+  D.warning({F, 1, 1}, "be careful");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  StringOStream OS;
+  D.printAll(OS);
+  EXPECT_NE(OS.str().find("a.scala:3:7: error: something broke"),
+            std::string::npos);
+  EXPECT_NE(OS.str().find("warning: be careful"), std::string::npos);
+}
+
+TEST(OStreamTest, Formatting) {
+  StringOStream OS;
+  OS << "x=" << 42 << ", y=" << -3 << ", d=" << 1.5 << ", b=" << true;
+  EXPECT_EQ(OS.str(), "x=42, y=-3, d=1.5, b=true");
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+// Plan-customization tests: downstream users extend the standard pipeline
+// with their own miniphases (makeCustomizedPlan); the new phase fuses
+// into its block (no extra traversal), ordering constraints are still
+// validated at startup, and compileProgramWithPlan drives the result.
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreeUtils.h"
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "transforms/StandardPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+/// Trivial user phase: counts the Literal nodes it sees.
+class CountingPhase : public MiniPhase {
+public:
+  CountingPhase() : MiniPhase("Counting", "test: counts literals") {
+    declareTransforms({TreeKind::Literal});
+    addRunsAfter("FirstTransform");
+  }
+  TreePtr transformLiteral(Literal *T, PhaseRunContext &Ctx) override {
+    (void)Ctx;
+    ++Count;
+    return TreePtr(T);
+  }
+  unsigned Count = 0;
+};
+
+/// User phase with an unsatisfiable constraint.
+class ImpossiblePhase : public MiniPhase {
+public:
+  ImpossiblePhase() : MiniPhase("Impossible", "test") {
+    addRunsAfter("NoSuchPhase");
+  }
+};
+
+size_t groupCount(const PhasePlan &Plan) { return Plan.groups().size(); }
+
+TEST(CustomPlan, InsertedMiniphaseFusesWithoutNewGroup) {
+  std::vector<std::string> Errors;
+  PhasePlan Stock = makeStandardPlan(true, Errors);
+  ASSERT_TRUE(Errors.empty());
+
+  PhasePlan Custom = makeCustomizedPlan(
+      true, Errors, [](std::vector<std::unique_ptr<Phase>> &Phases) {
+        for (size_t I = 0; I < Phases.size(); ++I)
+          if (Phases[I]->name() == "TailRec") {
+            Phases.insert(Phases.begin() + I + 1,
+                          std::make_unique<CountingPhase>());
+            return;
+          }
+      });
+  ASSERT_TRUE(Errors.empty());
+  EXPECT_EQ(Custom.phaseCount(), Stock.phaseCount() + 1);
+  EXPECT_EQ(groupCount(Custom), groupCount(Stock));
+}
+
+TEST(CustomPlan, OrderingViolationsAreStillValidated) {
+  std::vector<std::string> Errors;
+  PhasePlan Bad = makeCustomizedPlan(
+      true, Errors, [](std::vector<std::unique_ptr<Phase>> &Phases) {
+        Phases.push_back(std::make_unique<ImpossiblePhase>());
+      });
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("unknown phase"), std::string::npos);
+}
+
+TEST(CustomPlan, MisorderedInsertionIsRejected) {
+  // Inserting a phase BEFORE its declared runsAfter dependency must be
+  // caught at startup (§6.3: validated when the compiler starts).
+  std::vector<std::string> Errors;
+  PhasePlan Bad = makeCustomizedPlan(
+      true, Errors, [](std::vector<std::unique_ptr<Phase>> &Phases) {
+        // CountingPhase runsAfter FirstTransform; put it first.
+        Phases.insert(Phases.begin(), std::make_unique<CountingPhase>());
+      });
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(CustomPlan, CompileProgramWithPlanRunsTheCustomPhase) {
+  std::vector<std::string> Errors;
+  CountingPhase *Counter = nullptr;
+  PhasePlan Plan = makeCustomizedPlan(
+      true, Errors, [&](std::vector<std::unique_ptr<Phase>> &Phases) {
+        auto P = std::make_unique<CountingPhase>();
+        Counter = P.get();
+        for (size_t I = 0; I < Phases.size(); ++I)
+          if (Phases[I]->name() == "TailRec") {
+            Phases.insert(Phases.begin() + I + 1, std::move(P));
+            return;
+          }
+      });
+  ASSERT_TRUE(Errors.empty());
+
+  CompilerContext Comp;
+  Comp.options().CheckTrees = true;
+  CompileOutput Out = compileProgramWithPlan(Comp, {{"t.scala", R"(
+object Main {
+  def main(args: Array[String]): Unit = println(1 + 2)
+}
+)"}},
+                                             Plan);
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  EXPECT_TRUE(Out.CheckFailures.empty());
+  EXPECT_GT(Counter->Count, 0u);
+
+  ASSERT_FALSE(Out.EntryPoints.empty());
+  Interpreter I(Comp, Out.Units);
+  EXPECT_EQ(I.runMain(Out.EntryPoints.front()).Output, "3\n");
+}
+
+} // namespace
