@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+// Pins the TreeKinds.def registry: the exact kind count, the KindSet mask
+// invariant, and the kind-name round trip. Catches silent .def drift.
+//===----------------------------------------------------------------------===//
+
+#include "ast/Trees.h"
+#include "core/CompilerContext.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace mpc;
+
+namespace {
+
+// Hard-coded (NOT expanded from TreeKinds.def): re-expanding the .def here
+// would shift this list in lockstep with the enum and the pin would be
+// tautological. Any .def rename, reorder, or addition must show up as a
+// readable failure in this file.
+const char *const ExpectedKindNames[] = {
+    "Ident",   "Select",  "Super",      "This",    "Literal", "Apply",
+    "TypeApply", "New",   "Typed",      "Assign",  "Block",   "If",
+    "Closure", "Match",   "CaseDef",    "Labeled", "Return",  "WhileDo",
+    "Try",     "Throw",   "SeqLiteral", "Goto",    "Bind",    "Alternative",
+    "UnApply", "ValDef",  "DefDef",     "ClassDef", "PackageDef",
+};
+
+TEST(TreeKindRegistry, ExactlyTwentyNineKinds) {
+  EXPECT_EQ(NumTreeKinds, 29u);
+  EXPECT_EQ(std::size(ExpectedKindNames), NumTreeKinds);
+  static_assert(NumTreeKinds <= 32, "KindSet uses a 32-bit mask");
+}
+
+TEST(TreeKindRegistry, NamesRoundTripAndAreUnique) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < NumTreeKinds; ++I) {
+    TreeKind K = static_cast<TreeKind>(I);
+    const char *N = treeKindName(K);
+    ASSERT_NE(N, nullptr);
+    EXPECT_STRNE(N, "?") << "kind " << I << " missing from treeKindName";
+    EXPECT_STREQ(N, ExpectedKindNames[I]) << "enum order drifted at " << I;
+    EXPECT_TRUE(Seen.insert(N).second) << "duplicate kind name " << N;
+  }
+}
+
+TEST(TreeKindRegistry, ClassofAgreesWithKindTagOnRealNodes) {
+  // The dispatch macros in core/Phase.h and core/FusedBlock.cpp cast on the
+  // kind tag; classof must accept exactly its own kind on live nodes.
+  CompilerContext Comp;
+  TreePtr Lit = Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(1),
+                                         Comp.types().intType());
+  TreePtr Blk = Comp.trees().makeBlock(SourceLoc(), {}, Lit);
+
+  EXPECT_TRUE(isa<Literal>(Lit.get()));
+  EXPECT_FALSE(isa<Block>(Lit.get()));
+  EXPECT_TRUE(isa<Block>(Blk.get()));
+  EXPECT_FALSE(isa<Literal>(Blk.get()));
+  EXPECT_TRUE(isa<Tree>(Blk.get())) << "root classof accepts everything";
+
+  EXPECT_EQ(dyn_cast<Block>(Blk.get()), Blk.get());
+  EXPECT_EQ(dyn_cast<Literal>(Blk.get()), nullptr);
+  EXPECT_STREQ(treeKindName(Blk->kind()), "Block");
+  EXPECT_STREQ(treeKindName(Lit->kind()), "Literal");
+}
+
+TEST(TreeKindRegistry, KindSetAllCoversEveryKindExactly) {
+  KindSet All = KindSet::all();
+  for (unsigned I = 0; I < NumTreeKinds; ++I)
+    EXPECT_TRUE(All.contains(static_cast<TreeKind>(I)));
+  unsigned Pop = 0;
+  for (uint32_t Bits = All.bits(); Bits; Bits &= Bits - 1)
+    ++Pop;
+  EXPECT_EQ(Pop, NumTreeKinds);
+}
+
+} // namespace
