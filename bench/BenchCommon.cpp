@@ -6,6 +6,7 @@
 #include "support/Timer.h"
 #include "transforms/StandardPlan.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -16,6 +17,50 @@ double mpc::bench::benchScale(double Def) {
   if (const char *Env = std::getenv("MPC_BENCH_SCALE"))
     return std::atof(Env);
   return Def;
+}
+
+unsigned mpc::bench::benchReps(unsigned Def) {
+  if (const char *Env = std::getenv("MPC_BENCH_REPS")) {
+    int N = std::atoi(Env);
+    return N < 2 ? 2u : static_cast<unsigned>(N);
+  }
+  return Def;
+}
+
+SampleStats mpc::bench::meanCv(const std::vector<double> &Samples) {
+  SampleStats S;
+  if (Samples.empty())
+    return S;
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / double(Samples.size());
+  if (Samples.size() < 2 || S.Mean == 0)
+    return S;
+  double Var = 0;
+  for (double V : Samples)
+    Var += (V - S.Mean) * (V - S.Mean);
+  Var /= double(Samples.size() - 1);
+  S.CvPct = 100.0 * std::sqrt(Var) / S.Mean;
+  return S;
+}
+
+std::string mpc::bench::fmtMeanCv(const SampleStats &S) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.3fs ±%.1f%%", S.Mean, S.CvPct);
+  return Buf;
+}
+
+void mpc::bench::jsonMetric(const std::string &Bench, const std::string &Key,
+                            double Value) {
+  const char *Path = std::getenv("MPC_BENCH_JSON");
+  if (!Path)
+    return;
+  if (std::FILE *F = std::fopen(Path, "a")) {
+    std::fprintf(F, "{\"bench\":\"%s\",\"key\":\"%s\",\"value\":%.6f}\n",
+                 Bench.c_str(), Key.c_str(), Value);
+    std::fclose(F);
+  }
 }
 
 RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
@@ -64,6 +109,9 @@ RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
       PipelineResult PR = Pipeline.run(Units, Comp);
       R.TransformSec = T.elapsedSeconds();
       R.Traversals = PR.Traversals;
+      R.NodesVisited = PR.NodesVisited;
+      R.HooksExecuted = PR.HooksExecuted;
+      R.SubtreesPruned = PR.SubtreesPruned;
     }
     if (Stop == StopAfter::Everything) {
       T.reset();

@@ -20,6 +20,7 @@
 #include "workload/ProgramGenerator.h"
 
 #include <string>
+#include <vector>
 
 namespace mpc {
 namespace bench {
@@ -35,6 +36,10 @@ struct RunResult {
   uint64_t Traversals = 0;
   uint64_t Loc = 0;
   uint64_t NodesBeforeTransforms = 0;
+  /// Fusion-engine counters for the transform stage (fused runs only).
+  uint64_t NodesVisited = 0;
+  uint64_t HooksExecuted = 0;
+  uint64_t SubtreesPruned = 0;
   HeapStats Heap;        // whole-run heap statistics
   CacheCounters Cache;   // simulated cache counters (when simulated)
   PerfStats Perf;        // simulated instruction/cycle counters
@@ -61,6 +66,26 @@ IsolatedTransforms isolateTransforms(const WorkloadProfile &Profile,
 /// Reads MPC_BENCH_SCALE (default \p Def) — lets CI run the benches at
 /// reduced size.
 double benchScale(double Def = 1.0);
+
+/// Reads MPC_BENCH_REPS (default \p Def, floor 2) — how many repetitions
+/// the figure benches measure per configuration.
+unsigned benchReps(unsigned Def = 5);
+
+/// Mean and coefficient of variation of a sample set.
+struct SampleStats {
+  double Mean = 0;
+  double CvPct = 0; // stddev / mean, in percent
+};
+SampleStats meanCv(const std::vector<double> &Samples);
+
+/// Formats a measured time with its spread: "0.123s ±2.1%".
+std::string fmtMeanCv(const SampleStats &S);
+
+/// When MPC_BENCH_JSON names a file, appends one JSON-lines record
+/// {"bench":...,"key":...,"value":...} — the machine-readable trail the
+/// CI bench job archives. No-op otherwise.
+void jsonMetric(const std::string &Bench, const std::string &Key,
+                double Value);
 
 /// Formatting helpers.
 void printHeader(const std::string &Title, const std::string &PaperClaim);

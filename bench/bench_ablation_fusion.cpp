@@ -1,8 +1,10 @@
 //===----------------------------------------------------------------------===//
-// Ablation (not a paper figure): the value of the two fusion
-// optimizations of §4 — (1) skipping identity transforms and (2) the
-// per-kind dispatch lists — measured by running the same fused pipeline
-// with the optimizations selectively disabled.
+// Ablation (not a paper figure): the value of the fusion-engine
+// optimizations — (1) skipping identity transforms, (2) the per-kind
+// dispatch lists (flattened into contiguous buffers), and (3) subtree
+// pruning via the per-tree kind summary — measured by running the same
+// fused pipeline with the optimizations selectively disabled. Times are
+// means over repetitions with CV reported (BenchCommon::meanCv).
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -17,56 +19,122 @@
 using namespace mpc;
 using namespace mpc::bench;
 
-static double timeConfig(const WorkloadProfile &P, FusionStrategy Strategy,
-                         bool IdentitySkip, uint64_t *HooksOut) {
-  auto Sources = generateWorkload(P);
-  CompilerContext Comp;
-  Comp.options().FuseMiniphases = true;
-  Comp.options().Strategy = Strategy;
-  Comp.options().IdentitySkip = IdentitySkip;
-  std::vector<std::string> Errors;
-  PhasePlan Plan = makeStandardPlan(true, Errors);
-  auto Units = runFrontEnd(Comp, std::move(Sources));
-  TransformPipeline Pipeline(Plan);
-  Timer T;
-  Pipeline.run(Units, Comp);
-  double Sec = T.elapsedSeconds();
-  uint64_t Hooks = 0;
-  for (const PhaseGroup &G : Plan.groups())
-    if (G.Block)
-      Hooks += G.Block->hooksExecuted();
-  *HooksOut = Hooks;
-  return Sec;
+namespace {
+
+struct ConfigResult {
+  SampleStats Time;                     // over all repetitions
+  uint64_t Hooks = 0;                   // counters from one repetition
+  uint64_t Visited = 0;
+  uint64_t Pruned = 0;
+  std::vector<uint64_t> PerBlockVisited; // per fused block, plan order
+};
+
+ConfigResult runConfig(const WorkloadProfile &P, FusionStrategy Strategy,
+                       bool IdentitySkip, bool SubtreePruning,
+                       unsigned Reps) {
+  ConfigResult R;
+  std::vector<double> Samples;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    auto Sources = generateWorkload(P);
+    CompilerContext Comp;
+    Comp.options().FuseMiniphases = true;
+    Comp.options().Strategy = Strategy;
+    Comp.options().IdentitySkip = IdentitySkip;
+    Comp.options().SubtreePruning = SubtreePruning;
+    std::vector<std::string> Errors;
+    PhasePlan Plan = makeStandardPlan(true, Errors);
+    auto Units = runFrontEnd(Comp, std::move(Sources));
+    TransformPipeline Pipeline(Plan);
+    Timer T;
+    PipelineResult PR = Pipeline.run(Units, Comp);
+    Samples.push_back(T.elapsedSeconds());
+    R.Hooks = PR.HooksExecuted;
+    R.Visited = PR.NodesVisited;
+    R.Pruned = PR.SubtreesPruned;
+    R.PerBlockVisited.clear();
+    for (FusedBlock *B : Plan.fusedBlocks())
+      R.PerBlockVisited.push_back(B->nodesVisited());
+  }
+  R.Time = meanCv(Samples);
+  return R;
 }
 
+void printRow(const char *Name, const ConfigResult &R) {
+  std::printf("  %-44s %16s %13llu %13llu %10llu\n", Name,
+              fmtMeanCv(R.Time).c_str(), (unsigned long long)R.Hooks,
+              (unsigned long long)R.Visited, (unsigned long long)R.Pruned);
+}
+
+} // namespace
+
 int main() {
-  printHeader("Ablation — fusion engine optimizations (paper §4)",
-              "both optimizations are described as important; the paper "
-              "reports no numbers, this quantifies them");
+  printHeader("Ablation — fusion engine optimizations (paper §4 + pruning)",
+              "identity skip and per-kind lists are the paper's published "
+              "optimizations; subtree pruning generalizes the skip to "
+              "whole subtrees via the kindsBelow summary");
   double Scale = benchScale(0.6);
+  unsigned Reps = benchReps();
   WorkloadProfile P = stdlibProfile(Scale);
+  std::printf("workload scale: %.2f, repetitions: %u "
+              "(MPC_BENCH_SCALE / MPC_BENCH_REPS to change)\n",
+              Scale, Reps);
 
-  uint64_t HooksIdx = 0, HooksNaive = 0, HooksNoSkip = 0;
-  double Indexed =
-      timeConfig(P, FusionStrategy::IndexedByKind, true, &HooksIdx);
-  double Naive = timeConfig(P, FusionStrategy::Naive, true, &HooksNaive);
-  double NoSkip =
-      timeConfig(P, FusionStrategy::Naive, false, &HooksNoSkip);
+  // Warm up the allocator before measuring.
+  runConfig(stdlibProfile(0.05), FusionStrategy::IndexedByKind, true, true, 1);
 
-  std::printf("\n  %-44s %10s %14s\n", "configuration", "time",
-              "hooks executed");
-  std::printf("  %-44s %8.3fs %14llu\n",
-              "per-kind lists + identity skip (shipped)", Indexed,
-              (unsigned long long)HooksIdx);
-  std::printf("  %-44s %8.3fs %14llu\n",
-              "mask checks per phase (optimization 2 off)", Naive,
-              (unsigned long long)HooksNaive);
-  std::printf("  %-44s %8.3fs %14llu\n",
-              "all hooks invoked (both optimizations off)", NoSkip,
-              (unsigned long long)HooksNoSkip);
-  std::printf("\n  identity-skip avoids %.1fx hook invocations; combined "
+  ConfigResult Shipped =
+      runConfig(P, FusionStrategy::IndexedByKind, true, true, Reps);
+  ConfigResult NoPrune =
+      runConfig(P, FusionStrategy::IndexedByKind, true, false, Reps);
+  ConfigResult Naive =
+      runConfig(P, FusionStrategy::Naive, true, false, Reps);
+  ConfigResult NoSkip =
+      runConfig(P, FusionStrategy::Naive, false, false, Reps);
+
+  std::printf("\n  %-44s %16s %13s %13s %10s\n", "configuration", "time",
+              "hooks", "nodes visited", "pruned");
+  printRow("lists + skip + subtree pruning (shipped)", Shipped);
+  printRow("lists + skip, pruning off", NoPrune);
+  printRow("mask checks per phase (optimization 2 off)", Naive);
+  printRow("all hooks invoked (both §4 optimizations off)", NoSkip);
+
+  // Per-block pruning effect: nodes visited with pruning on vs off.
+  std::printf("\n  per-block nodesVisited (pruning on vs off):\n");
+  double BestCut = 0;
+  for (size_t I = 0; I < NoPrune.PerBlockVisited.size() &&
+                     I < Shipped.PerBlockVisited.size();
+       ++I) {
+    uint64_t On = Shipped.PerBlockVisited[I];
+    uint64_t Off = NoPrune.PerBlockVisited[I];
+    double Cut = Off ? 1.0 - double(On) / double(Off) : 0.0;
+    if (Cut > BestCut)
+      BestCut = Cut;
+    std::printf("    block %zu: %10llu -> %10llu  (%s)\n", I,
+                (unsigned long long)Off, (unsigned long long)On,
+                fmtPct(-Cut).c_str());
+  }
+
+  std::printf("\n  identity-skip avoids %.1fx hook invocations; pruning "
+              "skips %s of visited nodes (best block %s); combined "
               "speedup vs no optimizations: %s\n",
-              double(HooksNoSkip) / double(HooksIdx),
-              fmtPct(Indexed / NoSkip - 1.0).c_str());
+              double(NoSkip.Hooks) / double(Shipped.Hooks),
+              fmtPct(-(1.0 - double(Shipped.Visited) /
+                               double(NoPrune.Visited)))
+                  .c_str(),
+              fmtPct(-BestCut).c_str(),
+              fmtPct(Shipped.Time.Mean / NoSkip.Time.Mean - 1.0).c_str());
+
+  jsonMetric("ablation_fusion", "shipped_sec", Shipped.Time.Mean);
+  jsonMetric("ablation_fusion", "shipped_cv_pct", Shipped.Time.CvPct);
+  jsonMetric("ablation_fusion", "noprune_sec", NoPrune.Time.Mean);
+  jsonMetric("ablation_fusion", "naive_sec", Naive.Time.Mean);
+  jsonMetric("ablation_fusion", "noskip_sec", NoSkip.Time.Mean);
+  jsonMetric("ablation_fusion", "nodes_visited_shipped",
+             double(Shipped.Visited));
+  jsonMetric("ablation_fusion", "nodes_visited_noprune",
+             double(NoPrune.Visited));
+  jsonMetric("ablation_fusion", "subtrees_pruned", double(Shipped.Pruned));
+  jsonMetric("ablation_fusion", "best_block_visited_cut_pct",
+             100.0 * BestCut);
   return 0;
 }

@@ -2,7 +2,9 @@
 // Figure 4: execution time of the tree-transformation pipeline, the
 // typechecker (front end) and the code-generation backend, comparing the
 // Miniphase (fused) and Megaphase (unfused) versions of the compiler on
-// the stdlib-like (34 kLOC) and dotty-like (50 kLOC) workloads.
+// the stdlib-like (34 kLOC) and dotty-like (50 kLOC) workloads. Each
+// configuration is measured over repetitions; rows report the mean with
+// the coefficient of variation (BenchCommon::meanCv).
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -12,50 +14,85 @@
 using namespace mpc;
 using namespace mpc::bench;
 
-static void runWorkload(const WorkloadProfile &P) {
-  RunResult Fused =
-      runOnce(P, PipelineKind::StandardFused, StopAfter::Everything, false);
-  RunResult Unfused = runOnce(P, PipelineKind::StandardUnfused,
-                              StopAfter::Everything, false);
+namespace {
 
-  std::printf("\n[%s: %llu LOC, %llu nodes, %llu vs %llu traversals]\n",
-              P.Name.c_str(), (unsigned long long)Fused.Loc,
-              (unsigned long long)Fused.NodesBeforeTransforms,
-              (unsigned long long)Fused.Traversals,
-              (unsigned long long)Unfused.Traversals);
-  std::printf("  %-22s %12s %12s %10s\n", "stage", "miniphase", "megaphase",
+struct StageSamples {
+  std::vector<double> Frontend, Transform, Backend, Total;
+  RunResult Last;
+
+  void record(const RunResult &R) {
+    Frontend.push_back(R.FrontendSec);
+    Transform.push_back(R.TransformSec);
+    Backend.push_back(R.BackendSec);
+    Total.push_back(R.FrontendSec + R.TransformSec + R.BackendSec);
+    Last = R;
+  }
+};
+
+void runWorkload(const WorkloadProfile &P, unsigned Reps) {
+  // Alternate the configurations so allocator/page-cache drift spreads
+  // evenly across both sample sets.
+  StageSamples Fused, Unfused;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    Fused.record(
+        runOnce(P, PipelineKind::StandardFused, StopAfter::Everything, false));
+    Unfused.record(runOnce(P, PipelineKind::StandardUnfused,
+                           StopAfter::Everything, false));
+  }
+
+  std::printf("\n[%s: %llu LOC, %llu nodes, %llu vs %llu traversals, "
+              "%llu subtrees pruned]\n",
+              P.Name.c_str(), (unsigned long long)Fused.Last.Loc,
+              (unsigned long long)Fused.Last.NodesBeforeTransforms,
+              (unsigned long long)Fused.Last.Traversals,
+              (unsigned long long)Unfused.Last.Traversals,
+              (unsigned long long)Fused.Last.SubtreesPruned);
+  std::printf("  %-22s %16s %16s %10s\n", "stage", "miniphase", "megaphase",
               "delta");
-  auto Row = [](const char *Stage, double A, double B) {
-    std::printf("  %-22s %10.3fs %10.3fs %10s\n", Stage, A, B,
-                fmtPct(A / B - 1.0).c_str());
+  auto Row = [](const char *Stage, const std::vector<double> &A,
+                const std::vector<double> &B) {
+    SampleStats SA = meanCv(A), SB = meanCv(B);
+    std::printf("  %-22s %16s %16s %10s\n", Stage, fmtMeanCv(SA).c_str(),
+                fmtMeanCv(SB).c_str(), fmtPct(SA.Mean / SB.Mean - 1.0).c_str());
   };
-  Row("frontend (typer)", Fused.FrontendSec, Unfused.FrontendSec);
-  Row("tree transformations", Fused.TransformSec, Unfused.TransformSec);
-  Row("backend (codegen)", Fused.BackendSec, Unfused.BackendSec);
-  double TotalF =
-      Fused.FrontendSec + Fused.TransformSec + Fused.BackendSec;
-  double TotalU =
-      Unfused.FrontendSec + Unfused.TransformSec + Unfused.BackendSec;
-  Row("total", TotalF, TotalU);
+  Row("frontend (typer)", Fused.Frontend, Unfused.Frontend);
+  Row("tree transformations", Fused.Transform, Unfused.Transform);
+  Row("backend (codegen)", Fused.Backend, Unfused.Backend);
+  Row("total", Fused.Total, Unfused.Total);
+
+  SampleStats TF = meanCv(Fused.Transform), TU = meanCv(Unfused.Transform);
+  SampleStats AF = meanCv(Fused.Total), AU = meanCv(Unfused.Total);
   std::printf("  measured transform speedup: %s   (paper: %s)\n",
-              fmtPct(Fused.TransformSec / Unfused.TransformSec - 1.0)
-                  .c_str(),
+              fmtPct(TF.Mean / TU.Mean - 1.0).c_str(),
               P.Name == "stdlib" ? "-37%" : "-34%");
   std::printf("  measured total speedup:     %s   (paper: %s)\n",
-              fmtPct(TotalF / TotalU - 1.0).c_str(),
+              fmtPct(AF.Mean / AU.Mean - 1.0).c_str(),
               P.Name == "stdlib" ? "-15%" : "-16%");
+
+  jsonMetric("fig4_" + P.Name, "fused_total_sec", AF.Mean);
+  jsonMetric("fig4_" + P.Name, "fused_total_cv_pct", AF.CvPct);
+  jsonMetric("fig4_" + P.Name, "unfused_total_sec", AU.Mean);
+  jsonMetric("fig4_" + P.Name, "fused_transform_sec", TF.Mean);
+  jsonMetric("fig4_" + P.Name, "unfused_transform_sec", TU.Mean);
+  jsonMetric("fig4_" + P.Name, "subtrees_pruned",
+             double(Fused.Last.SubtreesPruned));
 }
+
+} // namespace
 
 int main() {
   printHeader("Figure 4 — stage execution times, Miniphase vs Megaphase",
               "transformations -37% (stdlib) / -34% (dotty); total "
               "-15% / -16%");
   double Scale = benchScale(1.0);
-  std::printf("workload scale: %.2f (MPC_BENCH_SCALE to change)\n", Scale);
+  unsigned Reps = benchReps();
+  std::printf("workload scale: %.2f, repetitions: %u "
+              "(MPC_BENCH_SCALE / MPC_BENCH_REPS to change)\n",
+              Scale, Reps);
   // Warm up the allocator before measuring.
   runOnce(stdlibProfile(0.05), PipelineKind::StandardFused,
           StopAfter::Everything, false);
-  runWorkload(stdlibProfile(Scale));
-  runWorkload(dottyProfile(Scale));
+  runWorkload(stdlibProfile(Scale), Reps);
+  runWorkload(dottyProfile(Scale), Reps);
   return 0;
 }

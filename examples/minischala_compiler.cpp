@@ -55,6 +55,7 @@ int main(int argc, char **argv) {
          << "backend    " << Out.Timings.BackendSec << "s\n"
          << "bytecode   " << Out.Prog.totalInstructions()
          << " instructions in " << Out.Prog.Classes.size() << " classes\n";
+  Comp.stats().printPrefixed(outs(), "fusion.");
 
   if (Out.EntryPoints.empty()) {
     outs() << "(no main method; nothing to run)\n";

@@ -152,6 +152,12 @@ public:
   }
   const TreeList &kids() const { return Kids; }
 
+  /// Kind summary of this subtree: the bit of kind() unioned with every
+  /// descendant's summary. Computed once at construction (children are
+  /// immutable, so it can never go stale) and used by the fusion engine
+  /// to skip whole subtrees no constituent phase is interested in.
+  uint32_t kindsBelow() const { return KindsBelowBits; }
+
   /// Reference count (exposed for allocation-lifetime tests).
   uint32_t refCount() const { return RefCount; }
 
@@ -166,7 +172,13 @@ public:
 protected:
   Tree(TreeKind K, TreeContext &Ctx, SourceLoc Loc, const Type *Ty,
        TreeList Kids)
-      : Ctx(&Ctx), Ty(Ty), Kids(std::move(Kids)), Loc(Loc), K(K) {}
+      : Ctx(&Ctx), Ty(Ty), Kids(std::move(Kids)), Loc(Loc), K(K) {
+    uint32_t Below = 1u << static_cast<unsigned>(K);
+    for (const TreePtr &Kid : this->Kids)
+      if (Kid)
+        Below |= Kid->KindsBelowBits;
+    KindsBelowBits = Below;
+  }
   ~Tree() = default;
 
 private:
@@ -182,6 +194,7 @@ private:
   uint64_t Birth = 0;
   mutable uint32_t RefCount = 0;
   uint32_t AllocSize = 0;
+  uint32_t KindsBelowBits = 0;
   SourceLoc Loc;
   TreeKind K;
 };

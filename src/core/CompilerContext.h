@@ -48,6 +48,17 @@ struct CompilerOptions {
   bool AlwaysCopy = false;
   /// Disable the identity-transform skip (ablation).
   bool IdentitySkip = true;
+  /// Generalize the identity skip from nodes to whole subtrees: a fused
+  /// block returns a subtree untouched when its kind summary
+  /// (Tree::kindsBelow) intersects none of the kinds the block's phases
+  /// declared for transform or prepare hooks. Observationally identical —
+  /// such a subtree executes zero hooks and the copier would reuse every
+  /// node — but skips the traversal entirely. Automatically inactive
+  /// under AlwaysCopy (the baseline must copy every node), when
+  /// IdentitySkip is off (the ablation invokes all hooks), and when the
+  /// cache/perf simulators are attached (so the memsim figures keep
+  /// modelling the full walk).
+  bool SubtreePruning = true;
   /// Treat the unit as a DAG (paper §9 future work): subtrees shared via
   /// hash-consing or tree reuse are transformed once and the result is
   /// reused at every other occurrence, preserving sharing in the output.

@@ -25,6 +25,7 @@ void MiniPhase::dispatchPrepare(Tree *T, PhaseRunContext &Ctx) {
     return;
 #include "ast/TreeKinds.def"
   }
+  assert(false && "unhandled tree kind in dispatchPrepare");
 }
 
 void MiniPhase::dispatchLeave(Tree *T, PhaseRunContext &Ctx) {
@@ -35,6 +36,7 @@ void MiniPhase::dispatchLeave(Tree *T, PhaseRunContext &Ctx) {
     return;
 #include "ast/TreeKinds.def"
   }
+  assert(false && "unhandled tree kind in dispatchLeave");
 }
 
 void MiniPhase::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
@@ -48,17 +50,35 @@ void MiniPhase::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
 //===----------------------------------------------------------------------===//
 
 FusedBlock::FusedBlock(std::vector<MiniPhase *> Ps) : Phases(std::move(Ps)) {
-  assert(Phases.size() < (1u << 16) && "too many phases in a block");
+  // Phase indices and buffer offsets are stored as uint16_t; the buffers
+  // hold at most NumTreeKinds * Phases.size() entries, so this bound
+  // keeps every offset cast below exact.
+  assert(Phases.size() * NumTreeKinds <= UINT16_MAX &&
+         "too many phases in a block for the flattened dispatch tables");
+  // Flattened dispatch tables: for each kind, the ascending indices of
+  // interested phases, laid out back-to-back in one buffer per hook class
+  // and addressed by offset/length. The fused interest masks fall out of
+  // the same pass and are cached for subtree pruning.
   for (unsigned K = 0; K < NumTreeKinds; ++K) {
+    TreeKind Kind = static_cast<TreeKind>(K);
+    TransformRange[K].Off = static_cast<uint16_t>(TransformBuf.size());
+    PrepareRange[K].Off = static_cast<uint16_t>(PrepareBuf.size());
     for (unsigned P = 0; P < Phases.size(); ++P) {
-      TreeKind Kind = static_cast<TreeKind>(K);
       if (Phases[P]->transformKinds().contains(Kind))
-        TransformLists[K].push_back(static_cast<uint16_t>(P));
+        TransformBuf.push_back(static_cast<uint16_t>(P));
       if (Phases[P]->prepareKinds().contains(Kind)) {
-        PrepareLists[K].push_back(static_cast<uint16_t>(P));
+        PrepareBuf.push_back(static_cast<uint16_t>(P));
         HasPrepares = true;
       }
     }
+    TransformRange[K].Len =
+        static_cast<uint16_t>(TransformBuf.size() - TransformRange[K].Off);
+    PrepareRange[K].Len =
+        static_cast<uint16_t>(PrepareBuf.size() - PrepareRange[K].Off);
+    if (TransformRange[K].Len)
+      TransformBits |= 1u << K;
+    if (PrepareRange[K].Len)
+      PrepareBits |= 1u << K;
   }
 }
 
@@ -77,6 +97,18 @@ void FusedBlock::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
 
 TreePtr FusedBlock::transformTree(TreePtr Root, PhaseRunContext &Ctx) {
   assert(Root && "transformTree requires a root");
+  // Subtree pruning: a subtree whose kind summary intersects neither the
+  // fused transform mask nor the fused prepare mask executes zero hooks,
+  // so walking it could only reproduce it node-for-node — skip it. For a
+  // prepare-free block the prune mask degenerates to the pure transform
+  // mask. Disabled under AlwaysCopy (the baseline copies every node
+  // regardless of hooks), when IdentitySkip is off (the ablation invokes
+  // undeclared hooks too), and under perf instrumentation (the memsim
+  // figures model the full walk).
+  const CompilerOptions &Opts = Ctx.Comp.options();
+  bool Prune = Opts.SubtreePruning && Opts.IdentitySkip && !Opts.AlwaysCopy &&
+               !Ctx.Comp.perf();
+  ActivePruneBits = Prune ? (TransformBits | PrepareBits) : 0;
   TreePtr Out = walk(Root.get(), Ctx);
   DagMemo.clear();
   return Out;
@@ -86,6 +118,14 @@ TreePtr FusedBlock::transformTree(TreePtr Root, PhaseRunContext &Ctx) {
 /// (paper Listing 4 generalized to a phase vector).
 TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
   CompilerContext &Comp = Ctx.Comp;
+
+  // Nothing below this node interests any constituent phase: no hook of
+  // any class would run and the copier would reuse every node, so the
+  // subtree is returned untouched without being visited.
+  if (ActivePruneBits && (T->kindsBelow() & ActivePruneBits) == 0) {
+    ++NumPruned;
+    return TreePtr(T);
+  }
 
   // DAG mode (§9 future work): a subtree referenced from more than one
   // parent is transformed once; later occurrences reuse the result, which
@@ -107,9 +147,10 @@ TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
     instrumentVisit(T, Comp);
 
   // Prepares run on subtree entry (Listing 7).
-  const auto &Preps = PrepareLists[static_cast<unsigned>(T->kind())];
-  for (uint16_t P : Preps)
-    Phases[P]->dispatchPrepare(T, Ctx);
+  KindRange PR = PrepareRange[static_cast<unsigned>(T->kind())];
+  const uint16_t *Preps = PrepareBuf.data() + PR.Off;
+  for (unsigned I = 0; I < PR.Len; ++I)
+    Phases[Preps[I]]->dispatchPrepare(T, Ctx);
 
   // Recurse into children, then rebuild the node if any child changed
   // (withNewChildren applies the reuse optimization; AlwaysCopy disables
@@ -148,8 +189,8 @@ TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
           : applyTransformsNaive(std::move(Reconstructed), Ctx);
 
   // Balanced leave hooks (reverse order), restoring scoped phase state.
-  for (auto It = Preps.rbegin(); It != Preps.rend(); ++It)
-    Phases[*It]->dispatchLeave(T, Ctx);
+  for (unsigned I = PR.Len; I > 0; --I)
+    Phases[Preps[I - 1]]->dispatchLeave(T, Ctx);
 
   if (Memoize)
     DagMemo.emplace(T, Out);
@@ -164,14 +205,15 @@ TreePtr FusedBlock::applyTransforms(TreePtr Node, PhaseRunContext &Ctx) {
   unsigned NextPhase = 0;
   while (true) {
     TreeKind K = Node->kind();
-    const auto &List = TransformLists[static_cast<unsigned>(K)];
-    // Find the first interested phase at or after NextPhase. Lists are
-    // short (a handful of phases per kind); linear scan beats binary
-    // search here.
+    KindRange R = TransformRange[static_cast<unsigned>(K)];
+    const uint16_t *List = TransformBuf.data() + R.Off;
+    // Find the first interested phase at or after NextPhase. Slices are
+    // short (a handful of phases per kind); linear scan over the
+    // contiguous buffer beats binary search here.
     unsigned P = ~0u;
-    for (uint16_t Candidate : List) {
-      if (Candidate >= NextPhase) {
-        P = Candidate;
+    for (unsigned I = 0; I < R.Len; ++I) {
+      if (List[I] >= NextPhase) {
+        P = List[I];
         break;
       }
     }

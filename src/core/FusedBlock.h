@@ -15,6 +15,18 @@
 ///      walks the dense list, and when a hook changes the kind it switches
 ///      to the new kind's list (only phases after the current one run).
 ///
+/// Two engine-level refinements extend them:
+///
+///   3. subtree pruning — the block's fused interest mask (union of all
+///      phases' transform and prepare kind sets) is cached at block
+///      construction; walk() returns a subtree untouched when its
+///      Tree::kindsBelow summary intersects none of it, since zero hooks
+///      would execute inside and the copier would reuse every node;
+///   4. flattened dispatch tables — the per-kind interest lists live in
+///      one contiguous uint16_t buffer addressed by per-kind
+///      offset/length pairs, so the hot dispatch loop reads a single
+///      cache-resident block instead of chasing per-kind vector headers.
+///
 /// Prepares (Listing 7/8) run preorder; the matching leave hooks run when
 /// the subtree completes. The semantics the paper highlights hold: when
 /// phase m transforms node t, t was already transformed by phases before m,
@@ -51,11 +63,14 @@ public:
   /// Traversal statistics for the last/accumulated runs.
   uint64_t nodesVisited() const { return NumVisited; }
   uint64_t hooksExecuted() const { return NumHooks; }
+  /// Subtrees returned untouched by the kind-summary prune.
+  uint64_t subtreesPruned() const { return NumPruned; }
   /// Shared-subtree reuses under CompilerOptions::DagMemoize (§9).
   uint64_t sharedHits() const { return NumSharedHits; }
   void resetStats() {
     NumVisited = 0;
     NumHooks = 0;
+    NumPruned = 0;
     NumSharedHits = 0;
   }
 
@@ -63,7 +78,18 @@ public:
   /// never memoize shared subtrees (the transforms may be path-dependent).
   bool hasPrepares() const { return HasPrepares; }
 
+  /// Union of the constituent phases' transform kind masks, as bits.
+  uint32_t fusedTransformMask() const { return TransformBits; }
+  /// Union of the constituent phases' prepare kind masks, as bits.
+  uint32_t fusedPrepareMask() const { return PrepareBits; }
+
 private:
+  /// Offset/length of one kind's slice of a flattened dispatch buffer.
+  struct KindRange {
+    uint16_t Off = 0;
+    uint16_t Len = 0;
+  };
+
   TreePtr walk(Tree *T, PhaseRunContext &Ctx);
   TreePtr applyTransforms(TreePtr Node, PhaseRunContext &Ctx);
   TreePtr applyTransformsNaive(TreePtr Node, PhaseRunContext &Ctx);
@@ -72,12 +98,23 @@ private:
                       CompilerContext &Comp, const Tree *Node);
 
   std::vector<MiniPhase *> Phases;
-  /// For each tree kind, ascending indices of phases interested in it.
-  std::vector<uint16_t> TransformLists[NumTreeKinds];
-  std::vector<uint16_t> PrepareLists[NumTreeKinds];
+  /// Flattened per-kind interest lists: ascending phase indices, one
+  /// contiguous buffer per hook class, sliced by KindRange.
+  std::vector<uint16_t> TransformBuf;
+  std::vector<uint16_t> PrepareBuf;
+  KindRange TransformRange[NumTreeKinds];
+  KindRange PrepareRange[NumTreeKinds];
+  /// Cached fused interest masks (see fusedTransformMask/fusedPrepareMask).
+  uint32_t TransformBits = 0;
+  uint32_t PrepareBits = 0;
+  /// Pruning state for the current transformTree run: a subtree whose
+  /// kindsBelow misses every bit of PruneBits is returned untouched.
+  /// Zero when pruning is disabled for this run.
+  uint32_t ActivePruneBits = 0;
   bool HasPrepares = false;
   uint64_t NumVisited = 0;
   uint64_t NumHooks = 0;
+  uint64_t NumPruned = 0;
   uint64_t NumSharedHits = 0;
   /// Per-run memo for DAG mode: input node -> fully transformed result.
   std::unordered_map<const Tree *, TreePtr> DagMemo;

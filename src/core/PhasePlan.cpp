@@ -112,6 +112,14 @@ Phase *PhasePlan::findPhase(const std::string &PhaseName) const {
   return nullptr;
 }
 
+std::vector<FusedBlock *> PhasePlan::fusedBlocks() const {
+  std::vector<FusedBlock *> Blocks;
+  for (const PhaseGroup &G : Groups)
+    if (G.Block)
+      Blocks.push_back(G.Block.get());
+  return Blocks;
+}
+
 std::vector<Phase *> PhasePlan::phasesUpTo(size_t GroupIdx) const {
   std::vector<Phase *> Result;
   for (size_t G = 0; G <= GroupIdx && G < Groups.size(); ++G)

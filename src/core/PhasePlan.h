@@ -64,6 +64,11 @@ public:
   /// finishes.
   std::vector<Phase *> phasesUpTo(size_t GroupIdx) const;
 
+  /// The fused blocks of the plan in pipeline order (empty in the unfused
+  /// configuration). Benches and tests read per-block traversal counters
+  /// through this.
+  std::vector<FusedBlock *> fusedBlocks() const;
+
   /// Prints the pipeline as in the paper's Tables 1/2: id, name,
   /// description; miniphases marked '*', horizontal rules at group
   /// boundaries.

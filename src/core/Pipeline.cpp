@@ -16,8 +16,16 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
     const PhaseGroup &Group = Groups[G];
     if (Group.isFused()) {
       // One traversal applies every miniphase of the group (Figure 2/3).
+      // Blocks accumulate their counters across runs, so this run's share
+      // is the delta around the unit loop.
+      uint64_t Visited0 = Group.Block->nodesVisited();
+      uint64_t Hooks0 = Group.Block->hooksExecuted();
+      uint64_t Pruned0 = Group.Block->subtreesPruned();
       for (CompilationUnit &Unit : Units)
         Group.Block->runOnUnit(Unit, Comp);
+      Result.NodesVisited += Group.Block->nodesVisited() - Visited0;
+      Result.HooksExecuted += Group.Block->hooksExecuted() - Hooks0;
+      Result.SubtreesPruned += Group.Block->subtreesPruned() - Pruned0;
       ++Result.Traversals;
     } else {
       // Unfused: each phase is a separate whole-tree pass over all units
@@ -39,5 +47,10 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
       }
     }
   }
+
+  StatsRegistry &Stats = Comp.stats();
+  Stats.add("fusion.nodesVisited", Result.NodesVisited);
+  Stats.add("fusion.hooksExecuted", Result.HooksExecuted);
+  Stats.add("fusion.subtreesPruned", Result.SubtreesPruned);
   return Result;
 }

@@ -25,6 +25,13 @@ struct PipelineResult {
   /// Number of whole-tree traversals performed (groups in fused mode,
   /// phases in unfused mode).
   uint64_t Traversals = 0;
+  /// Fusion-engine counters summed over the fused groups of this run
+  /// (also accumulated into CompilerContext::stats() under the
+  /// "fusion.*" keys). Zero in the unfused configuration, whose solo
+  /// per-phase blocks are engine-internal temporaries.
+  uint64_t NodesVisited = 0;
+  uint64_t HooksExecuted = 0;
+  uint64_t SubtreesPruned = 0;
   /// TreeChecker failures, if checking was enabled.
   std::vector<CheckFailure> CheckFailures;
 };

@@ -24,6 +24,8 @@ class StatsRegistry {
 public:
   uint64_t &counter(const std::string &Key) { return Counters[Key]; }
 
+  void add(const std::string &Key, uint64_t Delta) { Counters[Key] += Delta; }
+
   uint64_t get(const std::string &Key) const {
     auto It = Counters.find(Key);
     return It == Counters.end() ? 0 : It->second;
@@ -33,6 +35,10 @@ public:
 
   /// Prints "key = value" lines sorted by key.
   void print(OStream &OS) const;
+
+  /// Like print, restricted to counters whose key starts with \p Prefix
+  /// (e.g. "fusion." for the fused-traversal counters).
+  void printPrefixed(OStream &OS, const std::string &Prefix) const;
 
   const std::map<std::string, uint64_t> &all() const { return Counters; }
 

@@ -6,6 +6,7 @@
 #include "support/Diagnostics.h"
 #include "support/OStream.h"
 #include "support/Rng.h"
+#include "support/Statistics.h"
 #include "support/StringInterner.h"
 
 #include <gtest/gtest.h>
@@ -72,6 +73,23 @@ TEST(OStreamTest, Formatting) {
   StringOStream OS;
   OS << "x=" << 42 << ", y=" << -3 << ", d=" << 1.5 << ", b=" << true;
   EXPECT_EQ(OS.str(), "x=42, y=-3, d=1.5, b=true");
+}
+
+TEST(StatsTest, CountersAddAndPrefixPrint) {
+  StatsRegistry S;
+  S.counter("fusion.nodesVisited") = 7;
+  S.add("fusion.nodesVisited", 3);
+  S.add("fusion.subtreesPruned", 2);
+  S.add("heap.allocated", 99);
+  EXPECT_EQ(S.get("fusion.nodesVisited"), 10u);
+  EXPECT_EQ(S.get("missing"), 0u);
+
+  StringOStream All, Fusion;
+  S.print(All);
+  S.printPrefixed(Fusion, "fusion.");
+  EXPECT_NE(All.str().find("heap.allocated = 99"), std::string::npos);
+  EXPECT_EQ(Fusion.str(), "fusion.nodesVisited = 10\n"
+                          "fusion.subtreesPruned = 2\n");
 }
 
 } // namespace
