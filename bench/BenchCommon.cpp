@@ -65,12 +65,15 @@ void mpc::bench::jsonMetric(const std::string &Bench, const std::string &Key,
 
 RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
                               PipelineKind Kind, StopAfter Stop,
-                              bool Simulate, uint64_t YoungGenBytes) {
+                              bool Simulate, uint64_t YoungGenBytes,
+                              bool SlabHeap) {
   RunResult R;
   auto Sources = generateWorkload(Profile);
   R.Loc = countLines(Sources);
 
-  CompilerContext Comp;
+  CompilerOptions Opts;
+  Opts.SlabHeap = SlabHeap;
+  CompilerContext Comp(Opts);
   if (YoungGenBytes)
     Comp.heap().setGeometry(YoungGenBytes, 1);
   Comp.options().FuseMiniphases = Kind == PipelineKind::StandardFused;
@@ -112,6 +115,8 @@ RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
       R.NodesVisited = PR.NodesVisited;
       R.HooksExecuted = PR.HooksExecuted;
       R.SubtreesPruned = PR.SubtreesPruned;
+      R.PrepareOnlyWalks = PR.PrepareOnlyWalks;
+      R.TransformRealAllocs = PR.RealAllocs;
     }
     if (Stop == StopAfter::Everything) {
       T.reset();
@@ -125,6 +130,10 @@ RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
     // Figure 6 is about. (The final trees are promoted equally under both
     // configurations and would only dilute the comparison.)
     R.Heap = Comp.heap().stats();
+    const SlabAllocator::Stats &Backend = Comp.heap().backendStats();
+    R.RealAllocs = Backend.SystemCalls;
+    R.SlabHits = Backend.SlabAllocs;
+    R.PagesMapped = Backend.PagesMapped;
   }
   R.Cache = CS.counters();
   R.Perf = PC.stats();

@@ -40,6 +40,13 @@ struct RunResult {
   uint64_t NodesVisited = 0;
   uint64_t HooksExecuted = 0;
   uint64_t SubtreesPruned = 0;
+  uint64_t PrepareOnlyWalks = 0;
+  /// Real-storage allocator counters (system-allocator calls, slab-served
+  /// allocations, slab pages) — whole run and transform-stage slice.
+  uint64_t RealAllocs = 0;
+  uint64_t SlabHits = 0;
+  uint64_t PagesMapped = 0;
+  uint64_t TransformRealAllocs = 0;
   HeapStats Heap;        // whole-run heap statistics
   CacheCounters Cache;   // simulated cache counters (when simulated)
   PerfStats Perf;        // simulated instruction/cycle counters
@@ -47,9 +54,11 @@ struct RunResult {
 
 /// Runs the compiler on \p Profile's generated sources. When \p Simulate,
 /// the cache/perf simulators are attached (slow; used by Figs 7/8).
+/// \p SlabHeap selects the real-storage backend (the simulated heap
+/// figures are identical either way; fig5 compares the real side).
 RunResult runOnce(const WorkloadProfile &Profile, PipelineKind Kind,
                   StopAfter Stop, bool Simulate,
-                  uint64_t YoungGenBytes = 0);
+                  uint64_t YoungGenBytes = 0, bool SlabHeap = true);
 
 /// Transform-stage isolation via subtraction of a frontend-only run
 /// (paper §5.3). Returns (through-transforms minus frontend-only).

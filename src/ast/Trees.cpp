@@ -22,6 +22,8 @@ template <typename NodeT, typename... Args>
 GcRef<NodeT> TreeContext::allocate(size_t ExtraBytes, Args &&...CtorArgs) {
   // The managed-heap charge approximates a JVM node: the object itself plus
   // its child-list cells (ExtraBytes = 8 per child, mirroring cons cells).
+  // The real storage behind the charge is sizeof(NodeT) from the slab
+  // backend; spilled child arrays are separate raw slab blocks.
   size_t Charge = sizeof(NodeT) + ExtraBytes;
   uint64_t Birth = 0;
   void *Mem = Heap.allocate(sizeof(NodeT), Charge, Birth);
@@ -36,15 +38,17 @@ GcRef<NodeT> TreeContext::allocate(size_t ExtraBytes, Args &&...CtorArgs) {
 
 void TreeContext::destroy(Tree *T) {
   uint64_t Birth = T->Birth;
-  uint32_t Size = T->AllocSize;
+  uint32_t Charge = T->AllocSize;
+  size_t NodeBytes = 0;
   switch (T->kind()) {
 #define TREE_KIND(Name)                                                        \
   case TreeKind::Name:                                                         \
+    NodeBytes = sizeof(Name);                                                  \
     static_cast<Name *>(T)->~Name();                                           \
     break;
 #include "ast/TreeKinds.def"
   }
-  Heap.deallocate(T, Size, Birth);
+  Heap.deallocate(T, NodeBytes, Charge, Birth);
 }
 
 //===----------------------------------------------------------------------===//
@@ -60,7 +64,7 @@ GcRef<Select> TreeContext::makeSelect(SourceLoc L, TreePtr Qual, Symbol *Sym,
                                       const Type *Ty) {
   assert(Qual && "Select requires a qualifier");
   assert(Sym && "Select requires a symbol");
-  return allocate<Select>(8, L, Ty, std::move(Qual), Sym);
+  return allocate<Select>(8, L, Ty, KidSpan(&Qual, 1), Sym);
 }
 
 GcRef<This> TreeContext::makeThis(SourceLoc L, ClassSymbol *Cls,
@@ -88,34 +92,32 @@ GcRef<Apply> TreeContext::makeApply(SourceLoc L, TreePtr Fun, TreeList Args,
     assert(A && "Apply argument must be non-null");
     Ks.push_back(std::move(A));
   }
-  return allocate<Apply>(8 * Ks.size(), L, Ty, std::move(Ks));
+  return allocate<Apply>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
 GcRef<TypeApply> TreeContext::makeTypeApply(SourceLoc L, TreePtr Fun,
                                             std::vector<const Type *> TArgs,
                                             const Type *Ty) {
   assert(Fun && "TypeApply requires a function");
-  return allocate<TypeApply>(8, L, Ty, std::move(Fun), std::move(TArgs));
+  return allocate<TypeApply>(8, L, Ty, KidSpan(&Fun, 1), std::move(TArgs));
 }
 
 GcRef<New> TreeContext::makeNew(SourceLoc L, const Type *ClsTy,
                                 TreeList Args) {
   assert(ClsTy && "New requires a class type");
-  return allocate<New>(8 * Args.size(), L, ClsTy, ClsTy, std::move(Args));
+  return allocate<New>(8 * Args.size(), L, ClsTy, ClsTy, KidSpan(Args));
 }
 
 GcRef<Typed> TreeContext::makeTyped(SourceLoc L, TreePtr Expr,
                                     const Type *TargetTy) {
   assert(Expr && "Typed requires an expression");
-  return allocate<Typed>(8, L, TargetTy, std::move(Expr));
+  return allocate<Typed>(8, L, TargetTy, KidSpan(&Expr, 1));
 }
 
 GcRef<Assign> TreeContext::makeAssign(SourceLoc L, TreePtr Lhs, TreePtr Rhs,
                                       const Type *UnitTy) {
-  TreeList Ks;
-  Ks.push_back(std::move(Lhs));
-  Ks.push_back(std::move(Rhs));
-  return allocate<Assign>(16, L, UnitTy, std::move(Ks));
+  TreePtr Ks[2] = {std::move(Lhs), std::move(Rhs)};
+  return allocate<Assign>(16, L, UnitTy, KidSpan(Ks, 2));
 }
 
 GcRef<Block> TreeContext::makeBlock(SourceLoc L, TreeList Stats,
@@ -124,17 +126,14 @@ GcRef<Block> TreeContext::makeBlock(SourceLoc L, TreeList Stats,
   const Type *Ty = Expr->type();
   TreeList Ks = std::move(Stats);
   Ks.push_back(std::move(Expr));
-  return allocate<Block>(8 * Ks.size(), L, Ty, std::move(Ks));
+  return allocate<Block>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
 GcRef<If> TreeContext::makeIf(SourceLoc L, TreePtr Cond, TreePtr Then,
                               TreePtr Else, const Type *Ty) {
   assert(Cond && Then && Else && "If requires all three children");
-  TreeList Ks;
-  Ks.push_back(std::move(Cond));
-  Ks.push_back(std::move(Then));
-  Ks.push_back(std::move(Else));
-  return allocate<If>(24, L, Ty, std::move(Ks));
+  TreePtr Ks[3] = {std::move(Cond), std::move(Then), std::move(Else)};
+  return allocate<If>(24, L, Ty, KidSpan(Ks, 3));
 }
 
 GcRef<Closure> TreeContext::makeClosure(SourceLoc L, TreeList Params,
@@ -142,7 +141,7 @@ GcRef<Closure> TreeContext::makeClosure(SourceLoc L, TreeList Params,
   assert(Body && "Closure requires a body");
   TreeList Ks = std::move(Params);
   Ks.push_back(std::move(Body));
-  return allocate<Closure>(8 * Ks.size(), L, Ty, std::move(Ks));
+  return allocate<Closure>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
 GcRef<Match> TreeContext::makeMatch(SourceLoc L, TreePtr Sel, TreeList Cases,
@@ -153,34 +152,32 @@ GcRef<Match> TreeContext::makeMatch(SourceLoc L, TreePtr Sel, TreeList Cases,
   Ks.push_back(std::move(Sel));
   for (TreePtr &C : Cases)
     Ks.push_back(std::move(C));
-  return allocate<Match>(8 * Ks.size(), L, Ty, std::move(Ks));
+  return allocate<Match>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
 GcRef<CaseDef> TreeContext::makeCaseDef(SourceLoc L, TreePtr Pat,
                                         TreePtr Guard, TreePtr Body) {
   assert(Pat && Body && "CaseDef requires pattern and body");
   const Type *Ty = Body->type();
-  TreeList Ks;
-  Ks.push_back(std::move(Pat));
-  Ks.push_back(std::move(Guard)); // nullable slot
-  Ks.push_back(std::move(Body));
-  return allocate<CaseDef>(24, L, Ty, std::move(Ks));
+  TreePtr Ks[3] = {std::move(Pat), std::move(Guard) /* nullable slot */,
+                   std::move(Body)};
+  return allocate<CaseDef>(24, L, Ty, KidSpan(Ks, 3));
 }
 
 GcRef<Bind> TreeContext::makeBind(SourceLoc L, Symbol *Sym, TreePtr Pat) {
   assert(Sym && Pat && "Bind requires symbol and pattern");
-  return allocate<Bind>(8, L, Sym->info(), Sym, std::move(Pat));
+  return allocate<Bind>(8, L, Sym->info(), Sym, KidSpan(&Pat, 1));
 }
 
 GcRef<Alternative> TreeContext::makeAlternative(SourceLoc L, TreeList Pats,
                                                 const Type *Ty) {
-  return allocate<Alternative>(8 * Pats.size(), L, Ty, std::move(Pats));
+  return allocate<Alternative>(8 * Pats.size(), L, Ty, KidSpan(Pats));
 }
 
 GcRef<UnApply> TreeContext::makeUnApply(SourceLoc L, ClassSymbol *Cls,
                                         TreeList Pats, const Type *Ty) {
   assert(Cls && "UnApply requires a case class");
-  return allocate<UnApply>(8 * Pats.size(), L, Ty, Cls, std::move(Pats));
+  return allocate<UnApply>(8 * Pats.size(), L, Ty, Cls, KidSpan(Pats));
 }
 
 GcRef<Try> TreeContext::makeTry(SourceLoc L, TreePtr Body, TreeList Catches,
@@ -192,40 +189,33 @@ GcRef<Try> TreeContext::makeTry(SourceLoc L, TreePtr Body, TreeList Catches,
   Ks.push_back(std::move(Finalizer)); // nullable slot
   for (TreePtr &C : Catches)
     Ks.push_back(std::move(C));
-  return allocate<Try>(8 * Ks.size(), L, Ty, std::move(Ks));
+  return allocate<Try>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
 GcRef<Throw> TreeContext::makeThrow(SourceLoc L, TreePtr Expr,
                                     const Type *NothingTy) {
   assert(Expr && "Throw requires an expression");
-  TreeList Ks;
-  Ks.push_back(std::move(Expr));
-  return allocate<Throw>(8, L, NothingTy, std::move(Ks));
+  return allocate<Throw>(8, L, NothingTy, KidSpan(&Expr, 1));
 }
 
 GcRef<Return> TreeContext::makeReturn(SourceLoc L, TreePtr Expr,
                                       Symbol *FromMethod,
                                       const Type *NothingTy) {
-  TreeList Ks;
-  Ks.push_back(std::move(Expr)); // nullable slot
-  return allocate<Return>(8, L, NothingTy, FromMethod, std::move(Ks));
+  // Nullable slot.
+  return allocate<Return>(8, L, NothingTy, FromMethod, KidSpan(&Expr, 1));
 }
 
 GcRef<WhileDo> TreeContext::makeWhileDo(SourceLoc L, TreePtr Cond,
                                         TreePtr Body, const Type *UnitTy) {
   assert(Cond && Body && "WhileDo requires condition and body");
-  TreeList Ks;
-  Ks.push_back(std::move(Cond));
-  Ks.push_back(std::move(Body));
-  return allocate<WhileDo>(16, L, UnitTy, std::move(Ks));
+  TreePtr Ks[2] = {std::move(Cond), std::move(Body)};
+  return allocate<WhileDo>(16, L, UnitTy, KidSpan(Ks, 2));
 }
 
 GcRef<Labeled> TreeContext::makeLabeled(SourceLoc L, Symbol *Label,
                                         TreePtr Body, const Type *Ty) {
   assert(Label && Body && "Labeled requires label and body");
-  TreeList Ks;
-  Ks.push_back(std::move(Body));
-  return allocate<Labeled>(8, L, Ty, Label, std::move(Ks));
+  return allocate<Labeled>(8, L, Ty, Label, KidSpan(&Body, 1));
 }
 
 GcRef<Goto> TreeContext::makeGoto(SourceLoc L, Symbol *Label,
@@ -238,14 +228,13 @@ GcRef<SeqLiteral> TreeContext::makeSeqLiteral(SourceLoc L, TreeList Elems,
                                               const Type *ElemTy,
                                               const Type *Ty) {
   return allocate<SeqLiteral>(8 * Elems.size(), L, Ty, ElemTy,
-                              std::move(Elems));
+                              KidSpan(Elems));
 }
 
 GcRef<ValDef> TreeContext::makeValDef(SourceLoc L, Symbol *Sym, TreePtr Rhs) {
   assert(Sym && "ValDef requires a symbol");
-  TreeList Ks;
-  Ks.push_back(std::move(Rhs)); // nullable slot
-  return allocate<ValDef>(8, L, nullptr, Sym, std::move(Ks));
+  // Nullable slot.
+  return allocate<ValDef>(8, L, nullptr, Sym, KidSpan(&Rhs, 1));
 }
 
 GcRef<DefDef> TreeContext::makeDefDef(SourceLoc L, Symbol *Sym,
@@ -261,33 +250,31 @@ GcRef<DefDef> TreeContext::makeDefDef(SourceLoc L, Symbol *Sym,
   TreeList Ks = std::move(Params);
   Ks.push_back(std::move(Rhs)); // nullable slot
   return allocate<DefDef>(8 * Ks.size(), L, nullptr, Sym,
-                          std::move(ParamListSizes), std::move(Ks));
+                          std::move(ParamListSizes), KidSpan(Ks));
 }
 
 GcRef<ClassDef> TreeContext::makeClassDef(SourceLoc L, ClassSymbol *Sym,
                                           TreeList Body) {
   assert(Sym && "ClassDef requires a class symbol");
-  return allocate<ClassDef>(8 * Body.size(), L, nullptr, Sym,
-                            std::move(Body));
+  return allocate<ClassDef>(8 * Body.size(), L, nullptr, Sym, KidSpan(Body));
 }
 
 GcRef<PackageDef> TreeContext::makePackageDef(SourceLoc L, Name PkgName,
                                               TreeList Stats) {
   return allocate<PackageDef>(8 * Stats.size(), L, nullptr, PkgName,
-                              std::move(Stats));
+                              KidSpan(Stats));
 }
 
 //===----------------------------------------------------------------------===//
 // withNewChildren — the copier with the reuse optimization.
 //===----------------------------------------------------------------------===//
 
-TreePtr TreeContext::withNewChildren(Tree *T, TreeList NewKids) {
+TreePtr TreeContext::withNewChildren(Tree *T, TreePtr *NewKids, size_t N) {
   assert(T && "withNewChildren on null tree");
-  assert(NewKids.size() == T->numKids() &&
-         "withNewChildren must preserve arity");
+  assert(N == T->numKids() && "withNewChildren must preserve arity");
 
   bool AllSame = true;
-  for (size_t I = 0; I < NewKids.size(); ++I) {
+  for (size_t I = 0; I < N; ++I) {
     if (NewKids[I].get() != T->kid(static_cast<unsigned>(I))) {
       AllSame = false;
       break;
@@ -297,27 +284,42 @@ TreePtr TreeContext::withNewChildren(Tree *T, TreeList NewKids) {
     ++NumReused;
     return TreePtr(T);
   }
-  return withNewChildrenForced(T, std::move(NewKids));
+  return withNewChildrenForced(T, NewKids, N);
+}
+
+TreePtr TreeContext::withNewChildren(Tree *T, TreeList NewKids) {
+  return withNewChildren(T, NewKids.data(), NewKids.size());
+}
+
+TreePtr TreeContext::withNewChildrenForced(Tree *T, TreePtr *NewKids,
+                                           size_t N) {
+  assert(T && "withNewChildren on null tree");
+  assert(N == T->numKids() && "withNewChildren must preserve arity");
+  ++NumRebuilt;
+  return rebuildNode(T, KidSpan(NewKids, N), T->type());
 }
 
 TreePtr TreeContext::withNewChildrenForced(Tree *T, TreeList NewKids) {
-  assert(T && "withNewChildren on null tree");
-  assert(NewKids.size() == T->numKids() &&
-         "withNewChildren must preserve arity");
-  ++NumRebuilt;
-  return rebuildNode(T, std::move(NewKids), T->type());
+  return withNewChildrenForced(T, NewKids.data(), NewKids.size());
 }
 
 TreePtr TreeContext::withType(Tree *T, const Type *NewTy) {
   assert(T && "withType on null tree");
-  if (T->type() == NewTy)
+  if (T->type() == NewTy) {
+    ++NumTypeReused;
     return TreePtr(T);
-  TreeList Kids = T->kids(); // copy of the child refs
-  return rebuildNode(T, std::move(Kids), NewTy);
+  }
+  // Share the child refs with the original node directly — the rebuild
+  // retains each once into the new node's storage, with no intermediate
+  // list copy.
+  ++NumTypeShared;
+  return rebuildNode(T, KidSpan::share(T->kids().data(), T->numKids()),
+                     NewTy);
 }
 
-TreePtr TreeContext::rebuildNode(Tree *T, TreeList NewKids, const Type *Ty) {
+TreePtr TreeContext::rebuildNode(Tree *T, KidSpan NewKids, const Type *Ty) {
   SourceLoc L = T->loc();
+  size_t N = NewKids.size();
   switch (T->kind()) {
   case TreeKind::Ident:
     return allocate<Ident>(0, L, Ty, cast<Ident>(T)->sym());
@@ -331,70 +333,60 @@ TreePtr TreeContext::rebuildNode(Tree *T, TreeList NewKids, const Type *Ty) {
   case TreeKind::Goto:
     return allocate<Goto>(0, L, Ty, cast<Goto>(T)->label());
   case TreeKind::Select:
-    return allocate<Select>(8, L, Ty, std::move(NewKids[0]),
-                            cast<Select>(T)->sym());
+    return allocate<Select>(8, L, Ty, NewKids, cast<Select>(T)->sym());
   case TreeKind::Apply:
-    return allocate<Apply>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+    return allocate<Apply>(8 * N, L, Ty, NewKids);
   case TreeKind::TypeApply:
-    return allocate<TypeApply>(8, L, Ty, std::move(NewKids[0]),
+    return allocate<TypeApply>(8, L, Ty, NewKids,
                                cast<TypeApply>(T)->typeArgs());
   case TreeKind::New:
-    return allocate<New>(8 * NewKids.size(), L, Ty,
-                         cast<New>(T)->classTy(), std::move(NewKids));
+    return allocate<New>(8 * N, L, Ty, cast<New>(T)->classTy(), NewKids);
   case TreeKind::Typed:
-    return allocate<Typed>(8, L, Ty, std::move(NewKids[0]));
+    return allocate<Typed>(8, L, Ty, NewKids);
   case TreeKind::Assign:
-    return allocate<Assign>(16, L, Ty, std::move(NewKids));
+    return allocate<Assign>(16, L, Ty, NewKids);
   case TreeKind::Block:
-    return allocate<Block>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+    return allocate<Block>(8 * N, L, Ty, NewKids);
   case TreeKind::If:
-    return allocate<If>(24, L, Ty, std::move(NewKids));
+    return allocate<If>(24, L, Ty, NewKids);
   case TreeKind::Closure:
-    return allocate<Closure>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+    return allocate<Closure>(8 * N, L, Ty, NewKids);
   case TreeKind::Match:
-    return allocate<Match>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+    return allocate<Match>(8 * N, L, Ty, NewKids);
   case TreeKind::CaseDef:
-    return allocate<CaseDef>(24, L, Ty, std::move(NewKids));
+    return allocate<CaseDef>(24, L, Ty, NewKids);
   case TreeKind::Bind:
-    return allocate<Bind>(8, L, Ty, cast<Bind>(T)->sym(),
-                          std::move(NewKids[0]));
+    return allocate<Bind>(8, L, Ty, cast<Bind>(T)->sym(), NewKids);
   case TreeKind::Alternative:
-    return allocate<Alternative>(8 * NewKids.size(), L, Ty,
-                                 std::move(NewKids));
+    return allocate<Alternative>(8 * N, L, Ty, NewKids);
   case TreeKind::UnApply:
-    return allocate<UnApply>(8 * NewKids.size(), L, Ty,
-                             cast<UnApply>(T)->caseClass(),
-                             std::move(NewKids));
+    return allocate<UnApply>(8 * N, L, Ty, cast<UnApply>(T)->caseClass(),
+                             NewKids);
   case TreeKind::Try:
-    return allocate<Try>(8 * NewKids.size(), L, Ty, std::move(NewKids));
+    return allocate<Try>(8 * N, L, Ty, NewKids);
   case TreeKind::Throw:
-    return allocate<Throw>(8, L, Ty, std::move(NewKids));
+    return allocate<Throw>(8, L, Ty, NewKids);
   case TreeKind::Return:
     return allocate<Return>(8, L, Ty, cast<Return>(T)->fromMethod(),
-                            std::move(NewKids));
+                            NewKids);
   case TreeKind::WhileDo:
-    return allocate<WhileDo>(16, L, Ty, std::move(NewKids));
+    return allocate<WhileDo>(16, L, Ty, NewKids);
   case TreeKind::Labeled:
-    return allocate<Labeled>(8, L, Ty, cast<Labeled>(T)->label(),
-                             std::move(NewKids));
+    return allocate<Labeled>(8, L, Ty, cast<Labeled>(T)->label(), NewKids);
   case TreeKind::SeqLiteral:
-    return allocate<SeqLiteral>(8 * NewKids.size(), L, Ty,
-                                cast<SeqLiteral>(T)->elemType(),
-                                std::move(NewKids));
+    return allocate<SeqLiteral>(8 * N, L, Ty,
+                                cast<SeqLiteral>(T)->elemType(), NewKids);
   case TreeKind::ValDef:
-    return allocate<ValDef>(8, L, Ty, cast<ValDef>(T)->sym(),
-                            std::move(NewKids));
+    return allocate<ValDef>(8, L, Ty, cast<ValDef>(T)->sym(), NewKids);
   case TreeKind::DefDef:
-    return allocate<DefDef>(8 * NewKids.size(), L, Ty, cast<DefDef>(T)->sym(),
-                            cast<DefDef>(T)->paramListSizes(),
-                            std::move(NewKids));
+    return allocate<DefDef>(8 * N, L, Ty, cast<DefDef>(T)->sym(),
+                            cast<DefDef>(T)->paramListSizes(), NewKids);
   case TreeKind::ClassDef:
-    return allocate<ClassDef>(8 * NewKids.size(), L, Ty,
-                              cast<ClassDef>(T)->sym(), std::move(NewKids));
+    return allocate<ClassDef>(8 * N, L, Ty, cast<ClassDef>(T)->sym(),
+                              NewKids);
   case TreeKind::PackageDef:
-    return allocate<PackageDef>(8 * NewKids.size(), L, Ty,
-                                cast<PackageDef>(T)->pkgName(),
-                                std::move(NewKids));
+    return allocate<PackageDef>(8 * N, L, Ty, cast<PackageDef>(T)->pkgName(),
+                                NewKids);
   }
   assert(false && "unhandled tree kind in rebuildNode");
   return TreePtr(T);

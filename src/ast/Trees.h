@@ -13,10 +13,16 @@
 /// are exact; each node records its allocation-clock birth so the
 /// ManagedHeap can attribute generational promotion (Figures 5/6).
 ///
-/// Storage layout: every node keeps its children in one uniform vector
-/// (typed accessors map onto fixed slots). This lets the traversal,
-/// rebuild, equality and printing logic be generic over kinds while hooks
-/// still get fully typed node classes.
+/// Storage layout: every node keeps its children in one uniform TreeKids
+/// (typed accessors map onto fixed slots). Up to TreeKids::InlineCap
+/// children are stored inline in the node itself; only higher arities
+/// spill to a single slab-backed array — so leaves and the common low-
+/// arity nodes (Select, If, Assign, ...) cost zero allocations beyond the
+/// node. Child lists are handed to constructors as a borrowed KidSpan and
+/// moved (or, for withType, reference-shared) straight into the node,
+/// which keeps the rebuild hot paths free of intermediate vectors. The
+/// uniform layout lets traversal, rebuild, equality and printing logic be
+/// generic over kinds while hooks still get fully typed node classes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +39,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -134,6 +141,112 @@ private:
 using TreePtr = GcRef<Tree>;
 using TreeList = std::vector<TreePtr>;
 
+/// A borrowed view of the children handed to a node constructor, consumed
+/// exactly once by the Tree base constructor. By default the referenced
+/// slots are moved from (the caller's storage — a factory-local TreeList,
+/// a stack array, or the fusion engine's scratch buffer — is left holding
+/// nulls). share() instead copy-retains the slots, which is how withType
+/// shares its children with the original node without an intermediate
+/// list copy.
+class KidSpan {
+public:
+  KidSpan() = default;
+  KidSpan(TreeList &L)
+      : Ptr(L.data()), N(static_cast<uint32_t>(L.size())) {}
+  KidSpan(TreePtr *P, size_t Count)
+      : Ptr(P), N(static_cast<uint32_t>(Count)) {}
+  /// Copy-retaining view (source slots are left untouched).
+  static KidSpan share(const TreePtr *P, size_t Count) {
+    KidSpan S;
+    S.Ptr = const_cast<TreePtr *>(P);
+    S.N = static_cast<uint32_t>(Count);
+    S.Move = false;
+    return S;
+  }
+  size_t size() const { return N; }
+
+private:
+  friend class TreeKids;
+  TreePtr *Ptr = nullptr;
+  uint32_t N = 0;
+  bool Move = true;
+};
+
+/// Inline-first child storage. Up to InlineCap children live directly in
+/// the node; higher arities spill to a single contiguous array obtained
+/// from the ManagedHeap's slab backend (never charged to the simulated
+/// allocation clock — the child cells are already folded into the owning
+/// node's charge). The spill block embeds its heap so destruction needs
+/// no context. Immutable after construction, like the node that owns it.
+class TreeKids {
+public:
+  /// Children stored inline before spilling (covers leaves and the
+  /// 1–3-ary kinds, the overwhelming majority of nodes).
+  static constexpr unsigned InlineCap = 3;
+
+  TreeKids(KidSpan Src, ManagedHeap &Heap) : Num(Src.N) {
+    TreePtr *Dst = Inline;
+    if (Num > InlineCap) {
+      void *Raw = Heap.rawAllocate(spillBytes(Num));
+      *static_cast<ManagedHeap **>(Raw) = &Heap;
+      Spill = reinterpret_cast<TreePtr *>(static_cast<char *>(Raw) +
+                                          SpillHdrBytes);
+      Dst = Spill;
+    }
+    for (uint32_t I = 0; I < Num; ++I) {
+      if (Dst == Spill) {
+        if (Src.Move)
+          new (Dst + I) TreePtr(std::move(Src.Ptr[I]));
+        else
+          new (Dst + I) TreePtr(Src.Ptr[I]);
+      } else {
+        if (Src.Move)
+          Dst[I] = std::move(Src.Ptr[I]);
+        else
+          Dst[I] = Src.Ptr[I];
+      }
+    }
+  }
+  TreeKids(const TreeKids &) = delete;
+  TreeKids &operator=(const TreeKids &) = delete;
+  ~TreeKids() {
+    if (!Spill)
+      return; // inline refs released by the member array's destructor
+    for (uint32_t I = 0; I < Num; ++I)
+      std::destroy_at(Spill + I);
+    void *Raw = reinterpret_cast<char *>(Spill) - SpillHdrBytes;
+    ManagedHeap *Heap = *static_cast<ManagedHeap **>(Raw);
+    Heap->rawDeallocate(Raw, spillBytes(Num));
+  }
+
+  size_t size() const { return Num; }
+  bool empty() const { return Num == 0; }
+  const TreePtr *data() const { return Spill ? Spill : Inline; }
+  const TreePtr *begin() const { return data(); }
+  const TreePtr *end() const { return data() + Num; }
+  const TreePtr &operator[](size_t I) const {
+    assert(I < Num && "child index out of range");
+    return data()[I];
+  }
+  /// True when the children live in a spilled array (exposed for the
+  /// children-storage tests).
+  bool spilled() const { return Spill != nullptr; }
+
+  /// Copies out to a plain list (compatibility with transform code that
+  /// edits a child list before rebuilding).
+  operator TreeList() const { return TreeList(begin(), end()); }
+
+private:
+  static constexpr size_t SpillHdrBytes = sizeof(ManagedHeap *);
+  static size_t spillBytes(uint32_t N) {
+    return SpillHdrBytes + N * sizeof(TreePtr);
+  }
+
+  TreePtr *Spill = nullptr;
+  uint32_t Num = 0;
+  TreePtr Inline[InlineCap];
+};
+
 /// Root of the tree hierarchy. No vtable: the kind tag plus switch-based
 /// dispatch keeps nodes compact and mirrors the paper's transform dispatch.
 class Tree {
@@ -146,11 +259,8 @@ public:
   /// Children, uniformly. Entries may be null only in the documented
   /// nullable slots (ValDef/DefDef rhs, Try finalizer, CaseDef guard).
   unsigned numKids() const { return static_cast<unsigned>(Kids.size()); }
-  Tree *kid(unsigned I) const {
-    assert(I < Kids.size() && "child index out of range");
-    return Kids[I].get();
-  }
-  const TreeList &kids() const { return Kids; }
+  Tree *kid(unsigned I) const { return Kids[I].get(); }
+  const TreeKids &kids() const { return Kids; }
 
   /// Kind summary of this subtree: the bit of kind() unioned with every
   /// descendant's summary. Computed once at construction (children are
@@ -171,14 +281,7 @@ public:
 
 protected:
   Tree(TreeKind K, TreeContext &Ctx, SourceLoc Loc, const Type *Ty,
-       TreeList Kids)
-      : Ctx(&Ctx), Ty(Ty), Kids(std::move(Kids)), Loc(Loc), K(K) {
-    uint32_t Below = 1u << static_cast<unsigned>(K);
-    for (const TreePtr &Kid : this->Kids)
-      if (Kid)
-        Below |= Kid->KindsBelowBits;
-    KindsBelowBits = Below;
-  }
+       KidSpan Kids); // defined after TreeContext (needs the heap)
   ~Tree() = default;
 
 private:
@@ -190,7 +293,7 @@ private:
 
   TreeContext *Ctx;
   const Type *Ty;
-  TreeList Kids;
+  TreeKids Kids;
   uint64_t Birth = 0;
   mutable uint32_t RefCount = 0;
   uint32_t AllocSize = 0;
@@ -230,15 +333,9 @@ public:
 
 private:
   friend class TreeContext;
-  Select(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Qual,
+  Select(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Qual,
          Symbol *Sym)
-      : Tree(TreeKind::Select, C, L, Ty, makeKids(std::move(Qual))), Sym(Sym) {
-  }
-  static TreeList makeKids(TreePtr Q) {
-    TreeList Ks;
-    Ks.push_back(std::move(Q));
-    return Ks;
-  }
+      : Tree(TreeKind::Select, C, L, Ty, Qual), Sym(Sym) {}
   Symbol *Sym;
 };
 
@@ -295,8 +392,8 @@ public:
 
 private:
   friend class TreeContext;
-  Apply(TreeContext &C, SourceLoc L, const Type *Ty, TreeList FunAndArgs)
-      : Tree(TreeKind::Apply, C, L, Ty, std::move(FunAndArgs)) {}
+  Apply(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan FunAndArgs)
+      : Tree(TreeKind::Apply, C, L, Ty, FunAndArgs) {}
 };
 
 /// Type application: kid 0 = function; type arguments as types.
@@ -310,15 +407,10 @@ public:
 
 private:
   friend class TreeContext;
-  TypeApply(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Fun,
+  TypeApply(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Fun,
             std::vector<const Type *> TypeArgs)
-      : Tree(TreeKind::TypeApply, C, L, Ty, makeKids(std::move(Fun))),
+      : Tree(TreeKind::TypeApply, C, L, Ty, Fun),
         TypeArgs(std::move(TypeArgs)) {}
-  static TreeList makeKids(TreePtr F) {
-    TreeList Ks;
-    Ks.push_back(std::move(F));
-    return Ks;
-  }
   std::vector<const Type *> TypeArgs;
 };
 
@@ -333,8 +425,8 @@ public:
 private:
   friend class TreeContext;
   New(TreeContext &C, SourceLoc L, const Type *Ty, const Type *ClsTy,
-      TreeList Args)
-      : Tree(TreeKind::New, C, L, Ty, std::move(Args)), ClsTy(ClsTy) {}
+      KidSpan Args)
+      : Tree(TreeKind::New, C, L, Ty, Args), ClsTy(ClsTy) {}
   const Type *ClsTy;
 };
 
@@ -347,13 +439,8 @@ public:
 
 private:
   friend class TreeContext;
-  Typed(TreeContext &C, SourceLoc L, const Type *Ty, TreePtr Expr)
-      : Tree(TreeKind::Typed, C, L, Ty, makeKids(std::move(Expr))) {}
-  static TreeList makeKids(TreePtr E) {
-    TreeList Ks;
-    Ks.push_back(std::move(E));
-    return Ks;
-  }
+  Typed(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Expr)
+      : Tree(TreeKind::Typed, C, L, Ty, Expr) {}
 };
 
 /// Assignment: kid 0 = lhs, kid 1 = rhs.
@@ -365,8 +452,8 @@ public:
 
 private:
   friend class TreeContext;
-  Assign(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Assign, C, L, Ty, std::move(Ks)) {}
+  Assign(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Assign, C, L, Ty, Ks) {}
 };
 
 /// Statement sequence: kids 0..n-2 = statements, last kid = result expr.
@@ -379,8 +466,8 @@ public:
 
 private:
   friend class TreeContext;
-  Block(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Block, C, L, Ty, std::move(Ks)) {}
+  Block(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Block, C, L, Ty, Ks) {}
 };
 
 /// Conditional (always has an else; the typer inserts `()` if missing).
@@ -393,8 +480,8 @@ public:
 
 private:
   friend class TreeContext;
-  If(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::If, C, L, Ty, std::move(Ks)) {}
+  If(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::If, C, L, Ty, Ks) {}
 };
 
 /// Lambda: kids 0..n-2 = parameter ValDefs, last kid = body.
@@ -407,8 +494,8 @@ public:
 
 private:
   friend class TreeContext;
-  Closure(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Closure, C, L, Ty, std::move(Ks)) {}
+  Closure(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Closure, C, L, Ty, Ks) {}
 };
 
 /// Pattern match: kid 0 = selector, kids 1.. = CaseDefs.
@@ -421,8 +508,8 @@ public:
 
 private:
   friend class TreeContext;
-  Match(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Match, C, L, Ty, std::move(Ks)) {}
+  Match(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Match, C, L, Ty, Ks) {}
 };
 
 /// One case: kid 0 = pattern, kid 1 = guard (nullable), kid 2 = body.
@@ -435,8 +522,8 @@ public:
 
 private:
   friend class TreeContext;
-  CaseDef(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::CaseDef, C, L, Ty, std::move(Ks)) {}
+  CaseDef(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::CaseDef, C, L, Ty, Ks) {}
 };
 
 /// Pattern binder `x @ pat`: kid 0 = inner pattern.
@@ -448,13 +535,8 @@ public:
 
 private:
   friend class TreeContext;
-  Bind(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, TreePtr Pat)
-      : Tree(TreeKind::Bind, C, L, Ty, makeKids(std::move(Pat))), Sym(Sym) {}
-  static TreeList makeKids(TreePtr P) {
-    TreeList Ks;
-    Ks.push_back(std::move(P));
-    return Ks;
-  }
+  Bind(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, KidSpan Pat)
+      : Tree(TreeKind::Bind, C, L, Ty, Pat), Sym(Sym) {}
   Symbol *Sym;
 };
 
@@ -467,8 +549,8 @@ public:
 
 private:
   friend class TreeContext;
-  Alternative(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Alternative, C, L, Ty, std::move(Ks)) {}
+  Alternative(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Alternative, C, L, Ty, Ks) {}
 };
 
 /// Case-class extractor pattern `C(p1, ..., pn)`: kids = sub-patterns.
@@ -480,8 +562,8 @@ public:
 private:
   friend class TreeContext;
   UnApply(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *Cls,
-          TreeList Ks)
-      : Tree(TreeKind::UnApply, C, L, Ty, std::move(Ks)), Cls(Cls) {}
+          KidSpan Ks)
+      : Tree(TreeKind::UnApply, C, L, Ty, Ks), Cls(Cls) {}
   ClassSymbol *Cls;
 };
 
@@ -497,8 +579,8 @@ public:
 
 private:
   friend class TreeContext;
-  Try(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Try, C, L, Ty, std::move(Ks)) {}
+  Try(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Try, C, L, Ty, Ks) {}
 };
 
 /// throw: kid 0 = exception expression.
@@ -509,8 +591,8 @@ public:
 
 private:
   friend class TreeContext;
-  Throw(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::Throw, C, L, Ty, std::move(Ks)) {}
+  Throw(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::Throw, C, L, Ty, Ks) {}
 };
 
 /// return from method \p fromMethod(): kid 0 = value (nullable for Unit).
@@ -523,8 +605,8 @@ public:
 private:
   friend class TreeContext;
   Return(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *From,
-         TreeList Ks)
-      : Tree(TreeKind::Return, C, L, Ty, std::move(Ks)), From(From) {}
+         KidSpan Ks)
+      : Tree(TreeKind::Return, C, L, Ty, Ks), From(From) {}
   Symbol *From;
 };
 
@@ -537,8 +619,8 @@ public:
 
 private:
   friend class TreeContext;
-  WhileDo(TreeContext &C, SourceLoc L, const Type *Ty, TreeList Ks)
-      : Tree(TreeKind::WhileDo, C, L, Ty, std::move(Ks)) {}
+  WhileDo(TreeContext &C, SourceLoc L, const Type *Ty, KidSpan Ks)
+      : Tree(TreeKind::WhileDo, C, L, Ty, Ks) {}
 };
 
 /// Labeled block (TailRec / PatternMatcher output): kid 0 = body.
@@ -552,8 +634,8 @@ public:
 private:
   friend class TreeContext;
   Labeled(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Label,
-          TreeList Ks)
-      : Tree(TreeKind::Labeled, C, L, Ty, std::move(Ks)), Label(Label) {}
+          KidSpan Ks)
+      : Tree(TreeKind::Labeled, C, L, Ty, Ks), Label(Label) {}
   Symbol *Label;
 };
 
@@ -581,8 +663,8 @@ public:
 private:
   friend class TreeContext;
   SeqLiteral(TreeContext &C, SourceLoc L, const Type *Ty, const Type *ElemTy,
-             TreeList Ks)
-      : Tree(TreeKind::SeqLiteral, C, L, Ty, std::move(Ks)), ElemTy(ElemTy) {}
+             KidSpan Ks)
+      : Tree(TreeKind::SeqLiteral, C, L, Ty, Ks), ElemTy(ElemTy) {}
   const Type *ElemTy;
 };
 
@@ -595,8 +677,8 @@ public:
 
 private:
   friend class TreeContext;
-  ValDef(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, TreeList Ks)
-      : Tree(TreeKind::ValDef, C, L, Ty, std::move(Ks)), Sym(Sym) {
+  ValDef(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym, KidSpan Ks)
+      : Tree(TreeKind::ValDef, C, L, Ty, Ks), Sym(Sym) {
     Sym->setDefTree(this);
   }
   Symbol *Sym;
@@ -617,8 +699,8 @@ public:
 private:
   friend class TreeContext;
   DefDef(TreeContext &C, SourceLoc L, const Type *Ty, Symbol *Sym,
-         std::vector<uint32_t> ParamSizes, TreeList Ks)
-      : Tree(TreeKind::DefDef, C, L, Ty, std::move(Ks)), Sym(Sym),
+         std::vector<uint32_t> ParamSizes, KidSpan Ks)
+      : Tree(TreeKind::DefDef, C, L, Ty, Ks), Sym(Sym),
         ParamSizes(std::move(ParamSizes)) {
     Sym->setDefTree(this);
   }
@@ -637,8 +719,8 @@ public:
 private:
   friend class TreeContext;
   ClassDef(TreeContext &C, SourceLoc L, const Type *Ty, ClassSymbol *Sym,
-           TreeList Ks)
-      : Tree(TreeKind::ClassDef, C, L, Ty, std::move(Ks)), Sym(Sym) {
+           KidSpan Ks)
+      : Tree(TreeKind::ClassDef, C, L, Ty, Ks), Sym(Sym) {
     Sym->setDefTree(this);
   }
   ClassSymbol *Sym;
@@ -655,9 +737,8 @@ public:
 private:
   friend class TreeContext;
   PackageDef(TreeContext &C, SourceLoc L, const Type *Ty, Name PkgName,
-             TreeList Ks)
-      : Tree(TreeKind::PackageDef, C, L, Ty, std::move(Ks)), PkgName(PkgName) {
-  }
+             KidSpan Ks)
+      : Tree(TreeKind::PackageDef, C, L, Ty, Ks), PkgName(PkgName) {}
   Name PkgName;
 };
 
@@ -735,20 +816,30 @@ public:
 
   /// The copier (paper: withNewChildren + reuse optimization). Returns the
   /// original node when every child is pointer-identical; otherwise builds
-  /// a node of the same kind/payload/type with the new children.
+  /// a node of the same kind/payload/type with the new children. The span
+  /// overload moves from \p NewKids (the fusion engine's scratch buffer)
+  /// without any intermediate list.
   TreePtr withNewChildren(Tree *T, TreeList NewKids);
+  TreePtr withNewChildren(Tree *T, TreePtr *NewKids, size_t N);
 
   /// Copier without the reuse optimization: always allocates a fresh node
   /// (the scalac-baseline configuration of Figure 9).
   TreePtr withNewChildrenForced(Tree *T, TreeList NewKids);
+  TreePtr withNewChildrenForced(Tree *T, TreePtr *NewKids, size_t N);
 
   /// Copy of \p T (same payload and children) with a different type.
-  /// Used by the typer's adaptation steps.
+  /// Used by the typer's adaptation steps. Shares the children with the
+  /// original by reference (no intermediate list copy).
   TreePtr withType(Tree *T, const Type *NewTy);
 
   /// Statistics: how often withNewChildren reused vs. rebuilt.
   uint64_t reuseCount() const { return NumReused; }
   uint64_t rebuildCount() const { return NumRebuilt; }
+  /// Statistics for withType: calls that returned the original node
+  /// (type already matched) vs. rebuilds that shared the child refs
+  /// directly instead of copying the list.
+  uint64_t typeReuseCount() const { return NumTypeReused; }
+  uint64_t typeShareCount() const { return NumTypeShared; }
 
 private:
   friend class Tree;
@@ -756,7 +847,7 @@ private:
   template <typename NodeT, typename... Args>
   GcRef<NodeT> allocate(size_t ExtraBytes, Args &&...CtorArgs);
 
-  TreePtr rebuildNode(Tree *T, TreeList NewKids, const Type *Ty);
+  TreePtr rebuildNode(Tree *T, KidSpan NewKids, const Type *Ty);
 
   void destroy(Tree *T);
 
@@ -765,7 +856,19 @@ private:
   uint64_t NumCreated = 0;
   uint64_t NumReused = 0;
   uint64_t NumRebuilt = 0;
+  uint64_t NumTypeReused = 0;
+  uint64_t NumTypeShared = 0;
 };
+
+inline Tree::Tree(TreeKind K, TreeContext &Ctx, SourceLoc Loc, const Type *Ty,
+                  KidSpan KidsIn)
+    : Ctx(&Ctx), Ty(Ty), Kids(KidsIn, Ctx.heap()), Loc(Loc), K(K) {
+  uint32_t Below = 1u << static_cast<unsigned>(K);
+  for (const TreePtr &Kid : Kids)
+    if (Kid)
+      Below |= Kid->KindsBelowBits;
+  KindsBelowBits = Below;
+}
 
 template <typename T> void GcRef<T>::release() {
   if (!Ptr)

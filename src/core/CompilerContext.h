@@ -65,6 +65,15 @@ struct CompilerOptions {
   /// Automatically ignored for blocks containing phases with prepare
   /// hooks, whose transforms may depend on the path from the root.
   bool DagMemoize = false;
+  /// Back tree-node storage with the ManagedHeap's size-class slab
+  /// allocator instead of one system allocation per node. Affects only
+  /// where real bytes live: the simulated allocation clock (Figures 5/6)
+  /// is byte-identical with the slab on or off. Off exists for the
+  /// allocator-invariance tests and for baseline comparisons of the
+  /// "heap.realAllocs" counter. Takes effect only through the
+  /// CompilerContext(Opts) constructor — the backend cannot change once
+  /// a node has been allocated.
+  bool SlabHeap = true;
   FusionStrategy Strategy = FusionStrategy::IndexedByKind;
 };
 
@@ -83,7 +92,10 @@ public:
   CompilerContext()
       : Trees(Heap), Syms(Names, Types) {}
   explicit CompilerContext(const CompilerOptions &Opts)
-      : Trees(Heap), Syms(Names, Types), Opts(Opts) {}
+      : Trees(Heap), Syms(Names, Types), Opts(Opts) {
+    // No tree has been allocated yet, so the backend toggle is legal.
+    Heap.setSlabEnabled(Opts.SlabHeap);
+  }
   CompilerContext(const CompilerContext &) = delete;
   CompilerContext &operator=(const CompilerContext &) = delete;
 

@@ -108,7 +108,9 @@ TreePtr FusedBlock::transformTree(TreePtr Root, PhaseRunContext &Ctx) {
   const CompilerOptions &Opts = Ctx.Comp.options();
   bool Prune = Opts.SubtreePruning && Opts.IdentitySkip && !Opts.AlwaysCopy &&
                !Ctx.Comp.perf();
-  ActivePruneBits = Prune ? (TransformBits | PrepareBits) : 0;
+  ActiveTransformBits = Prune ? TransformBits : 0;
+  ActivePrepareBits = Prune ? PrepareBits : 0;
+  assert(KidScratch.empty() && "scratch leaked from a previous run");
   TreePtr Out = walk(Root.get(), Ctx);
   DagMemo.clear();
   return Out;
@@ -119,12 +121,24 @@ TreePtr FusedBlock::transformTree(TreePtr Root, PhaseRunContext &Ctx) {
 TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
   CompilerContext &Comp = Ctx.Comp;
 
-  // Nothing below this node interests any constituent phase: no hook of
-  // any class would run and the copier would reuse every node, so the
-  // subtree is returned untouched without being visited.
-  if (ActivePruneBits && (T->kindsBelow() & ActivePruneBits) == 0) {
-    ++NumPruned;
-    return TreePtr(T);
+  if (uint32_t ActiveBits = ActiveTransformBits | ActivePrepareBits) {
+    uint32_t Below = T->kindsBelow();
+    // Nothing below this node interests any constituent phase: no hook of
+    // any class would run and the copier would reuse every node, so the
+    // subtree is returned untouched without being visited.
+    if ((Below & ActiveBits) == 0) {
+      ++NumPruned;
+      return TreePtr(T);
+    }
+    // Prepare-only subtree: prepare/leave hooks must still fire inside,
+    // but zero transform hooks can run anywhere below, so the result is
+    // this very subtree — walk it hook-only, skipping all rebuild
+    // bookkeeping (no scratch kids, no copier calls).
+    if ((Below & ActiveTransformBits) == 0) {
+      ++NumPrepareOnly;
+      walkPrepareOnly(T, Ctx);
+      return TreePtr(T);
+    }
   }
 
   // DAG mode (§9 future work): a subtree referenced from more than one
@@ -135,10 +149,9 @@ TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
   bool Memoize =
       Comp.options().DagMemoize && !HasPrepares && T->refCount() > 1;
   if (Memoize) {
-    auto It = DagMemo.find(T);
-    if (It != DagMemo.end()) {
+    if (TreePtr *Hit = DagMemo.find(T)) {
       ++NumSharedHits;
-      return It->second;
+      return *Hit;
     }
   }
 
@@ -154,32 +167,36 @@ TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
 
   // Recurse into children, then rebuild the node if any child changed
   // (withNewChildren applies the reuse optimization; AlwaysCopy disables
-  // it for the scalac-baseline configuration).
+  // it for the scalac-baseline configuration). The transformed children
+  // go into the block's stack-shaped scratch buffer — slots are indexed
+  // from Base because recursion may grow (and reallocate) the buffer.
   TreePtr Reconstructed;
   unsigned N = T->numKids();
   if (N == 0) {
     Reconstructed = TreePtr(T);
   } else {
-    TreeList NewKids;
-    NewKids.reserve(N);
+    size_t Base = KidScratch.size();
     bool Changed = Comp.options().AlwaysCopy;
     for (unsigned I = 0; I < N; ++I) {
       Tree *Kid = T->kid(I);
       if (!Kid) {
-        NewKids.push_back(nullptr);
+        KidScratch.emplace_back();
         continue;
       }
       TreePtr NewKid = walk(Kid, Ctx);
       if (NewKid.get() != Kid)
         Changed = true;
-      NewKids.push_back(std::move(NewKid));
+      KidScratch.push_back(std::move(NewKid));
     }
     if (!Changed)
       Reconstructed = TreePtr(T);
     else if (Comp.options().AlwaysCopy)
-      Reconstructed = Comp.trees().withNewChildrenForced(T, std::move(NewKids));
+      Reconstructed =
+          Comp.trees().withNewChildrenForced(T, KidScratch.data() + Base, N);
     else
-      Reconstructed = Comp.trees().withNewChildren(T, std::move(NewKids));
+      Reconstructed =
+          Comp.trees().withNewChildren(T, KidScratch.data() + Base, N);
+    KidScratch.resize(Base);
   }
 
   // Apply the fused transforms bottom-up (Listings 5/6, Figures 2/3).
@@ -193,8 +210,34 @@ TreePtr FusedBlock::walk(Tree *T, PhaseRunContext &Ctx) {
     Phases[Preps[I - 1]]->dispatchLeave(T, Ctx);
 
   if (Memoize)
-    DagMemo.emplace(T, Out);
+    DagMemo.insert(T, Out);
   return Out;
+}
+
+/// Hook-only recursion for subtrees with prepare interest but no
+/// transform interest: fires the same preorder prepare / postorder leave
+/// sequence the full walk would, prunes hook-free sub-subtrees the same
+/// way, but never touches the scratch buffer or the copier (the caller
+/// returns the subtree by pointer).
+void FusedBlock::walkPrepareOnly(Tree *T, PhaseRunContext &Ctx) {
+  if ((T->kindsBelow() & ActivePrepareBits) == 0) {
+    ++NumPruned;
+    return;
+  }
+  ++NumVisited;
+
+  KindRange PR = PrepareRange[static_cast<unsigned>(T->kind())];
+  const uint16_t *Preps = PrepareBuf.data() + PR.Off;
+  for (unsigned I = 0; I < PR.Len; ++I)
+    Phases[Preps[I]]->dispatchPrepare(T, Ctx);
+
+  unsigned N = T->numKids();
+  for (unsigned I = 0; I < N; ++I)
+    if (Tree *Kid = T->kid(I))
+      walkPrepareOnly(Kid, Ctx);
+
+  for (unsigned I = PR.Len; I > 0; --I)
+    Phases[Preps[I - 1]]->dispatchLeave(T, Ctx);
 }
 
 /// Optimized transform application: per-kind interest lists plus

@@ -25,7 +25,16 @@
 ///   4. flattened dispatch tables — the per-kind interest lists live in
 ///      one contiguous uint16_t buffer addressed by per-kind
 ///      offset/length pairs, so the hot dispatch loop reads a single
-///      cache-resident block instead of chasing per-kind vector headers.
+///      cache-resident block instead of chasing per-kind vector headers;
+///   5. prepare-only walks — a subtree whose summary intersects the
+///      prepare mask but not the transform mask cannot change (zero
+///      transform hooks run anywhere inside), so it is walked by a light
+///      hook-only recursion that skips all rebuild bookkeeping and
+///      returns the subtree by pointer;
+///   6. scratch-buffer rebuilds — the per-node NewKids list lives in one
+///      block-owned stack-shaped buffer instead of a fresh heap vector
+///      per visited node, and the copier moves straight from that buffer
+///      into the (inline-first) child storage of the rebuilt node.
 ///
 /// Prepares (Listing 7/8) run preorder; the matching leave hooks run when
 /// the subtree completes. The semantics the paper highlights hold: when
@@ -39,8 +48,8 @@
 #define MPC_CORE_FUSEDBLOCK_H
 
 #include "core/Phase.h"
+#include "support/FlatPtrMap.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace mpc {
@@ -65,12 +74,17 @@ public:
   uint64_t hooksExecuted() const { return NumHooks; }
   /// Subtrees returned untouched by the kind-summary prune.
   uint64_t subtreesPruned() const { return NumPruned; }
+  /// Subtrees walked in hook-only mode: they contain prepare-interesting
+  /// kinds but no transform-interesting ones, so hooks run but all
+  /// rebuild bookkeeping is skipped and the subtree is returned as-is.
+  uint64_t prepareOnlyWalks() const { return NumPrepareOnly; }
   /// Shared-subtree reuses under CompilerOptions::DagMemoize (§9).
   uint64_t sharedHits() const { return NumSharedHits; }
   void resetStats() {
     NumVisited = 0;
     NumHooks = 0;
     NumPruned = 0;
+    NumPrepareOnly = 0;
     NumSharedHits = 0;
   }
 
@@ -91,6 +105,7 @@ private:
   };
 
   TreePtr walk(Tree *T, PhaseRunContext &Ctx);
+  void walkPrepareOnly(Tree *T, PhaseRunContext &Ctx);
   TreePtr applyTransforms(TreePtr Node, PhaseRunContext &Ctx);
   TreePtr applyTransformsNaive(TreePtr Node, PhaseRunContext &Ctx);
   void instrumentVisit(const Tree *T, CompilerContext &Comp);
@@ -107,17 +122,26 @@ private:
   /// Cached fused interest masks (see fusedTransformMask/fusedPrepareMask).
   uint32_t TransformBits = 0;
   uint32_t PrepareBits = 0;
-  /// Pruning state for the current transformTree run: a subtree whose
-  /// kindsBelow misses every bit of PruneBits is returned untouched.
-  /// Zero when pruning is disabled for this run.
-  uint32_t ActivePruneBits = 0;
+  /// Pruning state for the current transformTree run, split by hook
+  /// class: a subtree whose kindsBelow misses both masks is returned
+  /// untouched; one that only intersects the prepare mask is walked in
+  /// hook-only mode (walkPrepareOnly). Both zero when pruning is
+  /// disabled for this run.
+  uint32_t ActiveTransformBits = 0;
+  uint32_t ActivePrepareBits = 0;
   bool HasPrepares = false;
   uint64_t NumVisited = 0;
   uint64_t NumHooks = 0;
   uint64_t NumPruned = 0;
+  uint64_t NumPrepareOnly = 0;
   uint64_t NumSharedHits = 0;
   /// Per-run memo for DAG mode: input node -> fully transformed result.
-  std::unordered_map<const Tree *, TreePtr> DagMemo;
+  /// Flat open-addressing table keyed by node address (hot-path lookup).
+  FlatPtrMap<const Tree *, TreePtr> DagMemo;
+  /// Stack-shaped scratch holding the NewKids of every node on the
+  /// current recursion spine; walk() pushes transformed children here and
+  /// the copier moves them out, so no per-node vector is ever allocated.
+  std::vector<TreePtr> KidScratch;
 };
 
 } // namespace mpc

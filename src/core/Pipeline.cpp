@@ -11,6 +11,13 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
   bool Check = Comp.options().CheckTrees;
   assert((!Check || Checker) && "CheckTrees requires a TreeChecker");
 
+  // Heap-backend counters accumulate for the context's lifetime; this
+  // run's share is the delta around the group loop.
+  const SlabAllocator::Stats &Backend = Comp.heap().backendStats();
+  uint64_t RealAllocs0 = Backend.SystemCalls;
+  uint64_t SlabHits0 = Backend.SlabAllocs;
+  uint64_t PagesMapped0 = Backend.PagesMapped;
+
   const auto &Groups = Plan.groups();
   for (size_t G = 0; G < Groups.size(); ++G) {
     const PhaseGroup &Group = Groups[G];
@@ -21,11 +28,13 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
       uint64_t Visited0 = Group.Block->nodesVisited();
       uint64_t Hooks0 = Group.Block->hooksExecuted();
       uint64_t Pruned0 = Group.Block->subtreesPruned();
+      uint64_t PrepOnly0 = Group.Block->prepareOnlyWalks();
       for (CompilationUnit &Unit : Units)
         Group.Block->runOnUnit(Unit, Comp);
       Result.NodesVisited += Group.Block->nodesVisited() - Visited0;
       Result.HooksExecuted += Group.Block->hooksExecuted() - Hooks0;
       Result.SubtreesPruned += Group.Block->subtreesPruned() - Pruned0;
+      Result.PrepareOnlyWalks += Group.Block->prepareOnlyWalks() - PrepOnly0;
       ++Result.Traversals;
     } else {
       // Unfused: each phase is a separate whole-tree pass over all units
@@ -48,9 +57,17 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
     }
   }
 
+  Result.RealAllocs = Backend.SystemCalls - RealAllocs0;
+  Result.SlabHits = Backend.SlabAllocs - SlabHits0;
+  Result.PagesMapped = Backend.PagesMapped - PagesMapped0;
+
   StatsRegistry &Stats = Comp.stats();
   Stats.add("fusion.nodesVisited", Result.NodesVisited);
   Stats.add("fusion.hooksExecuted", Result.HooksExecuted);
   Stats.add("fusion.subtreesPruned", Result.SubtreesPruned);
+  Stats.add("fusion.prepareOnlyWalks", Result.PrepareOnlyWalks);
+  Stats.add("heap.realAllocs", Result.RealAllocs);
+  Stats.add("heap.slabHits", Result.SlabHits);
+  Stats.add("heap.pagesMapped", Result.PagesMapped);
   return Result;
 }

@@ -32,6 +32,14 @@ struct PipelineResult {
   uint64_t NodesVisited = 0;
   uint64_t HooksExecuted = 0;
   uint64_t SubtreesPruned = 0;
+  /// Subtrees walked hook-only by the prepare-only pruning gate.
+  uint64_t PrepareOnlyWalks = 0;
+  /// Heap-backend deltas for this run (real storage, not the simulated
+  /// clock; also mirrored into CompilerContext::stats() as "heap.*"):
+  /// system-allocator calls, slab-served allocations, pages mapped.
+  uint64_t RealAllocs = 0;
+  uint64_t SlabHits = 0;
+  uint64_t PagesMapped = 0;
   /// TreeChecker failures, if checking was enabled.
   std::vector<CheckFailure> CheckFailures;
 };

@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat open-addressing hash map keyed by pointer.
+///
+/// Purpose-built for the fusion engine's DAG memo (input node address ->
+/// transformed subtree): one contiguous slot array, linear probing, and a
+/// multiplicative pointer hash. Compared to std::unordered_map this does
+/// no per-entry allocation and probes cache-adjacent slots, which matters
+/// because the memo is consulted once per shared-subtree visit on the
+/// traversal hot path.
+///
+/// Restrictions that keep it simple: keys are non-null pointers, entries
+/// are never erased individually (clear() drops everything, retaining
+/// capacity), and insertion never overwrites an existing key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_SUPPORT_FLATPTRMAP_H
+#define MPC_SUPPORT_FLATPTRMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mpc {
+
+/// Open-addressing pointer-keyed map. \p KeyT must be a pointer type;
+/// \p ValueT must be default-constructible (empty slots hold a default
+/// value alongside a null key).
+template <typename KeyT, typename ValueT> class FlatPtrMap {
+public:
+  /// Returns the value mapped to \p Key, or nullptr when absent.
+  ValueT *find(KeyT Key) {
+    assert(Key && "null key");
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = hashOf(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.Key == Key)
+        return &S.Value;
+      if (!S.Key)
+        return nullptr;
+    }
+  }
+
+  /// Inserts \p Key -> \p Value when absent; existing entries win.
+  void insert(KeyT Key, ValueT Value) {
+    assert(Key && "null key");
+    if (Slots.size() < 8 || Num * 4 >= Slots.size() * 3)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = hashOf(Key) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.Key == Key)
+        return;
+      if (!S.Key) {
+        S.Key = Key;
+        S.Value = std::move(Value);
+        ++Num;
+        return;
+      }
+    }
+  }
+
+  /// Drops all entries but keeps the slot array capacity.
+  void clear() {
+    for (Slot &S : Slots) {
+      S.Key = nullptr;
+      S.Value = ValueT();
+    }
+    Num = 0;
+  }
+
+  size_t size() const { return Num; }
+  bool empty() const { return Num == 0; }
+
+private:
+  struct Slot {
+    KeyT Key = nullptr;
+    ValueT Value{};
+  };
+
+  static size_t hashOf(KeyT Key) {
+    // Low bits of a heap pointer are alignment zeros; fold them out and
+    // scatter with a 64-bit multiplicative mix (SplitMix64 constant).
+    uint64_t H = reinterpret_cast<uintptr_t>(Key) >> 4;
+    H *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 16 : Old.size() * 2, Slot());
+    size_t Mask = Slots.size() - 1;
+    for (Slot &S : Old) {
+      if (!S.Key)
+        continue;
+      for (size_t I = hashOf(S.Key) & Mask;; I = (I + 1) & Mask) {
+        if (!Slots[I].Key) {
+          Slots[I].Key = S.Key;
+          Slots[I].Value = std::move(S.Value);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Num = 0;
+};
+
+} // namespace mpc
+
+#endif // MPC_SUPPORT_FLATPTRMAP_H

@@ -1,0 +1,171 @@
+//===----------------------------------------------------------------------===//
+// TreeKids (inline-first child storage) edge cases: arity 0, the inline
+// capacity boundary, spilled arrays, move vs. share construction, the
+// copier's arity preservation across representations, and lifetime
+// accounting (no leaked child refs or spill blocks).
+//===----------------------------------------------------------------------===//
+
+#include "core/CompilerContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+class ChildrenStorage : public ::testing::Test {
+protected:
+  CompilerContext Comp;
+
+  TreePtr lit(int V) {
+    return Comp.trees().makeLiteral(SourceLoc(), Constant::makeInt(V),
+                                    Comp.types().intType());
+  }
+
+  /// Block with \p N statements plus a result literal => N+1 kids.
+  TreePtr blockWithKids(unsigned NPlus1) {
+    assert(NPlus1 >= 1);
+    TreeList Stats;
+    for (unsigned I = 0; I + 1 < NPlus1; ++I)
+      Stats.push_back(lit(static_cast<int>(I)));
+    return Comp.trees().makeBlock(SourceLoc(), std::move(Stats), lit(99));
+  }
+};
+
+TEST_F(ChildrenStorage, LeafHasNoKidsAndNoSpill) {
+  TreePtr L = lit(7);
+  EXPECT_EQ(L->numKids(), 0u);
+  EXPECT_TRUE(L->kids().empty());
+  EXPECT_FALSE(L->kids().spilled());
+  EXPECT_EQ(L->kids().begin(), L->kids().end());
+}
+
+TEST_F(ChildrenStorage, AritiesUpToInlineCapStayInline) {
+  for (unsigned N = 1; N <= TreeKids::InlineCap; ++N) {
+    TreePtr B = blockWithKids(N);
+    ASSERT_EQ(B->numKids(), N);
+    EXPECT_FALSE(B->kids().spilled()) << "arity " << N;
+    // Inline storage lives inside the node object itself.
+    const char *NodeBegin = reinterpret_cast<const char *>(B.get());
+    const char *KidsData =
+        reinterpret_cast<const char *>(B->kids().data());
+    EXPECT_GE(KidsData, NodeBegin);
+    EXPECT_LT(KidsData, NodeBegin + sizeof(Block));
+  }
+}
+
+TEST_F(ChildrenStorage, AritiesAboveInlineCapSpill) {
+  for (unsigned N = TreeKids::InlineCap + 1; N <= TreeKids::InlineCap + 5;
+       ++N) {
+    TreePtr B = blockWithKids(N);
+    ASSERT_EQ(B->numKids(), N);
+    EXPECT_TRUE(B->kids().spilled()) << "arity " << N;
+    // Every kid is reachable and correctly ordered through the spill.
+    for (unsigned I = 0; I + 1 < N; ++I)
+      EXPECT_EQ(cast<Literal>(B->kid(I))->value().intValue(),
+                static_cast<int>(I));
+    EXPECT_EQ(cast<Literal>(B->kid(N - 1))->value().intValue(), 99);
+  }
+}
+
+TEST_F(ChildrenStorage, ChildrenAreRetainedExactlyOnce) {
+  TreePtr Shared = lit(1);
+  EXPECT_EQ(Shared->refCount(), 1u);
+  {
+    TreeList Stats;
+    Stats.push_back(Shared); // +1 in the list
+    TreePtr B = Comp.trees().makeBlock(SourceLoc(), std::move(Stats), lit(2));
+    // The list slot was MOVED into the node: still exactly one extra ref.
+    EXPECT_EQ(Shared->refCount(), 2u);
+  }
+  EXPECT_EQ(Shared->refCount(), 1u);
+}
+
+TEST_F(ChildrenStorage, SpilledChildrenAreReleasedOnDestroy) {
+  HeapStats Before = Comp.heap().stats();
+  { TreePtr B = blockWithKids(TreeKids::InlineCap + 4); }
+  HeapStats After = Comp.heap().stats();
+  // Everything created in the block died with it.
+  EXPECT_EQ(After.LiveBytes, Before.LiveBytes);
+  EXPECT_EQ(After.AllocatedObjects - Before.AllocatedObjects,
+            After.FreedObjects - Before.FreedObjects);
+}
+
+TEST_F(ChildrenStorage, WithNewChildrenPreservesArityAcrossBoundary) {
+  for (unsigned N : {2u, TreeKids::InlineCap, TreeKids::InlineCap + 1, 8u}) {
+    TreePtr B = blockWithKids(N);
+    TreeList Kids = B->kids(); // conversion copy
+    ASSERT_EQ(Kids.size(), N);
+    Kids[0] = lit(-1);
+    TreePtr Rebuilt = Comp.trees().withNewChildren(B.get(), std::move(Kids));
+    ASSERT_NE(Rebuilt.get(), B.get());
+    ASSERT_EQ(Rebuilt->numKids(), N);
+    EXPECT_EQ(Rebuilt->kids().spilled(), N > TreeKids::InlineCap);
+    EXPECT_EQ(cast<Literal>(Rebuilt->kid(0))->value().intValue(), -1);
+    for (unsigned I = 1; I < N; ++I)
+      EXPECT_EQ(Rebuilt->kid(I), B->kid(I)) << "kid " << I;
+  }
+}
+
+TEST_F(ChildrenStorage, SpanOverloadMovesFromCallerStorage) {
+  TreePtr B = blockWithKids(3);
+  TreePtr Slots[3] = {TreePtr(B->kid(0)), lit(42), TreePtr(B->kid(2))};
+  TreePtr Rebuilt = Comp.trees().withNewChildren(B.get(), Slots, 3);
+  ASSERT_NE(Rebuilt.get(), B.get());
+  // Moved-from scratch slots are null, as the fusion engine relies on.
+  EXPECT_EQ(Slots[0].get(), nullptr);
+  EXPECT_EQ(Slots[1].get(), nullptr);
+  EXPECT_EQ(cast<Literal>(Rebuilt->kid(1))->value().intValue(), 42);
+}
+
+TEST_F(ChildrenStorage, SpanOverloadReusesWhenAllSame) {
+  TreePtr B = blockWithKids(2);
+  TreePtr Slots[2] = {TreePtr(B->kid(0)), TreePtr(B->kid(1))};
+  uint64_t Reused0 = Comp.trees().reuseCount();
+  TreePtr Same = Comp.trees().withNewChildren(B.get(), Slots, 2);
+  EXPECT_EQ(Same.get(), B.get());
+  EXPECT_EQ(Comp.trees().reuseCount(), Reused0 + 1);
+}
+
+TEST_F(ChildrenStorage, WithTypeSharesChildrenWithoutCopy) {
+  TreePtr B = blockWithKids(TreeKids::InlineCap + 2); // spilled
+  const Type *BoolTy = Comp.types().booleanType();
+  ASSERT_NE(B->type(), BoolTy);
+  uint64_t Shared0 = Comp.trees().typeShareCount();
+  TreePtr Retyped = Comp.trees().withType(B.get(), BoolTy);
+  ASSERT_NE(Retyped.get(), B.get());
+  EXPECT_EQ(Retyped->type(), BoolTy);
+  EXPECT_EQ(Comp.trees().typeShareCount(), Shared0 + 1);
+  // Children are shared by pointer, and the original still owns them too.
+  ASSERT_EQ(Retyped->numKids(), B->numKids());
+  for (unsigned I = 0; I < B->numKids(); ++I) {
+    EXPECT_EQ(Retyped->kid(I), B->kid(I));
+    EXPECT_GE(B->kid(I)->refCount(), 2u);
+  }
+}
+
+TEST_F(ChildrenStorage, WithTypeSameTypeReturnsOriginalAndCounts) {
+  TreePtr B = blockWithKids(2);
+  uint64_t Reused0 = Comp.trees().typeReuseCount();
+  TreePtr Same = Comp.trees().withType(B.get(), B->type());
+  EXPECT_EQ(Same.get(), B.get());
+  EXPECT_EQ(Comp.trees().typeReuseCount(), Reused0 + 1);
+}
+
+TEST_F(ChildrenStorage, KindsBelowComputedOverSpilledKids) {
+  TreeList Stats;
+  for (int I = 0; I < 5; ++I)
+    Stats.push_back(lit(I));
+  Symbol *Label = Comp.syms().makeTerm(Comp.syms().freshName("L"),
+                                       /*Owner=*/nullptr, /*Flags=*/0);
+  Stats.push_back(
+      Comp.trees().makeGoto(SourceLoc(), Label, Comp.types().nothingType()));
+  TreePtr B = Comp.trees().makeBlock(SourceLoc(), std::move(Stats), lit(9));
+  ASSERT_TRUE(B->kids().spilled());
+  auto Bit = [](TreeKind K) { return 1u << static_cast<unsigned>(K); };
+  EXPECT_EQ(B->kindsBelow(),
+            Bit(TreeKind::Block) | Bit(TreeKind::Literal) |
+                Bit(TreeKind::Goto));
+}
+
+} // namespace

@@ -168,6 +168,54 @@ TEST(FusedBlockPruning, HookSequenceUnchangedAndSubtreeReusedByPointer) {
   EXPECT_EQ(LogOn, LogOff);
 }
 
+/// Prepare-only gate: a subtree containing WhileDo (prepare-interesting)
+/// but no If (transform-interesting) must still fire its prepare/leave
+/// hooks in the usual order, yet be returned by pointer — the engine
+/// walks it hook-only and counts it in prepareOnlyWalks.
+TEST(FusedBlockPruning, PrepareOnlySubtreeWalkedForHooksButNotRebuilt) {
+  std::vector<std::string> LogOn, LogOff;
+  for (bool Pruning : {true, false}) {
+    CompilerContext Comp;
+    Comp.options().SubtreePruning = Pruning;
+    TreeContext &Trees = Comp.trees();
+    const Type *IntTy = Comp.types().intType();
+    auto Lit = [&](int V) {
+      return TreePtr(
+          Trees.makeLiteral(SourceLoc(), Constant::makeInt(V), IntTy));
+    };
+    // While(lit, While(lit, lit)): prepare kinds below, zero transform
+    // kinds — the whole subtree qualifies for the prepare-only walk.
+    TreePtr InnerLoop = Trees.makeWhileDo(SourceLoc(), Lit(1), Lit(2),
+                                          Comp.types().unitType());
+    TreePtr OuterLoop = Trees.makeWhileDo(SourceLoc(), Lit(0),
+                                          std::move(InnerLoop),
+                                          Comp.types().unitType());
+    Tree *LoopBefore = OuterLoop.get();
+    TreeList Stats;
+    Stats.push_back(std::move(OuterLoop));
+    CompilationUnit Unit;
+    Unit.Root = Trees.makeBlock(SourceLoc(), std::move(Stats), Lit(3));
+
+    std::vector<std::string> &Log = Pruning ? LogOn : LogOff;
+    IfLogger P(Log);
+    FusedBlock Blk({&P});
+    Blk.runOnUnit(Unit, Comp);
+
+    if (Pruning) {
+      EXPECT_GT(Blk.prepareOnlyWalks(), 0u);
+      // The subtree came back by pointer, not as a rebuilt copy.
+      EXPECT_EQ(cast<Block>(Unit.Root.get())->stat(0), LoopBefore);
+    } else {
+      EXPECT_EQ(Blk.prepareOnlyWalks(), 0u);
+    }
+  }
+  // Both nested loops prepared/left, in identical (nesting) order.
+  std::vector<std::string> Expected = {"prepWhile", "prepWhile", "leaveWhile",
+                                       "leaveWhile"};
+  EXPECT_EQ(LogOn, Expected);
+  EXPECT_EQ(LogOn, LogOff);
+}
+
 TEST(FusedBlockPruning, KindsBelowSummarizesWholeSubtree) {
   CompilerContext Comp;
   TreePtr Prunable;

@@ -254,8 +254,10 @@ TEST(HeapModel, ChargeBytesDriveTheClockNotMallocBytes) {
   void *P = H.allocate(/*MallocBytes=*/16, /*ChargeBytes=*/500, Birth);
   uint64_t Birth2;
   void *Q = H.allocate(16, 500, Birth2);
-  H.deallocate(Q, 500, Birth2);
-  H.deallocate(P, 500, Birth);
+  // Asymmetric allocations must free through the asymmetric overload so
+  // the real-storage size reaches the slab's size-class lookup.
+  H.deallocate(Q, /*MallocBytes=*/16, /*ChargeBytes=*/500, Birth2);
+  H.deallocate(P, /*MallocBytes=*/16, /*ChargeBytes=*/500, Birth);
   EXPECT_EQ(H.stats().AllocatedBytes, 1000u);
   EXPECT_EQ(H.minorGCs(), 1u);
 }
