@@ -134,6 +134,7 @@ RunResult mpc::bench::runOnce(const WorkloadProfile &Profile,
     R.RealAllocs = Backend.SystemCalls;
     R.SlabHits = Backend.SlabAllocs;
     R.PagesMapped = Backend.PagesMapped;
+    R.PagesRetired = Backend.PagesRetired;
   }
   R.Cache = CS.counters();
   R.Perf = PC.stats();

@@ -46,6 +46,7 @@ struct RunResult {
   uint64_t RealAllocs = 0;
   uint64_t SlabHits = 0;
   uint64_t PagesMapped = 0;
+  uint64_t PagesRetired = 0;
   uint64_t TransformRealAllocs = 0;
   HeapStats Heap;        // whole-run heap statistics
   CacheCounters Cache;   // simulated cache counters (when simulated)

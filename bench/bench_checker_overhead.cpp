@@ -6,7 +6,8 @@
 // This bench compiles both workloads with the TreeChecker disabled and
 // enabled (global invariants + bottom-up retype + accumulated phase
 // postconditions after every group, exactly Listing 9) and reports the
-// whole-compiler slowdown.
+// whole-compiler slowdown over benchReps() repetitions as mean ±CV
+// (BenchCommon::meanCv), alternating the configurations per repetition.
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -64,21 +65,38 @@ CheckedRun runWithChecking(const WorkloadProfile &Profile, bool Check) {
   return R;
 }
 
-void runWorkload(const WorkloadProfile &P) {
-  CheckedRun Off = runWithChecking(P, false);
-  CheckedRun On = runWithChecking(P, true);
-  std::printf("\n[%s]\n", P.Name.c_str());
-  std::printf("  %-28s %12s %12s %10s\n", "", "-Ycheck off", "-Ycheck on",
+void runWorkload(const WorkloadProfile &P, unsigned Reps) {
+  std::vector<double> OffTransform, OnTransform, OffTotal, OnTotal;
+  uint64_t Failures = 0;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    CheckedRun Off = runWithChecking(P, false);
+    CheckedRun On = runWithChecking(P, true);
+    OffTransform.push_back(Off.TransformSec);
+    OnTransform.push_back(On.TransformSec);
+    OffTotal.push_back(Off.TotalSec);
+    OnTotal.push_back(On.TotalSec);
+    Failures += On.FailuresFound;
+  }
+  SampleStats OffT = meanCv(OffTransform), OnT = meanCv(OnTransform);
+  SampleStats OffA = meanCv(OffTotal), OnA = meanCv(OnTotal);
+
+  std::printf("\n[%s: %u reps]\n", P.Name.c_str(), Reps);
+  std::printf("  %-28s %16s %16s %10s\n", "", "-Ycheck off", "-Ycheck on",
               "ratio");
-  std::printf("  %-28s %11.3fs %11.3fs %9.2fx\n", "tree transformations",
-              Off.TransformSec, On.TransformSec,
-              On.TransformSec / Off.TransformSec);
-  std::printf("  %-28s %11.3fs %11.3fs %9.2fx\n", "whole compiler",
-              Off.TotalSec, On.TotalSec, On.TotalSec / Off.TotalSec);
+  std::printf("  %-28s %16s %16s %9.2fx\n", "tree transformations",
+              fmtMeanCv(OffT).c_str(), fmtMeanCv(OnT).c_str(),
+              OnT.Mean / OffT.Mean);
+  std::printf("  %-28s %16s %16s %9.2fx\n", "whole compiler",
+              fmtMeanCv(OffA).c_str(), fmtMeanCv(OnA).c_str(),
+              OnA.Mean / OffA.Mean);
   std::printf("  checker failures: %llu (must be 0 on a healthy pipeline)\n",
-              (unsigned long long)On.FailuresFound);
-  if (On.FailuresFound != 0)
+              (unsigned long long)Failures);
+  if (Failures != 0)
     std::abort();
+
+  jsonMetric("checker_" + P.Name, "total_off_sec", OffA.Mean);
+  jsonMetric("checker_" + P.Name, "total_on_sec", OnA.Mean);
+  jsonMetric("checker_" + P.Name, "total_ratio", OnA.Mean / OffA.Mean);
 }
 
 } // namespace
@@ -87,8 +105,11 @@ int main() {
   printHeader("§6.3 — dynamic-checker overhead",
               "approximate whole-compiler slowdown about 1.5x");
   double Scale = benchScale(0.5);
-  std::printf("workload scale: %.2f (MPC_BENCH_SCALE to change)\n", Scale);
-  runWorkload(stdlibProfile(Scale));
-  runWorkload(dottyProfile(Scale));
+  unsigned Reps = benchReps();
+  std::printf("workload scale: %.2f, repetitions: %u "
+              "(MPC_BENCH_SCALE / MPC_BENCH_REPS to change)\n",
+              Scale, Reps);
+  runWorkload(stdlibProfile(Scale), Reps);
+  runWorkload(dottyProfile(Scale), Reps);
   return 0;
 }

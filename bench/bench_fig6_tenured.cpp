@@ -3,6 +3,10 @@
 // generation). The paper's headline memory result: nodes replaced within
 // one fused traversal die young; under the Megaphase scheme they survive
 // until the next whole-tree pass and get promoted.
+//
+// Measures benchReps() repetitions per configuration and reports
+// mean ±CV (BenchCommon::meanCv). The memsim counters are deterministic,
+// so the CV doubles as a determinism check — any spread is a bug.
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -12,28 +16,36 @@
 using namespace mpc;
 using namespace mpc::bench;
 
-static void runWorkload(const WorkloadProfile &P, const char *PaperDelta) {
-  IsolatedTransforms Fused =
-      isolateTransforms(P, PipelineKind::StandardFused, false,
-                        256ull << 10);
-  IsolatedTransforms Unfused =
-      isolateTransforms(P, PipelineKind::StandardUnfused, false,
-                        256ull << 10);
+static void runWorkload(const WorkloadProfile &P, const char *PaperDelta,
+                        unsigned Reps) {
+  std::vector<double> FusedMB, UnfusedMB;
+  IsolatedTransforms Fused, Unfused;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    Fused = isolateTransforms(P, PipelineKind::StandardFused, false,
+                              256ull << 10);
+    Unfused = isolateTransforms(P, PipelineKind::StandardUnfused, false,
+                                256ull << 10);
+    FusedMB.push_back(double(Fused.Heap.TenuredBytes) / (1 << 20));
+    UnfusedMB.push_back(double(Unfused.Heap.TenuredBytes) / (1 << 20));
+  }
+  SampleStats FS = meanCv(FusedMB), US = meanCv(UnfusedMB);
 
-  uint64_t A = Fused.Heap.TenuredBytes;
-  uint64_t B = Unfused.Heap.TenuredBytes;
   std::printf("\n[%s: %llu LOC, young gen 256KB, %llu vs %llu minor GCs]\n",
               P.Name.c_str(), (unsigned long long)Fused.Full.Loc,
               (unsigned long long)Fused.Heap.MinorGCs,
               (unsigned long long)Unfused.Heap.MinorGCs);
-  std::printf("  tenured (miniphase): %s  (%llu objects)\n",
-              fmtMB(A).c_str(),
+  std::printf("  tenured (miniphase): %.1f MB ±%.1f%%  (%llu objects)\n",
+              FS.Mean, FS.CvPct,
               (unsigned long long)Fused.Heap.TenuredObjects);
-  std::printf("  tenured (megaphase): %s  (%llu objects)\n",
-              fmtMB(B).c_str(),
+  std::printf("  tenured (megaphase): %.1f MB ±%.1f%%  (%llu objects)\n",
+              US.Mean, US.CvPct,
               (unsigned long long)Unfused.Heap.TenuredObjects);
   std::printf("  measured delta: %s   (paper: %s)\n",
-              fmtPct(double(A) / double(B) - 1.0).c_str(), PaperDelta);
+              fmtPct(FS.Mean / US.Mean - 1.0).c_str(), PaperDelta);
+
+  jsonMetric("fig6_" + P.Name, "fused_tenured_mb", FS.Mean);
+  jsonMetric("fig6_" + P.Name, "unfused_tenured_mb", US.Mean);
+  jsonMetric("fig6_" + P.Name, "tenured_cv_pct", FS.CvPct);
 }
 
 /// The mechanism behind the figure, isolated: N nodes each rewritten
@@ -93,9 +105,10 @@ int main() {
   printHeader("Figure 6 — GC bytes tenured by the transformations",
               "miniphases tenure 49% less (stdlib) / 55% less (dotty)");
   double Scale = benchScale(1.0);
-  std::printf("workload scale: %.2f\n", Scale);
-  runWorkload(stdlibProfile(Scale), "-49%");
-  runWorkload(dottyProfile(Scale), "-55%");
+  unsigned Reps = benchReps();
+  std::printf("workload scale: %.2f, repetitions: %u\n", Scale, Reps);
+  runWorkload(stdlibProfile(Scale), "-49%", Reps);
+  runWorkload(dottyProfile(Scale), "-55%", Reps);
   mechanismPanel();
   return 0;
 }

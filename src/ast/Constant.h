@@ -8,7 +8,7 @@
 #ifndef MPC_AST_CONSTANT_H
 #define MPC_AST_CONSTANT_H
 
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <cstdint>
 

@@ -92,7 +92,7 @@ void ClassSymbol::collectAncestors(std::vector<ClassSymbol *> &Out) const {
 // SymbolTable
 //===----------------------------------------------------------------------===//
 
-SymbolTable::SymbolTable(StringInterner &Names, TypeContext &Types)
+SymbolTable::SymbolTable(NameTable &Names, TypeContext &Types)
     : Names(Names), Types(Types) {
   Std.Init = Names.intern("<init>");
   Std.Apply = Names.intern("apply");
@@ -305,7 +305,18 @@ SymbolTable::SymbolTable(StringInterner &Names, TypeContext &Types)
   AddInit(DoubleRefCls, {Types.doubleType()});
   AddInit(ObjectRefCls, {ObjectTy});
 
-  // Primitive operator intrinsics.
+  // Primitive operator intrinsics, registered in the flat dispatch table.
+  auto OpIndexOf = [&](Name OpName) -> int16_t {
+    uint32_t Ord = OpName.ordinal();
+    if (Ord >= PrimOpIdxByOrdinal.size())
+      PrimOpIdxByOrdinal.resize(Ord + 1, -1);
+    if (PrimOpIdxByOrdinal[Ord] < 0) {
+      assert(NumPrimOpNames < static_cast<int16_t>(MaxPrimOps) &&
+             "grow MaxPrimOps");
+      PrimOpIdxByOrdinal[Ord] = NumPrimOpNames++;
+    }
+    return PrimOpIdxByOrdinal[Ord];
+  };
   auto AddOp = [&](PrimKind P, const char *Op, const Type *Ret,
                    bool Unary = false) {
     Name OpName = Names.intern(Op);
@@ -313,9 +324,10 @@ SymbolTable::SymbolTable(StringInterner &Names, TypeContext &Types)
     if (!Unary)
       Params.push_back(Types.primType(P));
     Symbol *S = makeTerm(OpName, RootPkg,
-                         SymFlag::Method | SymFlag::Builtin | SymFlag::Final,
+                         SymFlag::Method | SymFlag::Builtin | SymFlag::Final |
+                             SymFlag::PrimOp,
                          Types.methodType(std::move(Params), Ret));
-    PrimOps[{static_cast<unsigned>(P), OpName.ordinal()}] = S;
+    PrimOpTable[static_cast<unsigned>(P)][OpIndexOf(OpName)] = S;
   };
   for (PrimKind P : {PrimKind::Int, PrimKind::Double}) {
     const Type *Self = Types.primType(P);
@@ -331,15 +343,13 @@ SymbolTable::SymbolTable(StringInterner &Names, TypeContext &Types)
 }
 
 Symbol *SymbolTable::primOp(PrimKind P, Name Op) const {
-  auto It = PrimOps.find({static_cast<unsigned>(P), Op.ordinal()});
-  return It == PrimOps.end() ? nullptr : It->second;
-}
-
-bool SymbolTable::isPrimOp(const Symbol *S) const {
-  for (const auto &[Key, Sym] : PrimOps)
-    if (Sym == S)
-      return true;
-  return false;
+  uint32_t Ord = Op.ordinal();
+  if (Ord >= PrimOpIdxByOrdinal.size())
+    return nullptr;
+  int16_t Idx = PrimOpIdxByOrdinal[Ord];
+  if (Idx < 0)
+    return nullptr;
+  return PrimOpTable[static_cast<unsigned>(P)][Idx];
 }
 
 Symbol *SymbolTable::makeTerm(Name N, Symbol *Owner, uint64_t Flags,

@@ -148,18 +148,69 @@ TypeContext::TypeContext() {
 }
 
 TypeContext::~TypeContext() {
+  // Arena-owned types still need their destructors (they hold vectors);
+  // the arena then releases the storage wholesale.
+  for (const Type *T : Owned)
+    T->~Type();
   for (const Type *P : Prims)
     delete static_cast<const PrimitiveType *>(P);
 }
 
+static uint64_t hashKey(uint32_t Tag, const uint64_t *Words,
+                        size_t NumWords) {
+  uint64_t H = 0x9e3779b97f4a7c15ULL ^ Tag;
+  for (size_t I = 0; I < NumWords; ++I)
+    H ^= Words[I] + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  return H;
+}
+
+void TypeContext::growSlots() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.empty() ? 512 : Old.size() * 2, Slot());
+  size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (!S.T)
+      continue;
+    for (size_t I = S.Hash & Mask;; I = (I + 1) & Mask) {
+      if (!Slots[I].T) {
+        Slots[I] = S;
+        break;
+      }
+    }
+  }
+}
+
 template <typename T, typename... Args>
-const Type *TypeContext::intern(Key K, Args &&...CtorArgs) {
-  auto It = Interned.find(K);
-  if (It != Interned.end())
-    return It->second.get();
-  auto Owned = std::unique_ptr<Type>(new T(std::forward<Args>(CtorArgs)...));
-  const Type *Result = Owned.get();
-  Interned.emplace(std::move(K), std::move(Owned));
+const Type *TypeContext::intern(uint32_t Tag, const uint64_t *Words,
+                                size_t NumWords, Args &&...CtorArgs) {
+  if (Slots.empty() || Owned.size() * 4 >= Slots.size() * 3)
+    growSlots();
+  uint64_t H = hashKey(Tag, Words, NumWords);
+  size_t Mask = Slots.size() - 1;
+  size_t I = H & Mask;
+  for (;; I = (I + 1) & Mask) {
+    const Slot &S = Slots[I];
+    if (!S.T)
+      break;
+    if (S.Hash == H && S.Tag == Tag && S.KeyLen == NumWords) {
+      const uint64_t *Stored = KeyPool.data() + S.KeyOff;
+      size_t J = 0;
+      while (J < NumWords && Stored[J] == Words[J])
+        ++J;
+      if (J == NumWords)
+        return S.T;
+    }
+  }
+
+  const Type *Result = TypeArena.make<T>(std::forward<Args>(CtorArgs)...);
+  Owned.push_back(Result);
+  Slot &S = Slots[I];
+  S.T = Result;
+  S.Hash = H;
+  S.Tag = Tag;
+  S.KeyOff = static_cast<uint32_t>(KeyPool.size());
+  S.KeyLen = static_cast<uint32_t>(NumWords);
+  KeyPool.insert(KeyPool.end(), Words, Words + NumWords);
   return Result;
 }
 
@@ -169,62 +220,76 @@ static uint64_t word(const void *P) {
 
 const Type *TypeContext::classType(ClassSymbol *Cls,
                                    std::vector<const Type *> Args) {
-  Key K{0, {word(Cls)}};
+  KeyScratch.clear();
+  KeyScratch.push_back(word(Cls));
   for (const Type *A : Args)
-    K.Words.push_back(word(A));
-  return intern<ClassType>(std::move(K), Cls, std::move(Args));
+    KeyScratch.push_back(word(A));
+  return intern<ClassType>(0, KeyScratch.data(), KeyScratch.size(), Cls,
+                           std::move(Args));
 }
 
 const Type *TypeContext::arrayType(const Type *Elem) {
-  return intern<ArrayType>(Key{1, {word(Elem)}}, Elem);
+  uint64_t W[1] = {word(Elem)};
+  return intern<ArrayType>(1, W, 1, Elem);
 }
 
 const Type *TypeContext::methodType(std::vector<const Type *> Params,
                                     const Type *Result) {
-  Key K{2, {word(Result)}};
+  KeyScratch.clear();
+  KeyScratch.push_back(word(Result));
   for (const Type *P : Params)
-    K.Words.push_back(word(P));
-  return intern<MethodType>(std::move(K), std::move(Params), Result);
+    KeyScratch.push_back(word(P));
+  return intern<MethodType>(2, KeyScratch.data(), KeyScratch.size(),
+                            std::move(Params), Result);
 }
 
 const Type *TypeContext::polyType(std::vector<Symbol *> TypeParams,
                                   const Type *Underlying) {
-  Key K{3, {word(Underlying)}};
+  KeyScratch.clear();
+  KeyScratch.push_back(word(Underlying));
   for (Symbol *P : TypeParams)
-    K.Words.push_back(word(P));
-  return intern<PolyType>(std::move(K), std::move(TypeParams), Underlying);
+    KeyScratch.push_back(word(P));
+  return intern<PolyType>(3, KeyScratch.data(), KeyScratch.size(),
+                          std::move(TypeParams), Underlying);
 }
 
 const Type *TypeContext::functionType(std::vector<const Type *> Params,
                                       const Type *Result) {
-  Key K{4, {word(Result)}};
+  KeyScratch.clear();
+  KeyScratch.push_back(word(Result));
   for (const Type *P : Params)
-    K.Words.push_back(word(P));
-  return intern<FunctionType>(std::move(K), std::move(Params), Result);
+    KeyScratch.push_back(word(P));
+  return intern<FunctionType>(4, KeyScratch.data(), KeyScratch.size(),
+                              std::move(Params), Result);
 }
 
 const Type *TypeContext::exprType(const Type *Result) {
-  return intern<ExprType>(Key{5, {word(Result)}}, Result);
+  uint64_t W[1] = {word(Result)};
+  return intern<ExprType>(5, W, 1, Result);
 }
 
 const Type *TypeContext::repeatedType(const Type *Elem) {
-  return intern<RepeatedType>(Key{6, {word(Elem)}}, Elem);
+  uint64_t W[1] = {word(Elem)};
+  return intern<RepeatedType>(6, W, 1, Elem);
 }
 
 const Type *TypeContext::unionType(const Type *L, const Type *R) {
   if (L == R)
     return L;
-  return intern<UnionType>(Key{7, {word(L), word(R)}}, L, R);
+  uint64_t W[2] = {word(L), word(R)};
+  return intern<UnionType>(7, W, 2, L, R);
 }
 
 const Type *TypeContext::intersectionType(const Type *L, const Type *R) {
   if (L == R)
     return L;
-  return intern<IntersectionType>(Key{8, {word(L), word(R)}}, L, R);
+  uint64_t W[2] = {word(L), word(R)};
+  return intern<IntersectionType>(8, W, 2, L, R);
 }
 
 const Type *TypeContext::typeParamRef(Symbol *Param) {
-  return intern<TypeParamRef>(Key{9, {word(Param)}}, Param);
+  uint64_t W[1] = {word(Param)};
+  return intern<TypeParamRef>(9, W, 1, Param);
 }
 
 const Type *TypeContext::substitute(const Type *T,

@@ -15,13 +15,13 @@
 #ifndef MPC_AST_TYPES_H
 #define MPC_AST_TYPES_H
 
+#include "support/Arena.h"
 #include "support/Casting.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace mpc {
@@ -280,32 +280,38 @@ public:
   const Type *lub(const Type *A, const Type *B);
 
   /// Number of distinct interned types (for tests / stats).
-  size_t internedCount() const { return Interned.size() + NumPrims; }
+  size_t internedCount() const { return Owned.size() + NumPrims; }
 
 private:
-  struct Key {
-    uint32_t Tag;
-    std::vector<uint64_t> Words;
-    bool operator==(const Key &O) const {
-      return Tag == O.Tag && Words == O.Words;
-    }
-  };
-  struct KeyHash {
-    size_t operator()(const Key &K) const {
-      uint64_t H = 0x9e3779b97f4a7c15ULL ^ K.Tag;
-      for (uint64_t W : K.Words) {
-        H ^= W + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
-      }
-      return static_cast<size_t>(H);
-    }
+  // Hash-consing storage: an open-addressed slot table (linear probing,
+  // cached hashes) over keys packed as (tag, word sequence) in one
+  // contiguous pool, with the Type objects themselves placement-new'd
+  // into a bump arena. Compared to the previous
+  // std::unordered_map<Key, unique_ptr<Type>> this performs no per-probe
+  // key-vector allocation, no per-entry map-node allocation, and keeps
+  // interned types tightly packed in memory. Owned tracks every arena
+  // type so ~TypeContext can run destructors (types hold std::vectors).
+  struct Slot {
+    const Type *T = nullptr;
+    uint64_t Hash = 0;
+    uint32_t Tag = 0;
+    uint32_t KeyOff = 0;
+    uint32_t KeyLen = 0;
   };
 
   template <typename T, typename... Args>
-  const Type *intern(Key K, Args &&...CtorArgs);
+  const Type *intern(uint32_t Tag, const uint64_t *Words, size_t NumWords,
+                     Args &&...CtorArgs);
+  void growSlots();
 
   static constexpr size_t NumPrims = 7;
   const Type *Prims[NumPrims];
-  std::unordered_map<Key, std::unique_ptr<Type>, KeyHash> Interned;
+  std::vector<Slot> Slots;
+  std::vector<uint64_t> KeyPool;
+  std::vector<uint64_t> KeyScratch; // reused key builder (no recursion
+                                    // between clear() and intern())
+  Arena TypeArena;
+  std::vector<const Type *> Owned;
 };
 
 } // namespace mpc

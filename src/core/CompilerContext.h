@@ -20,7 +20,7 @@
 #include "memsim/PerfCounters.h"
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <string>
 
@@ -99,7 +99,7 @@ public:
   CompilerContext(const CompilerContext &) = delete;
   CompilerContext &operator=(const CompilerContext &) = delete;
 
-  StringInterner &names() { return Names; }
+  NameTable &names() { return Names; }
   TypeContext &types() { return Types; }
   ManagedHeap &heap() { return Heap; }
   TreeContext &trees() { return Trees; }
@@ -121,7 +121,7 @@ public:
   PerfCounters *perf() const { return Perf; }
 
 private:
-  StringInterner Names;
+  NameTable Names;
   TypeContext Types;
   ManagedHeap Heap;
   TreeContext Trees;

@@ -17,6 +17,7 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
   uint64_t RealAllocs0 = Backend.SystemCalls;
   uint64_t SlabHits0 = Backend.SlabAllocs;
   uint64_t PagesMapped0 = Backend.PagesMapped;
+  uint64_t PagesRetired0 = Backend.PagesRetired;
 
   const auto &Groups = Plan.groups();
   for (size_t G = 0; G < Groups.size(); ++G) {
@@ -60,6 +61,7 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
   Result.RealAllocs = Backend.SystemCalls - RealAllocs0;
   Result.SlabHits = Backend.SlabAllocs - SlabHits0;
   Result.PagesMapped = Backend.PagesMapped - PagesMapped0;
+  Result.PagesRetired = Backend.PagesRetired - PagesRetired0;
 
   StatsRegistry &Stats = Comp.stats();
   Stats.add("fusion.nodesVisited", Result.NodesVisited);
@@ -69,5 +71,6 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
   Stats.add("heap.realAllocs", Result.RealAllocs);
   Stats.add("heap.slabHits", Result.SlabHits);
   Stats.add("heap.pagesMapped", Result.PagesMapped);
+  Stats.add("heap.pagesRetired", Result.PagesRetired);
   return Result;
 }

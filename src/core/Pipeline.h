@@ -36,10 +36,12 @@ struct PipelineResult {
   uint64_t PrepareOnlyWalks = 0;
   /// Heap-backend deltas for this run (real storage, not the simulated
   /// clock; also mirrored into CompilerContext::stats() as "heap.*"):
-  /// system-allocator calls, slab-served allocations, pages mapped.
+  /// system-allocator calls, slab-served allocations, pages mapped, and
+  /// pages retired (fully freed and recycled into the shared pool).
   uint64_t RealAllocs = 0;
   uint64_t SlabHits = 0;
   uint64_t PagesMapped = 0;
+  uint64_t PagesRetired = 0;
   /// TreeChecker failures, if checking was enabled.
   std::vector<CheckFailure> CheckFailures;
 };

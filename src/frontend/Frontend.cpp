@@ -10,6 +10,8 @@ using namespace mpc;
 
 std::vector<CompilationUnit>
 mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
+  size_t Names0 = Comp.names().size();
+  uint64_t ArenaBytes = 0;
   std::vector<ParsedUnit> Parsed;
   for (SourceInput &Src : Sources) {
     ParsedUnit PU;
@@ -21,10 +23,15 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
     Lexer Lex(PU.Source, PU.FileId, Comp.names(), Comp.diags());
     Parser P(Lex.lexAll(), *PU.Arena, Comp.names(), Comp.diags());
     PU.Unit = P.parseUnit();
+    ArenaBytes += PU.Arena->bytesUsed();
     Parsed.push_back(std::move(PU));
   }
   Typer T(Comp);
-  return T.run(Parsed);
+  std::vector<CompilationUnit> Units = T.run(Parsed);
+  // frontend.scopeProbes is recorded by the typer itself.
+  Comp.stats().add("frontend.namesInterned", Comp.names().size() - Names0);
+  Comp.stats().add("frontend.arenaBytes", ArenaBytes);
+  return Units;
 }
 
 CompilationUnit mpc::compileSingleSource(CompilerContext &Comp,

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 using namespace mpc;
@@ -120,7 +121,7 @@ const char *mpc::tokenKindName(Tok K) {
   return "?";
 }
 
-Lexer::Lexer(std::string_view Source, uint32_t FileId, StringInterner &Names,
+Lexer::Lexer(std::string_view Source, uint32_t FileId, NameTable &Names,
              DiagnosticEngine &Diags)
     : Src(Source), FileId(FileId), Names(Names), Diags(Diags) {}
 
@@ -312,51 +313,94 @@ Token Lexer::lexToken() {
   }
 }
 
+/// NUL-terminates \p Digits for strtod/strtoll: into \p Buf when it fits,
+/// else into the heap \p Spill (pathological digit runs only).
+static const char *terminated(std::string_view Digits, char (&Buf)[64],
+                              std::string &Spill) {
+  if (Digits.size() < sizeof(Buf)) {
+    std::memcpy(Buf, Digits.data(), Digits.size());
+    Buf[Digits.size()] = '\0';
+    return Buf;
+  }
+  Spill.assign(Digits);
+  return Spill.c_str();
+}
+
 Token Lexer::lexNumber() {
   Token T = make(Tok::IntLit);
-  std::string Digits;
+  size_t Start = Pos;
   while (std::isdigit(static_cast<unsigned char>(peek())))
-    Digits += advance();
-  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
-    Digits += advance();
+    advance();
+  bool IsDouble =
+      peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)));
+  if (IsDouble) {
+    advance();
     while (std::isdigit(static_cast<unsigned char>(peek())))
-      Digits += advance();
-    T.Kind = Tok::DoubleLit;
-    T.DoubleValue = std::strtod(Digits.c_str(), nullptr);
-    return T;
+      advance();
   }
-  T.IntValue = std::strtoll(Digits.c_str(), nullptr, 10);
+  std::string_view Digits = Src.substr(Start, Pos - Start);
+  char Buf[64];
+  std::string Spill;
+  const char *CStr = terminated(Digits, Buf, Spill);
+  if (IsDouble) {
+    T.Kind = Tok::DoubleLit;
+    T.DoubleValue = std::strtod(CStr, nullptr);
+  } else {
+    T.IntValue = std::strtoll(CStr, nullptr, 10);
+  }
   return T;
 }
 
 Token Lexer::lexString() {
   Token T = make(Tok::StringLit);
   advance(); // opening quote
-  std::string Value;
+  // Fast path: no escapes — the value is a slice of the source buffer and
+  // interns without any intermediate copy.
+  size_t Start = Pos;
+  bool HasEscape = false;
+  while (!atEnd() && peek() != '"') {
+    if (peek() == '\\') {
+      HasEscape = true;
+      break;
+    }
+    advance();
+  }
+  if (!HasEscape) {
+    if (atEnd()) {
+      Diags.error(T.Loc, "unterminated string literal");
+      T.Kind = Tok::Error;
+      return T;
+    }
+    T.Text = Names.intern(Src.substr(Start, Pos - Start));
+    advance(); // closing quote
+    return T;
+  }
+  // Slow path: unescape into the reused scratch buffer.
+  StrBuf.assign(Src.substr(Start, Pos - Start));
   while (!atEnd() && peek() != '"') {
     char C = advance();
     if (C == '\\' && !atEnd()) {
       char E = advance();
       switch (E) {
       case 'n':
-        Value += '\n';
+        StrBuf += '\n';
         break;
       case 't':
-        Value += '\t';
+        StrBuf += '\t';
         break;
       case '\\':
-        Value += '\\';
+        StrBuf += '\\';
         break;
       case '"':
-        Value += '"';
+        StrBuf += '"';
         break;
       default:
-        Value += E;
+        StrBuf += E;
         break;
       }
       continue;
     }
-    Value += C;
+    StrBuf += C;
   }
   if (atEnd()) {
     Diags.error(T.Loc, "unterminated string literal");
@@ -364,59 +408,160 @@ Token Lexer::lexString() {
     return T;
   }
   advance(); // closing quote
-  T.Text = Names.intern(Value);
+  T.Text = Names.intern(StrBuf);
   return T;
+}
+
+/// Keyword lookup without interning or allocation: dispatch on the first
+/// character, then a handful of length+memcmp compares. Returns Tok::Id
+/// for non-keywords.
+static Tok keywordKind(std::string_view W) {
+  switch (W[0]) {
+  case 'a':
+    if (W == "abstract")
+      return Tok::KwAbstract;
+    break;
+  case 'c':
+    if (W == "class")
+      return Tok::KwClass;
+    if (W == "case")
+      return Tok::KwCase;
+    if (W == "catch")
+      return Tok::KwCatch;
+    break;
+  case 'd':
+    if (W == "def")
+      return Tok::KwDef;
+    break;
+  case 'e':
+    if (W == "else")
+      return Tok::KwElse;
+    if (W == "extends")
+      return Tok::KwExtends;
+    break;
+  case 'f':
+    if (W == "false")
+      return Tok::KwFalse;
+    if (W == "final")
+      return Tok::KwFinal;
+    if (W == "finally")
+      return Tok::KwFinally;
+    break;
+  case 'i':
+    if (W == "if")
+      return Tok::KwIf;
+    break;
+  case 'l':
+    if (W == "lazy")
+      return Tok::KwLazy;
+    break;
+  case 'm':
+    if (W == "match")
+      return Tok::KwMatch;
+    break;
+  case 'n':
+    if (W == "new")
+      return Tok::KwNew;
+    if (W == "null")
+      return Tok::KwNull;
+    break;
+  case 'o':
+    if (W == "object")
+      return Tok::KwObject;
+    if (W == "override")
+      return Tok::KwOverride;
+    break;
+  case 'p':
+    if (W == "private")
+      return Tok::KwPrivate;
+    if (W == "package")
+      return Tok::KwPackage;
+    break;
+  case 'r':
+    if (W == "return")
+      return Tok::KwReturn;
+    break;
+  case 's':
+    if (W == "super")
+      return Tok::KwSuper;
+    break;
+  case 't':
+    if (W == "this")
+      return Tok::KwThis;
+    if (W == "true")
+      return Tok::KwTrue;
+    if (W == "trait")
+      return Tok::KwTrait;
+    if (W == "try")
+      return Tok::KwTry;
+    if (W == "throw")
+      return Tok::KwThrow;
+    break;
+  case 'v':
+    if (W == "val")
+      return Tok::KwVal;
+    if (W == "var")
+      return Tok::KwVar;
+    break;
+  case 'w':
+    if (W == "while")
+      return Tok::KwWhile;
+    if (W == "with")
+      return Tok::KwWith;
+    break;
+  default:
+    break;
+  }
+  return Tok::Id;
 }
 
 Token Lexer::lexIdentifier() {
   Token T = make(Tok::Id);
-  std::string Text;
+  size_t Start = Pos;
   while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
          peek() == '$')
-    Text += advance();
+    advance();
+  std::string_view Text = Src.substr(Start, Pos - Start);
 
   if (Text == "_") {
     T.Kind = Tok::Underscore;
     return T;
   }
-  struct KwEntry {
-    const char *Text;
-    Tok Kind;
-  };
-  static const KwEntry Keywords[] = {
-      {"class", Tok::KwClass},       {"trait", Tok::KwTrait},
-      {"object", Tok::KwObject},     {"case", Tok::KwCase},
-      {"extends", Tok::KwExtends},   {"with", Tok::KwWith},
-      {"def", Tok::KwDef},           {"val", Tok::KwVal},
-      {"var", Tok::KwVar},           {"lazy", Tok::KwLazy},
-      {"if", Tok::KwIf},             {"else", Tok::KwElse},
-      {"while", Tok::KwWhile},       {"match", Tok::KwMatch},
-      {"try", Tok::KwTry},           {"catch", Tok::KwCatch},
-      {"finally", Tok::KwFinally},   {"throw", Tok::KwThrow},
-      {"return", Tok::KwReturn},     {"new", Tok::KwNew},
-      {"this", Tok::KwThis},         {"super", Tok::KwSuper},
-      {"true", Tok::KwTrue},         {"false", Tok::KwFalse},
-      {"null", Tok::KwNull},         {"override", Tok::KwOverride},
-      {"private", Tok::KwPrivate},   {"final", Tok::KwFinal},
-      {"abstract", Tok::KwAbstract}, {"package", Tok::KwPackage},
-  };
-  for (const KwEntry &E : Keywords) {
-    if (Text == E.Text) {
-      T.Kind = E.Kind;
-      return T;
-    }
-  }
-  T.Text = Names.intern(Text);
+  T.Kind = keywordKind(Text);
+  if (T.Kind == Tok::Id)
+    T.Text = Names.intern(Text);
   return T;
+}
+
+static bool isOpChar(char C) {
+  switch (C) {
+  case '+':
+  case '-':
+  case '*':
+  case '/':
+  case '%':
+  case '<':
+  case '>':
+  case '=':
+  case '!':
+  case '&':
+  case '|':
+  case '^':
+  case '~':
+  case '?':
+  case ':':
+    return true;
+  default:
+    return false;
+  }
 }
 
 Token Lexer::lexOperator() {
   Token T = make(Tok::OpId);
-  static const char OpChars[] = "+-*/%<>=!&|^~?:";
-  std::string Text;
-  while (!atEnd() && std::string_view(OpChars).find(peek()) !=
-                         std::string_view::npos)
-    Text += advance();
+  size_t Start = Pos;
+  while (!atEnd() && isOpChar(peek()))
+    advance();
+  std::string_view Text = Src.substr(Start, Pos - Start);
   if (Text.empty()) {
     Diags.error(T.Loc, std::string("unexpected character '") + peek() + "'");
     advance();
@@ -435,21 +580,12 @@ Token Lexer::lexOperator() {
     T.Kind = Tok::Colon;
     return T;
   }
-  if (Text == "*") {
+  if (Text == "*")
     T.Kind = Tok::Star;
-    T.Text = Names.intern(Text);
-    return T;
-  }
-  if (Text == "|") {
+  else if (Text == "|")
     T.Kind = Tok::Pipe;
-    T.Text = Names.intern(Text);
-    return T;
-  }
-  if (Text == "&") {
+  else if (Text == "&")
     T.Kind = Tok::Amp;
-    T.Text = Names.intern(Text);
-    return T;
-  }
   T.Text = Names.intern(Text);
   return T;
 }

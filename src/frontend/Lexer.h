@@ -13,7 +13,7 @@
 
 #include "frontend/Token.h"
 #include "support/Diagnostics.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <string_view>
 #include <vector>
@@ -23,7 +23,7 @@ namespace mpc {
 /// Lexes a whole source buffer into a token vector (plus EOF sentinel).
 class Lexer {
 public:
-  Lexer(std::string_view Source, uint32_t FileId, StringInterner &Names,
+  Lexer(std::string_view Source, uint32_t FileId, NameTable &Names,
         DiagnosticEngine &Diags);
 
   /// Runs the lexer; returns all tokens ending with EndOfFile.
@@ -50,12 +50,13 @@ private:
 
   std::string_view Src;
   uint32_t FileId;
-  StringInterner &Names;
+  NameTable &Names;
   DiagnosticEngine &Diags;
   size_t Pos = 0;
   uint32_t Line = 1;
   uint32_t Col = 1;
   int GroupDepth = 0; // parens + brackets (not braces)
+  std::string StrBuf; // reused scratch for string literals with escapes
 };
 
 } // namespace mpc

@@ -5,7 +5,7 @@
 
 using namespace mpc;
 
-Parser::Parser(std::vector<Token> Toks, SynArena &Arena, StringInterner &Names,
+Parser::Parser(std::vector<Token> Toks, SynArena &Arena, NameTable &Names,
                DiagnosticEngine &Diags)
     : Tokens(std::move(Toks)), Arena(Arena), Names(Names), Diags(Diags) {
   if (Tokens.empty()) {
@@ -73,7 +73,7 @@ SynType *Parser::parseType() {
     expect(Tok::RParen, "type");
     if (accept(Tok::Arrow)) {
       SynType *F = Arena.type(SynType::Func, Tokens[Save].Loc);
-      F->Args = std::move(Params);
+      F->Args = Arena.list(Params);
       F->Res = parseType();
       return F;
     }
@@ -85,7 +85,7 @@ SynType *Parser::parseType() {
   SynType *T = parseInfixType();
   if (accept(Tok::Arrow)) {
     SynType *F = Arena.type(SynType::Func, T->Loc);
-    F->Args = {T};
+    F->Args = Arena.list({T});
     F->Res = parseType();
     return F;
   }
@@ -99,7 +99,7 @@ SynType *Parser::parseInfixType() {
     SourceLoc Loc = take().Loc;
     SynType *Right = parseSimpleType();
     SynType *T = Arena.type(IsUnion ? SynType::Union : SynType::Inter, Loc);
-    T->Args = {Left, Right};
+    T->Args = Arena.list({Left, Right});
     Left = T;
   }
   return Left;
@@ -119,10 +119,12 @@ SynType *Parser::parseSimpleType() {
   if (at(Tok::LBracket)) {
     take();
     T->K = SynType::Applied;
-    T->Args.push_back(parseType());
+    std::vector<SynType *> Args;
+    Args.push_back(parseType());
     while (accept(Tok::Comma))
-      T->Args.push_back(parseType());
+      Args.push_back(parseType());
     expect(Tok::RBracket, "type arguments");
+    T->Args = Arena.list(Args);
   }
   return T;
 }
@@ -208,21 +210,26 @@ SynNode *Parser::parseClassLike(uint32_t Flags) {
   if (!Cls->is(SynFlag::Object) && !Cls->is(SynFlag::Trait))
     Cls->TypeParamNames = parseTypeParams();
 
+  // All children (ctor params, the <superargs> stash, then members)
+  // collect in a scratch vector and land in the arena as one span.
+  std::vector<SynNode *> Kids;
+
   // Constructor parameters (classes only).
   if (!Cls->is(SynFlag::Object) && !Cls->is(SynFlag::Trait) &&
       at(Tok::LParen)) {
     take();
     if (!at(Tok::RParen)) {
-      Cls->Kids.push_back(parseParam());
+      Kids.push_back(parseParam());
       while (accept(Tok::Comma))
-        Cls->Kids.push_back(parseParam());
+        Kids.push_back(parseParam());
     }
     expect(Tok::RParen, "class parameters");
-    Cls->NumParams = static_cast<uint32_t>(Cls->Kids.size());
+    Cls->NumParams = static_cast<uint32_t>(Kids.size());
   }
 
   if (accept(Tok::KwExtends)) {
-    Cls->Parents.push_back(parseSimpleType());
+    std::vector<SynType *> Parents;
+    Parents.push_back(parseSimpleType());
     // Parent constructor arguments: `extends C(args)`.
     if (at(Tok::LParen)) {
       take();
@@ -234,25 +241,26 @@ SynNode *Parser::parseClassLike(uint32_t Flags) {
       }
       expect(Tok::RParen, "parent constructor arguments");
       // Stash super args as an Apply node child marked by name.
-      SynNode *SuperArgs = Arena.node(SynKind::Apply, Cls->Parents[0]->Loc);
+      SynNode *SuperArgs = Arena.node(SynKind::Apply, Parents[0]->Loc);
       SuperArgs->N = Names.intern("<superargs>");
-      SuperArgs->Kids = std::move(Args);
-      Cls->Kids.push_back(SuperArgs);
-      Cls->NumParams = Cls->NumParams; // params stay a prefix
+      SuperArgs->Kids = Arena.list(Args);
+      Kids.push_back(SuperArgs); // params stay a prefix
     }
     while (accept(Tok::KwWith))
-      Cls->Parents.push_back(parseSimpleType());
+      Parents.push_back(parseSimpleType());
+    Cls->Parents = Arena.list(Parents);
   }
 
   if (at(Tok::LBrace))
-    parseTemplateBody(Cls);
+    parseTemplateBody(Kids);
+  Cls->Kids = Arena.list(Kids);
   return Cls;
 }
 
-std::vector<Name> Parser::parseTypeParams() {
-  std::vector<Name> Result;
+SynList<Name> Parser::parseTypeParams() {
   if (!at(Tok::LBracket))
-    return Result;
+    return SynList<Name>();
+  std::vector<Name> Result;
   take();
   do {
     if (at(Tok::Id))
@@ -263,10 +271,10 @@ std::vector<Name> Parser::parseTypeParams() {
     }
   } while (accept(Tok::Comma));
   expect(Tok::RBracket, "type parameters");
-  return Result;
+  return Arena.list(Result);
 }
 
-void Parser::parseTemplateBody(SynNode *Cls) {
+void Parser::parseTemplateBody(std::vector<SynNode *> &Kids) {
   expect(Tok::LBrace, "template body");
   skipSemis();
   while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
@@ -287,7 +295,7 @@ void Parser::parseTemplateBody(SynNode *Cls) {
     }
     SynNode *Member = parseMemberDef(Mods);
     if (Member)
-      Cls->Kids.push_back(Member);
+      Kids.push_back(Member);
     else
       take(); // error recovery
     skipSemis();
@@ -329,9 +337,9 @@ SynNode *Parser::parseValDef(uint32_t Mods) {
   if (accept(Tok::Colon))
     VD->Ty = parseType();
   if (accept(Tok::Eq))
-    VD->Kids.push_back(parseExpr());
+    VD->Kids = Arena.list({parseExpr()});
   else
-    VD->Kids.push_back(nullptr); // abstract val
+    VD->Kids = Arena.list<SynNode *>({nullptr}); // abstract val
   return VD;
 }
 
@@ -347,26 +355,30 @@ SynNode *Parser::parseDefDef(uint32_t Mods) {
   else
     error("expected method name");
   DD->TypeParamNames = parseTypeParams();
+  std::vector<SynNode *> Kids;
+  std::vector<uint32_t> ListSizes;
   while (at(Tok::LParen)) {
     take();
     uint32_t Count = 0;
     if (!at(Tok::RParen)) {
-      DD->Kids.push_back(parseParam());
+      Kids.push_back(parseParam());
       ++Count;
       while (accept(Tok::Comma)) {
-        DD->Kids.push_back(parseParam());
+        Kids.push_back(parseParam());
         ++Count;
       }
     }
     expect(Tok::RParen, "parameter list");
-    DD->ParamListSizes.push_back(Count);
+    ListSizes.push_back(Count);
   }
+  DD->ParamListSizes = Arena.list(ListSizes);
   if (accept(Tok::Colon))
     DD->Ty = parseType();
   if (accept(Tok::Eq))
-    DD->Kids.push_back(parseExpr());
+    Kids.push_back(parseExpr());
   else
-    DD->Kids.push_back(nullptr); // abstract method
+    Kids.push_back(nullptr); // abstract method
+  DD->Kids = Arena.list(Kids);
   return DD;
 }
 
@@ -402,16 +414,16 @@ SynNode *Parser::parseExpr() {
     return parseTryExpr();
   case Tok::KwThrow: {
     SynNode *T = Arena.node(SynKind::Throw, take().Loc);
-    T->Kids.push_back(parseExpr());
+    T->Kids = Arena.list({parseExpr()});
     return T;
   }
   case Tok::KwReturn: {
     SynNode *R = Arena.node(SynKind::Return, take().Loc);
     // `return` followed by an expression on the same statement.
     if (!at(Tok::Semi) && !at(Tok::RBrace) && !at(Tok::EndOfFile))
-      R->Kids.push_back(parseExpr());
+      R->Kids = Arena.list({parseExpr()});
     else
-      R->Kids.push_back(nullptr);
+      R->Kids = Arena.list<SynNode *>({nullptr});
     return R;
   }
   default:
@@ -430,7 +442,7 @@ SynNode *Parser::parseExpr() {
     SourceLoc Loc = take().Loc;
     SynNode *Rhs = parseExpr();
     SynNode *A = Arena.node(SynKind::Assign, Loc);
-    A->Kids = {E, Rhs};
+    A->Kids = Arena.list({E, Rhs});
     return A;
   }
   return E;
@@ -452,7 +464,7 @@ SynNode *Parser::parseIfExpr() {
   } else {
     Pos = Save;
   }
-  I->Kids = {Cond, Then, Else};
+  I->Kids = Arena.list({Cond, Then, Else});
   return I;
 }
 
@@ -463,7 +475,7 @@ SynNode *Parser::parseWhileExpr() {
   expect(Tok::RParen, "while condition");
   skipSemis();
   SynNode *Body = parseExpr();
-  W->Kids = {Cond, Body};
+  W->Kids = Arena.list({Cond, Body});
   return W;
 }
 
@@ -484,10 +496,13 @@ SynNode *Parser::parseTryExpr() {
     Fin = parseExpr();
   else
     Pos = Save;
-  T->Kids.push_back(Body);
-  T->Kids.push_back(Fin);
+  std::vector<SynNode *> Kids;
+  Kids.reserve(Cases.size() + 2);
+  Kids.push_back(Body);
+  Kids.push_back(Fin);
   for (SynNode *C : Cases)
-    T->Kids.push_back(C);
+    Kids.push_back(C);
+  T->Kids = Arena.list(Kids);
   return T;
 }
 
@@ -526,9 +541,9 @@ SynNode *Parser::parseInfixExpr(int MinPrec) {
     // Desugar `a op b` to Apply(Select(a, op), b).
     SynNode *Sel = Arena.node(SynKind::Select, Op.Loc);
     Sel->N = Op.Text;
-    Sel->Kids = {Left};
+    Sel->Kids = Arena.list({Left});
     SynNode *App = Arena.node(SynKind::Apply, Op.Loc);
-    App->Kids = {Sel, Right};
+    App->Kids = Arena.list({Sel, Right});
     Left = App;
   }
   return Left;
@@ -542,9 +557,9 @@ SynNode *Parser::parsePrefixExpr() {
     // `-x` => Apply(Select(x, unary_-), []).
     SynNode *Sel = Arena.node(SynKind::Select, Op.Loc);
     Sel->N = Names.intern(std::string("unary_") + std::string(Op.Text.text()));
-    Sel->Kids = {Operand};
+    Sel->Kids = Arena.list({Operand});
     SynNode *App = Arena.node(SynKind::Apply, Op.Loc);
-    App->Kids = {Sel};
+    App->Kids = Arena.list<SynNode *>({Sel});
     return App;
   }
   return parsePostfixExpr();
@@ -560,26 +575,30 @@ SynNode *Parser::parsePostfixExpr() {
         Sel->N = take().Text;
       else
         error("expected member name after '.'");
-      Sel->Kids = {E};
+      Sel->Kids = Arena.list({E});
       E = Sel;
       continue;
     }
     if (at(Tok::LBracket)) {
       take();
       SynNode *TA = Arena.node(SynKind::TypeApply, cur().Loc);
-      TA->Kids = {E};
-      TA->TyArgs.push_back(parseType());
+      TA->Kids = Arena.list<SynNode *>({E});
+      std::vector<SynType *> TyArgs;
+      TyArgs.push_back(parseType());
       while (accept(Tok::Comma))
-        TA->TyArgs.push_back(parseType());
+        TyArgs.push_back(parseType());
       expect(Tok::RBracket, "type arguments");
+      TA->TyArgs = Arena.list(TyArgs);
       E = TA;
       continue;
     }
     if (at(Tok::LParen)) {
       SynNode *App = Arena.node(SynKind::Apply, cur().Loc);
-      App->Kids.push_back(E);
+      std::vector<SynNode *> Kids;
+      Kids.push_back(E);
       for (SynNode *A : parseArgs())
-        App->Kids.push_back(A);
+        Kids.push_back(A);
+      App->Kids = Arena.list(Kids);
       E = App;
       continue;
     }
@@ -587,10 +606,12 @@ SynNode *Parser::parsePostfixExpr() {
       take();
       expect(Tok::LBrace, "match expression");
       SynNode *M = Arena.node(SynKind::Match, E->Loc);
-      M->Kids.push_back(E);
+      std::vector<SynNode *> Kids;
+      Kids.push_back(E);
       for (SynNode *C : parseCaseClauses())
-        M->Kids.push_back(C);
+        Kids.push_back(C);
       expect(Tok::RBrace, "match expression");
+      M->Kids = Arena.list(Kids);
       E = M;
       continue;
     }
@@ -616,8 +637,7 @@ SynNode *Parser::parseNewExpr() {
   SynNode *N = Arena.node(SynKind::New, Loc);
   N->Ty = parseSimpleType();
   if (at(Tok::LParen))
-    for (SynNode *A : parseArgs())
-      N->Kids.push_back(A);
+    N->Kids = Arena.list(parseArgs());
   return N;
 }
 
@@ -651,13 +671,14 @@ SynNode *Parser::tryParseLambda() {
   take(); // ')'
   take(); // '=>'
   SynNode *L = Arena.node(SynKind::Lambda, Loc);
-  L->Kids = std::move(Params);
-  L->Kids.push_back(parseExpr());
+  Params.push_back(parseExpr());
+  L->Kids = Arena.list(Params);
   return L;
 }
 
 SynNode *Parser::parseBlockExpr() {
   SynNode *B = Arena.node(SynKind::Block, take().Loc); // '{'
+  std::vector<SynNode *> Stats;
   skipSemis();
   while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
     SynNode *Stat = nullptr;
@@ -671,10 +692,11 @@ SynNode *Parser::parseBlockExpr() {
     else
       Stat = parseExpr();
     if (Stat)
-      B->Kids.push_back(Stat);
+      Stats.push_back(Stat);
     skipSemis();
   }
   expect(Tok::RBrace, "block");
+  B->Kids = Arena.list(Stats);
   return B;
 }
 
@@ -770,6 +792,7 @@ std::vector<SynNode *> Parser::parseCaseClauses() {
     expect(Tok::Arrow, "case clause");
     // Case body: statements until the next 'case' or closing brace.
     SynNode *Body = Arena.node(SynKind::Block, cur().Loc);
+    std::vector<SynNode *> Stats;
     skipSemis();
     while (!at(Tok::KwCase) && !at(Tok::RBrace) && !at(Tok::EndOfFile)) {
       SynNode *Stat = nullptr;
@@ -780,10 +803,11 @@ std::vector<SynNode *> Parser::parseCaseClauses() {
       else
         Stat = parseExpr();
       if (Stat)
-        Body->Kids.push_back(Stat);
+        Stats.push_back(Stat);
       skipSemis();
     }
-    C->Kids = {Pat, Guard, Body};
+    Body->Kids = Arena.list(Stats);
+    C->Kids = Arena.list({Pat, Guard, Body});
     Cases.push_back(C);
     skipSemis();
   }
@@ -795,9 +819,11 @@ SynNode *Parser::parsePattern() {
   if (!at(Tok::Pipe))
     return First;
   SynNode *Alt = Arena.node(SynKind::PatAlt, First->Loc);
-  Alt->Kids.push_back(First);
+  std::vector<SynNode *> Alts;
+  Alts.push_back(First);
   while (accept(Tok::Pipe))
-    Alt->Kids.push_back(parseSimplePattern());
+    Alts.push_back(parseSimplePattern());
+  Alt->Kids = Arena.list(Alts);
   return Alt;
 }
 
@@ -815,7 +841,7 @@ SynNode *Parser::parseSimplePattern() {
     SynNode *W = Arena.node(SynKind::PatWild, Loc);
     if (accept(Tok::Colon)) {
       SynNode *T = Arena.node(SynKind::PatTyped, Loc);
-      T->Kids = {nullptr};
+      T->Kids = Arena.list<SynNode *>({nullptr});
       T->Ty = parseInfixType(); // no function types: `case _: T =>`
       return T;
     }
@@ -831,29 +857,31 @@ SynNode *Parser::parseSimplePattern() {
       take();
       SynNode *Ctor = Arena.node(SynKind::PatCtor, T.Loc);
       Ctor->N = T.Text;
+      std::vector<SynNode *> Pats;
       if (!at(Tok::RParen)) {
-        Ctor->Kids.push_back(parsePattern());
+        Pats.push_back(parsePattern());
         while (accept(Tok::Comma))
-          Ctor->Kids.push_back(parsePattern());
+          Pats.push_back(parsePattern());
       }
       expect(Tok::RParen, "constructor pattern");
+      Ctor->Kids = Arena.list(Pats);
       return Ctor;
     }
     // Binder, possibly with @ or type ascription.
     SynNode *B = Arena.node(SynKind::PatBind, T.Loc);
     B->N = T.Text;
     if (accept(Tok::At)) {
-      B->Kids = {parseSimplePattern()};
+      B->Kids = Arena.list({parseSimplePattern()});
       return B;
     }
     if (accept(Tok::Colon)) {
       SynNode *Typed = Arena.node(SynKind::PatTyped, T.Loc);
-      Typed->Kids = {nullptr};
+      Typed->Kids = Arena.list<SynNode *>({nullptr});
       Typed->Ty = parseInfixType(); // no function types: `case b: T =>`
-      B->Kids = {Typed};
+      B->Kids = Arena.list<SynNode *>({Typed});
       return B;
     }
-    B->Kids = {nullptr};
+    B->Kids = Arena.list<SynNode *>({nullptr});
     return B;
   }
   default:

@@ -25,7 +25,7 @@ namespace mpc {
 /// Parses one compilation unit's tokens into a SynUnit.
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, SynArena &Arena, StringInterner &Names,
+  Parser(std::vector<Token> Tokens, SynArena &Arena, NameTable &Names,
          DiagnosticEngine &Diags);
 
   /// Parses the whole unit. On syntax errors, diagnostics are reported and
@@ -56,12 +56,12 @@ private:
   // Definitions.
   SynNode *parseTopLevelDef();
   SynNode *parseClassLike(uint32_t Flags);
-  void parseTemplateBody(SynNode *Cls);
+  void parseTemplateBody(std::vector<SynNode *> &Kids);
   SynNode *parseMemberDef(uint32_t Mods);
   SynNode *parseValDef(uint32_t Mods);
   SynNode *parseDefDef(uint32_t Mods);
   SynNode *parseParam();
-  std::vector<Name> parseTypeParams();
+  SynList<Name> parseTypeParams();
 
   // Expressions.
   SynNode *parseExpr();
@@ -89,7 +89,7 @@ private:
   std::vector<Token> Tokens;
   size_t Pos = 0;
   SynArena &Arena;
-  StringInterner &Names;
+  NameTable &Names;
   DiagnosticEngine &Diags;
 };
 

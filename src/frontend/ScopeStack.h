@@ -1,0 +1,188 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat scope/symbol lookup for the typer.
+///
+/// The previous design allocated one std::unordered_map per lexical scope
+/// and chained lookups through parent pointers — a malloc per scope and a
+/// pointer chase per nesting level on the hottest frontend path. This
+/// replaces the whole chain with two flat arrays:
+///
+///   - an open-addressed slot table keyed by name ordinal (uint32), each
+///     slot pointing at the *top* binding of that name, and
+///   - a binding stack: one entry per `enter`, carrying the shadowed
+///     binding's index so popping a scope restores the previous state by
+///     walking the entries above the scope's mark in reverse.
+///
+/// Slots are never deleted (a name whose bindings all popped keeps its
+/// slot with an empty chain), so linear probing needs no tombstones and
+/// the table only ever grows to the number of distinct names seen.
+///
+/// Scopes form a strict LIFO; a scope opened as a *barrier* (fresh root,
+/// e.g. a class body — the old parentless `Scope`) hides every binding of
+/// enclosing scopes: lookups compare the top binding's depth against the
+/// current barrier depth. Since chain depths increase toward the top,
+/// checking the top binding alone is sufficient.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_FRONTEND_SCOPESTACK_H
+#define MPC_FRONTEND_SCOPESTACK_H
+
+#include "support/NameTable.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mpc {
+
+class Symbol;
+
+class ScopeStack {
+public:
+  /// RAII frame: opening is `enter scope`, destruction pops every binding
+  /// made while the frame was the innermost scope.
+  class Frame {
+  public:
+    explicit Frame(ScopeStack &S, bool Barrier = false)
+        : S(S), Mark(static_cast<uint32_t>(S.Bindings.size())),
+          PrevBarrier(S.BarrierDepth) {
+      ++S.Depth;
+      if (Barrier)
+        S.BarrierDepth = S.Depth;
+    }
+    Frame(const Frame &) = delete;
+    Frame &operator=(const Frame &) = delete;
+    ~Frame() {
+      S.popTo(Mark);
+      S.BarrierDepth = PrevBarrier;
+      --S.Depth;
+    }
+
+  private:
+    ScopeStack &S;
+    uint32_t Mark;
+    uint32_t PrevBarrier;
+  };
+
+  /// Binds \p N to \p Sym in the innermost scope (shadowing any outer
+  /// binding; rebinding within the same scope shadows too, matching the
+  /// old map-overwrite semantics for lookup). The default/empty Name
+  /// (ordinal 0) is a valid key: slots store ordinal+1, so it never
+  /// collides with the empty-slot sentinel.
+  void enter(Name N, Symbol *Sym) {
+    uint32_t Slot = findSlot(N.ordinal());
+    Bindings.push_back(
+        Binding{N.ordinal(), Depth, Slots[Slot].Top, Sym});
+    Slots[Slot].Top = static_cast<uint32_t>(Bindings.size() - 1);
+  }
+
+  /// Innermost visible binding of \p N, or null. Bindings below the
+  /// current barrier scope are invisible.
+  Symbol *lookup(Name N) const {
+    ++Probes;
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    uint32_t Key = N.ordinal() + 1;
+    for (size_t I = hashOrd(N.ordinal()) & Mask;; I = (I + 1) & Mask) {
+      const Slot &S = Slots[I];
+      if (S.OrdPlus1 == 0)
+        return nullptr;
+      if (S.OrdPlus1 == Key) {
+        if (S.Top == None)
+          return nullptr;
+        const Binding &B = Bindings[S.Top];
+        return B.Depth >= BarrierDepth ? B.Sym : nullptr;
+      }
+      ++Probes;
+    }
+  }
+
+  /// Total slot probes performed by enter/lookup (frontend.scopeProbes).
+  uint64_t probes() const { return Probes; }
+
+  bool empty() const { return Bindings.empty(); }
+
+private:
+  static constexpr uint32_t None = ~0u;
+
+  struct Slot {
+    uint32_t OrdPlus1 = 0; // key ordinal + 1; 0 = never used
+    uint32_t Top = None;   // index of the top binding, None when chain empty
+  };
+  struct Binding {
+    uint32_t Ord;
+    uint32_t Depth;
+    uint32_t Shadowed; // previous binding index for Ord, or None
+    Symbol *Sym;
+  };
+
+  static size_t hashOrd(uint32_t Ord) {
+    uint64_t H = Ord * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+
+  /// Probes for \p Ord, claiming a fresh slot (growing if needed) when
+  /// the name has never been bound.
+  uint32_t findSlot(uint32_t Ord) {
+    if (Slots.empty() || NumUsed * 4 >= Slots.size() * 3)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    uint32_t Key = Ord + 1;
+    for (size_t I = hashOrd(Ord) & Mask;; I = (I + 1) & Mask) {
+      ++Probes;
+      Slot &S = Slots[I];
+      if (S.OrdPlus1 == Key)
+        return static_cast<uint32_t>(I);
+      if (S.OrdPlus1 == 0) {
+        S.OrdPlus1 = Key;
+        ++NumUsed;
+        return static_cast<uint32_t>(I);
+      }
+    }
+  }
+
+  void popTo(uint32_t Mark) {
+    size_t Mask = Slots.size() - 1;
+    for (size_t I = Bindings.size(); I > Mark; --I) {
+      const Binding &B = Bindings[I - 1];
+      for (size_t J = hashOrd(B.Ord) & Mask;; J = (J + 1) & Mask) {
+        if (Slots[J].OrdPlus1 == B.Ord + 1) {
+          Slots[J].Top = B.Shadowed;
+          break;
+        }
+        assert(Slots[J].OrdPlus1 != 0 && "binding without a slot");
+      }
+    }
+    Bindings.resize(Mark);
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 64 : Old.size() * 2, Slot());
+    size_t Mask = Slots.size() - 1;
+    for (const Slot &S : Old) {
+      if (S.OrdPlus1 == 0)
+        continue;
+      for (size_t I = hashOrd(S.OrdPlus1 - 1) & Mask;; I = (I + 1) & Mask) {
+        if (Slots[I].OrdPlus1 == 0) {
+          Slots[I] = S;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> Slots;
+  std::vector<Binding> Bindings;
+  size_t NumUsed = 0;     // distinct ordinals in Slots
+  uint32_t Depth = 0;     // current scope nesting depth
+  uint32_t BarrierDepth = 0;
+  mutable uint64_t Probes = 0;
+};
+
+} // namespace mpc
+
+#endif // MPC_FRONTEND_SCOPESTACK_H

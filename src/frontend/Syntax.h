@@ -5,19 +5,51 @@
 /// always fully attributed (every node has a symbol/type), so the frontend
 /// keeps its own untyped AST; the Namer/Typer lowers SynNode -> Tree.
 ///
+/// All syntax nodes, syntactic types, and their child/argument lists live
+/// in one per-compilation-unit bump arena (SynArena): the parser performs
+/// no per-node heap allocation, nodes are trivially destructible, and the
+/// whole parse is released wholesale when the unit's arena dies. Child
+/// lists are immutable exact-size spans (SynList) copied into the arena
+/// once the parser has collected them in a scratch vector.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPC_FRONTEND_SYNTAX_H
 #define MPC_FRONTEND_SYNTAX_H
 
 #include "ast/Constant.h"
+#include "support/Arena.h"
 #include "support/Diagnostics.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
-#include <memory>
+#include <initializer_list>
+#include <type_traits>
 #include <vector>
 
 namespace mpc {
+
+/// An immutable exact-size span of trivially-copyable elements whose
+/// storage lives in the owning SynArena.
+template <typename T> class SynList {
+public:
+  SynList() = default;
+  SynList(T *Data, uint32_t Num) : Data(Data), Num(Num) {}
+
+  size_t size() const { return Num; }
+  bool empty() const { return Num == 0; }
+  T &operator[](size_t I) { return Data[I]; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  T *begin() { return Data; }
+  T *end() { return Data + Num; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Num; }
+  T &back() { return Data[Num - 1]; }
+  const T &back() const { return Data[Num - 1]; }
+
+private:
+  T *Data = nullptr;
+  uint32_t Num = 0;
+};
 
 /// Syntactic types ("Int", "Box[T]", "(Int) => Int", "=> T", "T*", "A | B").
 struct SynType {
@@ -25,7 +57,7 @@ struct SynType {
   Kind K = Named;
   SourceLoc Loc;
   Name N;                       // Named / Applied head
-  std::vector<SynType *> Args;  // Applied args / Func params / Union-Inter lr
+  SynList<SynType *> Args;      // Applied args / Func params / Union-Inter lr
   SynType *Res = nullptr;       // Func result / ByName / Repeated payload
 };
 
@@ -86,39 +118,59 @@ struct SynNode {
   Name N;
   Constant Lit;
   SynType *Ty = nullptr;
-  std::vector<SynNode *> Kids;
-  std::vector<uint32_t> ParamListSizes;  // DefDef
-  std::vector<SynType *> TyArgs;         // TypeApply
-  std::vector<Name> TypeParamNames;      // ClassDef / DefDef
-  std::vector<SynType *> Parents;        // ClassDef
-  uint32_t NumParams = 0;                // ClassDef constructor params
+  SynList<SynNode *> Kids;
+  SynList<uint32_t> ParamListSizes;  // DefDef
+  SynList<SynType *> TyArgs;         // TypeApply
+  SynList<Name> TypeParamNames;      // ClassDef / DefDef
+  SynList<SynType *> Parents;        // ClassDef
+  uint32_t NumParams = 0;            // ClassDef constructor params
   uint32_t Flags = 0;
 
   bool is(uint32_t F) const { return (Flags & F) != 0; }
 };
 
-/// Owns all syntax nodes/types of one parse.
+static_assert(std::is_trivially_destructible_v<SynNode>,
+              "syntax nodes must not need destructors — the arena drops "
+              "them wholesale");
+static_assert(std::is_trivially_destructible_v<SynType>,
+              "syntax types must not need destructors");
+
+/// Owns all syntax nodes/types of one parse (one bump arena per unit).
 class SynArena {
 public:
   SynNode *node(SynKind K, SourceLoc Loc) {
-    Nodes.push_back(std::make_unique<SynNode>());
-    SynNode *N = Nodes.back().get();
+    SynNode *N = Mem.make<SynNode>();
     N->K = K;
     N->Loc = Loc;
+    ++NumNodes;
     return N;
   }
   SynType *type(SynType::Kind K, SourceLoc Loc) {
-    Types.push_back(std::make_unique<SynType>());
-    SynType *T = Types.back().get();
+    SynType *T = Mem.make<SynType>();
     T->K = K;
     T->Loc = Loc;
+    ++NumTypes;
     return T;
   }
-  size_t nodeCount() const { return Nodes.size(); }
+
+  /// Copies a scratch vector into an arena-owned exact-size span.
+  template <typename T> SynList<T> list(const std::vector<T> &V) {
+    return SynList<T>(Mem.copyArray(V.data(), V.size()),
+                      static_cast<uint32_t>(V.size()));
+  }
+  template <typename T> SynList<T> list(std::initializer_list<T> V) {
+    return SynList<T>(Mem.copyArray(V.begin(), V.size()),
+                      static_cast<uint32_t>(V.size()));
+  }
+
+  size_t nodeCount() const { return NumNodes; }
+  size_t typeCount() const { return NumTypes; }
+  uint64_t bytesUsed() const { return Mem.bytesUsed(); }
 
 private:
-  std::vector<std::unique_ptr<SynNode>> Nodes;
-  std::vector<std::unique_ptr<SynType>> Types;
+  Arena Mem;
+  size_t NumNodes = 0;
+  size_t NumTypes = 0;
 };
 
 /// Result of parsing one source file.

@@ -9,7 +9,7 @@
 #define MPC_FRONTEND_TOKEN_H
 
 #include "support/Diagnostics.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <cstdint>
 

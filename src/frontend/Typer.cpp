@@ -9,36 +9,22 @@ using namespace mpc;
 //===----------------------------------------------------------------------===//
 // Scopes
 //===----------------------------------------------------------------------===//
+//
+// All lexical scoping lives on the Typer's single flat ScopeStack (see
+// ScopeStack.h): functions open RAII frames instead of allocating chained
+// per-scope maps, and the innermost scope is always the stack's top.
 
-class Typer::Scope {
-public:
-  explicit Scope(Scope *Parent = nullptr) : Parent(Parent) {}
-
-  void enter(Symbol *S) { Entries[S->name().ordinal()] = S; }
-  void enterName(Name N, Symbol *S) { Entries[N.ordinal()] = S; }
-
-  Symbol *lookup(Name N) const {
-    for (const Scope *S = this; S; S = S->Parent) {
-      auto It = S->Entries.find(N.ordinal());
-      if (It != S->Entries.end())
-        return It->second;
-    }
-    return nullptr;
-  }
-
-  Scope *parent() const { return Parent; }
-
-private:
-  Scope *Parent;
-  std::unordered_map<uint32_t, Symbol *> Entries;
-};
-
-/// Context while typing a method/field body.
+/// Context while typing a method/field body. The innermost value/type
+/// scope is implicit: it is the top frame of the typer's ScopeStack.
 struct Typer::BodyCtx {
   ClassSymbol *Cls = nullptr; // innermost enclosing class
   Symbol *Method = nullptr;   // innermost enclosing method (or <init>)
-  Scope *S = nullptr;         // innermost value/type scope
 };
+
+/// Shorthand: bind a symbol under its own name.
+static void enterSym(ScopeStack &Scopes, Symbol *S) {
+  Scopes.enter(S->name(), S);
+}
 
 //===----------------------------------------------------------------------===//
 // Small helpers
@@ -160,7 +146,7 @@ void Typer::declareClass(SynNode *ClsSyn, Symbol *Owner) {
 // Type resolution
 //===----------------------------------------------------------------------===//
 
-const Type *Typer::resolveNamedType(SynType *T, Scope &S) {
+const Type *Typer::resolveNamedType(SynType *T) {
   TypeContext &Types = Comp.types();
   std::string_view Text = T->N.text();
   if (Text == "Int")
@@ -185,7 +171,7 @@ const Type *Typer::resolveNamedType(SynType *T, Scope &S) {
     return Comp.syms().throwableType();
 
   // Scope entries: type params and (nested) classes.
-  if (Symbol *Sym = S.lookup(T->N)) {
+  if (Symbol *Sym = Scopes.lookup(T->N)) {
     if (Sym->is(SymFlag::TypeParam))
       return Types.typeParamRef(Sym);
     if (auto *Cls = dyn_cast<ClassSymbol>(Sym))
@@ -201,22 +187,22 @@ const Type *Typer::resolveNamedType(SynType *T, Scope &S) {
   return Types.anyType();
 }
 
-const Type *Typer::resolveType(SynType *T, Scope &S) {
+const Type *Typer::resolveType(SynType *T) {
   TypeContext &Types = Comp.types();
   switch (T->K) {
   case SynType::Named:
-    return resolveNamedType(T, S);
+    return resolveNamedType(T);
   case SynType::Applied: {
     if (T->N.text() == "Array") {
       if (T->Args.size() != 1) {
         error(T->Loc, "Array takes exactly one type argument");
         return Types.anyType();
       }
-      return Types.arrayType(resolveType(T->Args[0], S));
+      return Types.arrayType(resolveType(T->Args[0]));
     }
     // Head must be a generic class.
     ClassSymbol *Cls = nullptr;
-    if (Symbol *Sym = S.lookup(T->N))
+    if (Symbol *Sym = Scopes.lookup(T->N))
       Cls = dyn_cast<ClassSymbol>(Sym);
     if (!Cls) {
       auto It = Globals.find(T->N.ordinal());
@@ -233,25 +219,25 @@ const Type *Typer::resolveType(SynType *T, Scope &S) {
     }
     std::vector<const Type *> Args;
     for (SynType *A : T->Args)
-      Args.push_back(resolveType(A, S));
+      Args.push_back(resolveType(A));
     return Types.classType(Cls, std::move(Args));
   }
   case SynType::Func: {
     std::vector<const Type *> Params;
     for (SynType *P : T->Args)
-      Params.push_back(resolveType(P, S));
-    return Types.functionType(std::move(Params), resolveType(T->Res, S));
+      Params.push_back(resolveType(P));
+    return Types.functionType(std::move(Params), resolveType(T->Res));
   }
   case SynType::ByName:
-    return Types.exprType(resolveType(T->Res, S));
+    return Types.exprType(resolveType(T->Res));
   case SynType::Repeated:
-    return Types.repeatedType(resolveType(T->Res, S));
+    return Types.repeatedType(resolveType(T->Res));
   case SynType::Union:
-    return Types.unionType(resolveType(T->Args[0], S),
-                           resolveType(T->Args[1], S));
+    return Types.unionType(resolveType(T->Args[0]),
+                           resolveType(T->Args[1]));
   case SynType::Inter:
-    return Types.intersectionType(resolveType(T->Args[0], S),
-                                  resolveType(T->Args[1], S));
+    return Types.intersectionType(resolveType(T->Args[0]),
+                                  resolveType(T->Args[1]));
   }
   return Types.anyType();
 }
@@ -264,13 +250,15 @@ void Typer::completeClass(SynNode *ClsSyn) {
   ClassSymbol *Cls = ClassSyms.at(ClsSyn);
   TypeContext &Types = Comp.types();
 
-  Scope ClsScope;
+  // Fresh root scope: a class body sees nothing of its lexical
+  // surroundings except via Globals.
+  ScopeStack::Frame ClsScope(Scopes, /*Barrier=*/true);
   // Type parameters.
   std::vector<Symbol *> TypeParams;
   for (Name TPName : ClsSyn->TypeParamNames) {
     Symbol *TP = Comp.syms().makeTerm(TPName, Cls, SymFlag::TypeParam);
     TypeParams.push_back(TP);
-    ClsScope.enter(TP);
+    enterSym(Scopes, TP);
   }
   Cls->setTypeParams(TypeParams);
 
@@ -279,16 +267,16 @@ void Typer::completeClass(SynNode *ClsSyn) {
     SynNode *M = ClsSyn->Kids[I];
     if (M && M->K == SynKind::ClassDef) {
       if (M->is(SynFlag::Object))
-        ClsScope.enterName(M->N, MemberSyms.at(M));
+        Scopes.enter(M->N, MemberSyms.at(M));
       else
-        ClsScope.enterName(M->N, ClassSyms.at(M));
+        Scopes.enter(M->N, ClassSyms.at(M));
     }
   }
 
   // Parents: ensure a proper superclass at the front.
   std::vector<const Type *> Parents;
   for (SynType *P : ClsSyn->Parents) {
-    const Type *PT = resolveType(P, ClsScope);
+    const Type *PT = resolveType(P);
     if (!isa<ClassType>(PT)) {
       error(P->Loc, "parent must be a class type");
       continue;
@@ -307,7 +295,7 @@ void Typer::completeClass(SynNode *ClsSyn) {
   std::vector<Symbol *> CaseFields;
   for (uint32_t I = 0; I < ClsSyn->NumParams; ++I) {
     SynNode *P = ClsSyn->Kids[I];
-    const Type *PTy = resolveType(P->Ty, ClsScope);
+    const Type *PTy = resolveType(P->Ty);
     CtorParams.push_back(PTy);
     uint64_t FieldFlags = SymFlag::Field | SymFlag::Local;
     if (P->is(SynFlag::Var))
@@ -338,11 +326,11 @@ void Typer::completeClass(SynNode *ClsSyn) {
       continue;
     if (M->N.text() == "<superargs>")
       continue;
-    completeMember(M, Cls, ClsScope);
+    completeMember(M, Cls);
   }
 }
 
-void Typer::completeMember(SynNode *M, ClassSymbol *Cls, Scope &ClsScope) {
+void Typer::completeMember(SynNode *M, ClassSymbol *Cls) {
   TypeContext &Types = Comp.types();
   uint64_t Flags = 0;
   if (M->is(SynFlag::Private))
@@ -359,7 +347,7 @@ void Typer::completeMember(SynNode *M, ClassSymbol *Cls, Scope &ClsScope) {
       Flags |= SymFlag::Lazy;
     const Type *Ty = nullptr;
     if (M->Ty) {
-      Ty = resolveType(M->Ty, ClsScope);
+      Ty = resolveType(M->Ty);
     } else if (SynNode *Rhs = M->Kids[0]; Rhs && Rhs->K == SynKind::Lit) {
       // Cheap inference for literal-initialized members.
       switch (Rhs->Lit.kind()) {
@@ -399,12 +387,12 @@ void Typer::completeMember(SynNode *M, ClassSymbol *Cls, Scope &ClsScope) {
   Symbol *Sym = Comp.syms().makeTerm(M->N, Cls, Flags);
   Sym->setLoc(M->Loc);
 
-  Scope SigScope(&ClsScope);
+  ScopeStack::Frame SigScope(Scopes);
   std::vector<Symbol *> TypeParams;
   for (Name TPName : M->TypeParamNames) {
     Symbol *TP = Comp.syms().makeTerm(TPName, Sym, SymFlag::TypeParam);
     TypeParams.push_back(TP);
-    SigScope.enter(TP);
+    enterSym(Scopes, TP);
   }
 
   // Parameter types per list.
@@ -414,14 +402,14 @@ void Typer::completeMember(SynNode *M, ClassSymbol *Cls, Scope &ClsScope) {
     std::vector<const Type *> ListTypes;
     for (uint32_t I = 0; I < Count; ++I) {
       SynNode *P = M->Kids[ParamIdx++];
-      ListTypes.push_back(resolveType(P->Ty, SigScope));
+      ListTypes.push_back(resolveType(P->Ty));
     }
     Lists.push_back(std::move(ListTypes));
   }
 
   const Type *Result = nullptr;
   if (M->Ty) {
-    Result = resolveType(M->Ty, SigScope);
+    Result = resolveType(M->Ty);
   } else if (SynNode *Rhs = M->Kids.back(); Rhs && Rhs->K == SynKind::Lit) {
     switch (Rhs->Lit.kind()) {
     case Constant::Int:
@@ -489,6 +477,7 @@ std::vector<CompilationUnit> Typer::run(std::vector<ParsedUnit> &Parsed) {
         SourceLoc{PU.FileId, 1, 1}, PU.Unit.PackageName, std::move(TopStats));
     Units.push_back(std::move(Unit));
   }
+  Comp.stats().add("frontend.scopeProbes", Scopes.probes());
   return Units;
 }
 
@@ -497,16 +486,16 @@ TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
   TreeContext &Trees = Comp.trees();
   TypeContext &Types = Comp.types();
 
-  Scope ClsScope;
+  ScopeStack::Frame ClsScope(Scopes, /*Barrier=*/true);
   for (Symbol *TP : Cls->typeParams())
-    ClsScope.enter(TP);
+    enterSym(Scopes, TP);
   for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
     SynNode *M = ClsSyn->Kids[I];
     if (M && M->K == SynKind::ClassDef) {
       if (M->is(SynFlag::Object))
-        ClsScope.enterName(M->N, MemberSyms.at(M));
+        Scopes.enter(M->N, MemberSyms.at(M));
       else
-        ClsScope.enterName(M->N, ClassSyms.at(M));
+        Scopes.enter(M->N, ClassSyms.at(M));
     }
   }
 
@@ -515,7 +504,7 @@ TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
 
   // Primary constructor (classes only; traits have no <init>).
   if (InitSym) {
-    Scope CtorScope(&ClsScope);
+    ScopeStack::Frame CtorScope(Scopes);
     TreeList ParamDefs;
     std::vector<Symbol *> ParamSyms;
     const auto *InitMT = cast<MethodType>(InitSym->info());
@@ -526,12 +515,12 @@ TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
           InitMT->params()[I]);
       ParamSym->setLoc(P->Loc);
       ParamSyms.push_back(ParamSym);
-      CtorScope.enter(ParamSym);
+      enterSym(Scopes, ParamSym);
       ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
     }
 
     // Super-constructor call.
-    BodyCtx CtorCtx{Cls, InitSym, &CtorScope};
+    BodyCtx CtorCtx{Cls, InitSym};
     TreeList CtorStats;
     ClassSymbol *SuperCls = Cls->superClass();
     if (SuperCls) {
@@ -578,7 +567,7 @@ TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
   }
 
   // Members.
-  BodyCtx ClsCtx{Cls, InitSym, &ClsScope};
+  BodyCtx ClsCtx{Cls, InitSym};
   for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
     SynNode *M = ClsSyn->Kids[I];
     if (!M || (M->K == SynKind::Apply && M->N.text() == "<superargs>"))
@@ -611,17 +600,18 @@ TreePtr Typer::typeMemberDef(SynNode *M, ClassSymbol *Cls, BodyCtx &Ctx) {
   }
 
   assert(M->K == SynKind::DefDef);
-  Scope MethodScope(Ctx.S);
+  ScopeStack::Frame MethodScope(Scopes);
   const Type *Info = Sym->info();
   if (const auto *PT = dyn_cast<PolyType>(Info)) {
     for (Symbol *TP : PT->typeParams())
-      MethodScope.enter(TP);
+      enterSym(Scopes, TP);
     Info = PT->underlying();
   }
 
   // Create parameter symbols and ValDefs per list.
   TreeList ParamDefs;
-  std::vector<uint32_t> ListSizes = M->ParamListSizes;
+  std::vector<uint32_t> ListSizes(M->ParamListSizes.begin(),
+                                  M->ParamListSizes.end());
   size_t ParamIdx = 0;
   const Type *Walk = Info;
   for (uint32_t Count : ListSizes) {
@@ -631,7 +621,7 @@ TreePtr Typer::typeMemberDef(SynNode *M, ClassSymbol *Cls, BodyCtx &Ctx) {
       Symbol *ParamSym = Comp.syms().makeTerm(
           P->N, Sym, SymFlag::Param | SymFlag::Local, MT->params()[I]);
       ParamSym->setLoc(P->Loc);
-      MethodScope.enter(ParamSym);
+      enterSym(Scopes, ParamSym);
       ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
     }
     Walk = MT->result();
@@ -640,7 +630,7 @@ TreePtr Typer::typeMemberDef(SynNode *M, ClassSymbol *Cls, BodyCtx &Ctx) {
   TreePtr Rhs;
   SynNode *RhsSyn = M->Kids.back();
   if (RhsSyn) {
-    BodyCtx MethodCtx{Cls, Sym, &MethodScope};
+    BodyCtx MethodCtx{Cls, Sym};
     Rhs = adapt(typedExpr(RhsSyn, MethodCtx));
     const Type *Expected = finalResultType(Sym->info());
     if (!Types.isSubtype(Rhs->type(), Expected))
@@ -680,7 +670,7 @@ TreePtr Typer::adapt(TreePtr T) {
 
 Symbol *Typer::lookupUnqualified(Name N, BodyCtx &Ctx, ClassSymbol **FoundIn) {
   *FoundIn = nullptr;
-  if (Symbol *S = Ctx.S->lookup(N))
+  if (Symbol *S = Scopes.lookup(N))
     return S;
   // Members of the enclosing classes, innermost first.
   for (Symbol *Walk = Ctx.Cls; Walk; Walk = Walk->owner()) {
@@ -1066,9 +1056,8 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
   SynNode *Head = FunSyn;
   if (FunSyn->K == SynKind::TypeApply) {
     Head = FunSyn->Kids[0];
-    Scope Empty(Ctx.S);
     for (SynType *TA : FunSyn->TyArgs)
-      ExplicitTargs.push_back(resolveType(TA, Empty));
+      ExplicitTargs.push_back(resolveType(TA));
   }
 
   // Array literal: Array(e1, ..., en).
@@ -1166,8 +1155,7 @@ TreePtr Typer::typeLocalDef(SynNode *Stat, BodyCtx &Ctx) {
         Stat->Kids[0] ? adapt(typedExpr(Stat->Kids[0], Ctx)) : nullptr;
     const Type *Ty = nullptr;
     if (Stat->Ty) {
-      Scope TScope(Ctx.S);
-      Ty = resolveType(Stat->Ty, *Ctx.S);
+      Ty = resolveType(Stat->Ty);
       if (Rhs && !Types.isSubtype(Rhs->type(), Ty))
         error(Stat->Loc, "initializer has type " + Rhs->type()->show() +
                              ", expected " + Ty->show());
@@ -1184,22 +1172,23 @@ TreePtr Typer::typeLocalDef(SynNode *Stat, BodyCtx &Ctx) {
       Flags |= SymFlag::Lazy;
     Symbol *Sym = Comp.syms().makeTerm(Stat->N, Ctx.Method, Flags, Ty);
     Sym->setLoc(Stat->Loc);
-    Ctx.S->enter(Sym);
+    enterSym(Scopes, Sym);
     return Trees.makeValDef(Stat->Loc, Sym, std::move(Rhs));
   }
 
   assert(Stat->K == SynKind::DefDef && "unexpected local definition");
   // Local method: the symbol was entered by the block pre-scan.
   Symbol *Sym = MemberSyms.at(Stat);
-  Scope MethodScope(Ctx.S);
+  ScopeStack::Frame MethodScope(Scopes);
   const Type *Info = Sym->info();
   if (const auto *PT = dyn_cast<PolyType>(Info)) {
     for (Symbol *TP : PT->typeParams())
-      MethodScope.enter(TP);
+      enterSym(Scopes, TP);
     Info = PT->underlying();
   }
   TreeList ParamDefs;
-  std::vector<uint32_t> ListSizes = Stat->ParamListSizes;
+  std::vector<uint32_t> ListSizes(Stat->ParamListSizes.begin(),
+                                  Stat->ParamListSizes.end());
   size_t ParamIdx = 0;
   const Type *Walk = Info;
   for (uint32_t Count : ListSizes) {
@@ -1208,14 +1197,14 @@ TreePtr Typer::typeLocalDef(SynNode *Stat, BodyCtx &Ctx) {
       SynNode *P = Stat->Kids[ParamIdx++];
       Symbol *ParamSym = Comp.syms().makeTerm(
           P->N, Sym, SymFlag::Param | SymFlag::Local, MT->params()[I]);
-      MethodScope.enter(ParamSym);
+      enterSym(Scopes, ParamSym);
       ParamDefs.push_back(Trees.makeValDef(P->Loc, ParamSym, nullptr));
     }
     Walk = MT->result();
   }
   TreePtr Rhs;
   if (SynNode *RhsSyn = Stat->Kids.back()) {
-    BodyCtx LocalCtx{Ctx.Cls, Sym, &MethodScope};
+    BodyCtx LocalCtx{Ctx.Cls, Sym};
     Rhs = adapt(typedExpr(RhsSyn, LocalCtx));
     const Type *Expected = finalResultType(Sym->info());
     if (!Types.isSubtype(Rhs->type(), Expected))
@@ -1231,8 +1220,8 @@ TreePtr Typer::typeLocalDef(SynNode *Stat, BodyCtx &Ctx) {
 TreePtr Typer::typedBlock(SynNode *B, BodyCtx &Ctx) {
   TreeContext &Trees = Comp.trees();
   TypeContext &Types = Comp.types();
-  Scope BlockScope(Ctx.S);
-  BodyCtx BlockCtx{Ctx.Cls, Ctx.Method, &BlockScope};
+  ScopeStack::Frame BlockScope(Scopes);
+  BodyCtx BlockCtx{Ctx.Cls, Ctx.Method};
 
   // Pre-scan: local methods are mutually visible.
   for (SynNode *Stat : B->Kids) {
@@ -1241,60 +1230,64 @@ TreePtr Typer::typedBlock(SynNode *B, BodyCtx &Ctx) {
     Symbol *Sym = Comp.syms().makeTerm(
         Stat->N, Ctx.Method, SymFlag::Method | SymFlag::Local);
     Sym->setLoc(Stat->Loc);
-    // Signature (reuses the member-completion logic inline).
-    Scope SigScope(&BlockScope);
-    std::vector<Symbol *> TypeParams;
-    for (Name TPName : Stat->TypeParamNames) {
-      Symbol *TP = Comp.syms().makeTerm(TPName, Sym, SymFlag::TypeParam);
-      TypeParams.push_back(TP);
-      SigScope.enter(TP);
-    }
-    std::vector<std::vector<const Type *>> Lists;
-    size_t ParamIdx = 0;
-    for (uint32_t Count : Stat->ParamListSizes) {
-      std::vector<const Type *> ListTypes;
-      for (uint32_t I = 0; I < Count; ++I)
-        ListTypes.push_back(resolveType(Stat->Kids[ParamIdx++]->Ty,
-                                        SigScope));
-      Lists.push_back(std::move(ListTypes));
-    }
-    const Type *Result = nullptr;
-    if (Stat->Ty)
-      Result = resolveType(Stat->Ty, SigScope);
-    else if (SynNode *Rhs = Stat->Kids.back();
-             Rhs && Rhs->K == SynKind::Lit) {
-      switch (Rhs->Lit.kind()) {
-      case Constant::Int:
-        Result = Types.intType();
-        break;
-      case Constant::Bool:
-        Result = Types.booleanType();
-        break;
-      case Constant::Double:
-        Result = Types.doubleType();
-        break;
-      case Constant::Str:
-        Result = Comp.syms().stringType();
-        break;
-      default:
-        break;
+    // Signature (reuses the member-completion logic inline). The
+    // signature frame closes before the method is bound into the block
+    // scope so its type parameters don't leak.
+    const Type *Info = nullptr;
+    {
+      ScopeStack::Frame SigScope(Scopes);
+      std::vector<Symbol *> TypeParams;
+      for (Name TPName : Stat->TypeParamNames) {
+        Symbol *TP = Comp.syms().makeTerm(TPName, Sym, SymFlag::TypeParam);
+        TypeParams.push_back(TP);
+        enterSym(Scopes, TP);
       }
+      std::vector<std::vector<const Type *>> Lists;
+      size_t ParamIdx = 0;
+      for (uint32_t Count : Stat->ParamListSizes) {
+        std::vector<const Type *> ListTypes;
+        for (uint32_t I = 0; I < Count; ++I)
+          ListTypes.push_back(resolveType(Stat->Kids[ParamIdx++]->Ty));
+        Lists.push_back(std::move(ListTypes));
+      }
+      const Type *Result = nullptr;
+      if (Stat->Ty)
+        Result = resolveType(Stat->Ty);
+      else if (SynNode *Rhs = Stat->Kids.back();
+               Rhs && Rhs->K == SynKind::Lit) {
+        switch (Rhs->Lit.kind()) {
+        case Constant::Int:
+          Result = Types.intType();
+          break;
+        case Constant::Bool:
+          Result = Types.booleanType();
+          break;
+        case Constant::Double:
+          Result = Types.doubleType();
+          break;
+        case Constant::Str:
+          Result = Comp.syms().stringType();
+          break;
+        default:
+          break;
+        }
+      }
+      if (!Result) {
+        error(Stat->Loc, "local method " + Stat->N.str() +
+                             " needs an explicit result type");
+        Result = Types.anyType();
+      }
+      Info = Result;
+      for (auto It = Lists.rbegin(); It != Lists.rend(); ++It)
+        Info = Types.methodType(*It, Info);
+      if (Lists.empty())
+        Info = Types.methodType({}, Info);
+      if (!TypeParams.empty())
+        Info = Types.polyType(TypeParams, Info);
     }
-    if (!Result) {
-      error(Stat->Loc, "local method " + Stat->N.str() +
-                           " needs an explicit result type");
-      Result = Types.anyType();
-    }
-    const Type *Info = Result;
-    for (auto It = Lists.rbegin(); It != Lists.rend(); ++It)
-      Info = Types.methodType(*It, Info);
-    if (Lists.empty())
-      Info = Types.methodType({}, Info);
-    if (!TypeParams.empty())
-      Info = Types.polyType(TypeParams, Info);
     Sym->setInfo(Info);
     MemberSyms[Stat] = Sym;
-    BlockScope.enter(Sym);
+    enterSym(Scopes, Sym);
   }
 
   TreeList Stats;
@@ -1356,7 +1349,7 @@ TreePtr Typer::typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx) {
     return Trees.makeIdent(P->Loc, Wild, Expected);
   }
   case SynKind::PatTyped: {
-    const Type *TestTy = resolveType(P->Ty, *Ctx.S);
+    const Type *TestTy = resolveType(P->Ty);
     Symbol *Wild = Comp.syms().makeTerm(Comp.syms().std().Wildcard,
                                         Ctx.Method,
                                         SymFlag::Synthetic | SymFlag::Local,
@@ -1379,12 +1372,12 @@ TreePtr Typer::typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx) {
     Symbol *Sym = Comp.syms().makeTerm(P->N, Ctx.Method, SymFlag::Local,
                                        BindTy);
     Sym->setLoc(P->Loc);
-    Ctx.S->enter(Sym);
+    enterSym(Scopes, Sym);
     return Trees.makeBind(P->Loc, Sym, std::move(Inner));
   }
   case SynKind::PatCtor: {
     ClassSymbol *Cls = nullptr;
-    if (Symbol *S = Ctx.S->lookup(P->N))
+    if (Symbol *S = Scopes.lookup(P->N))
       Cls = dyn_cast<ClassSymbol>(S);
     if (!Cls) {
       auto It = Globals.find(P->N.ordinal());
@@ -1491,7 +1484,7 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
     // classOf[T].
     std::vector<const Type *> Targs;
     for (SynType *TA : E->TyArgs)
-      Targs.push_back(resolveType(TA, *Ctx.S));
+      Targs.push_back(resolveType(TA));
     SynNode *FunSyn = E->Kids[0];
     TreePtr Fun;
     if (FunSyn->K == SynKind::Ref || FunSyn->K == SynKind::Select)
@@ -1514,7 +1507,7 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
   case SynKind::New: {
     // `new Array[T](n)` is the array-allocation intrinsic.
     if (E->Ty->K == SynType::Applied && E->Ty->N.text() == "Array") {
-      const Type *Elem = resolveType(E->Ty->Args[0], *Ctx.S);
+      const Type *Elem = resolveType(E->Ty->Args[0]);
       if (E->Kids.size() != 1) {
         error(E->Loc, "new Array[T] expects one length argument");
         return errorTree(E->Loc);
@@ -1537,7 +1530,7 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
       return Trees.makeApply(E->Loc, std::move(TApp), std::move(CallArgs),
                              Types.arrayType(Elem));
     }
-    const Type *ClsTy = resolveType(E->Ty, *Ctx.S);
+    const Type *ClsTy = resolveType(E->Ty);
     const auto *CT = dyn_cast<ClassType>(ClsTy);
     if (!CT) {
       error(E->Loc, "cannot instantiate " + ClsTy->show());
@@ -1605,8 +1598,8 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
     TreeList Catches;
     for (size_t I = 2; I < E->Kids.size(); ++I) {
       SynNode *C = E->Kids[I];
-      Scope CaseScope(Ctx.S);
-      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method, &CaseScope};
+      ScopeStack::Frame CaseScope(Scopes);
+      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method};
       TreePtr Pat =
           typedPattern(C->Kids[0], Comp.syms().throwableType(), CaseCtx);
       TreePtr Guard;
@@ -1653,8 +1646,8 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
     TreeList Cases;
     for (size_t I = 1; I < E->Kids.size(); ++I) {
       SynNode *C = E->Kids[I];
-      Scope CaseScope(Ctx.S);
-      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method, &CaseScope};
+      ScopeStack::Frame CaseScope(Scopes);
+      BodyCtx CaseCtx{Ctx.Cls, Ctx.Method};
       TreePtr Pat = typedPattern(C->Kids[0], SelTy, CaseCtx);
       TreePtr Guard;
       if (C->Kids[1]) {
@@ -1672,18 +1665,21 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
     return Trees.makeMatch(E->Loc, std::move(Sel), std::move(Cases), Ty);
   }
   case SynKind::Lambda: {
-    Scope LambdaScope(Ctx.S);
-    BodyCtx LambdaCtx{Ctx.Cls, Ctx.Method, &LambdaScope};
-    TreeList Params;
+    // Param types resolve in the enclosing scope (a lambda's own params
+    // never shadow names in their annotations), so resolve them all
+    // before the lambda frame opens.
     std::vector<const Type *> ParamTys;
+    for (size_t I = 0; I + 1 < E->Kids.size(); ++I)
+      ParamTys.push_back(resolveType(E->Kids[I]->Ty));
+    ScopeStack::Frame LambdaScope(Scopes);
+    BodyCtx LambdaCtx{Ctx.Cls, Ctx.Method};
+    TreeList Params;
     for (size_t I = 0; I + 1 < E->Kids.size(); ++I) {
       SynNode *P = E->Kids[I];
-      const Type *PTy = resolveType(P->Ty, *Ctx.S);
       Symbol *Sym = Comp.syms().makeTerm(
-          P->N, Ctx.Method, SymFlag::Param | SymFlag::Local, PTy);
+          P->N, Ctx.Method, SymFlag::Param | SymFlag::Local, ParamTys[I]);
       Sym->setLoc(P->Loc);
-      LambdaScope.enter(Sym);
-      ParamTys.push_back(PTy);
+      enterSym(Scopes, Sym);
       Params.push_back(Trees.makeValDef(P->Loc, Sym, nullptr));
     }
     TreePtr Body = adapt(typedExpr(E->Kids.back(), LambdaCtx));

@@ -13,12 +13,18 @@
 /// the paper's "front-end parses and type-checks source code, and
 /// generates trees annotated with type information".
 ///
+/// Name resolution runs on a single flat ScopeStack (open-addressed,
+/// keyed by name ordinal) instead of a chain of per-scope hash maps; see
+/// ScopeStack.h. Lexical scopes are strict LIFO frames on that stack, and
+/// class bodies open *barrier* frames (the old parentless root scopes).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPC_FRONTEND_TYPER_H
 #define MPC_FRONTEND_TYPER_H
 
 #include "core/CompilerContext.h"
+#include "frontend/ScopeStack.h"
 #include "frontend/Syntax.h"
 
 #include <memory>
@@ -45,16 +51,18 @@ public:
   /// the context's engine; on errors the returned units may be partial.
   std::vector<CompilationUnit> run(std::vector<ParsedUnit> &Parsed);
 
+  /// Scope-table probe count so far (surfaced as frontend.scopeProbes).
+  uint64_t scopeProbes() const { return Scopes.probes(); }
+
 private:
-  class Scope;
   struct BodyCtx;
 
   // Pass A/B.
   void declareClass(SynNode *Cls, Symbol *Owner);
   void completeClass(SynNode *Cls);
-  void completeMember(SynNode *Member, ClassSymbol *Cls, Scope &ClsScope);
-  const Type *resolveType(SynType *T, Scope &S);
-  const Type *resolveNamedType(SynType *T, Scope &S);
+  void completeMember(SynNode *Member, ClassSymbol *Cls);
+  const Type *resolveType(SynType *T);
+  const Type *resolveNamedType(SynType *T);
 
   // Pass C.
   TreePtr typeClassBody(SynNode *Cls);
@@ -90,6 +98,7 @@ private:
   TreePtr errorTree(SourceLoc Loc);
 
   CompilerContext &Comp;
+  ScopeStack Scopes; // the one flat scope table for all passes
   std::unordered_map<uint32_t, Symbol *> Globals; // name ordinal -> symbol
   std::unordered_map<const SynNode *, ClassSymbol *> ClassSyms;
   std::unordered_map<const SynNode *, Symbol *> MemberSyms;

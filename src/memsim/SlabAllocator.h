@@ -10,21 +10,33 @@
 /// previously cost one std::malloc each. The slab batches them:
 ///
 ///   - sizes up to MaxSmallBytes round up to a 16-byte size class;
-///   - classes are served from per-class singly-linked free lists,
-///     refilled by carving a shared 64 KiB bump page;
+///   - each 64 KiB page is dedicated to one class and carries a small
+///     header (free list, live count, carve cursor), so a block's page is
+///     recovered by masking its address (pages are page-aligned);
+///   - each class keeps a list of *available* pages (free blocks or carve
+///     room); full pages drop off the list and rejoin it on the first
+///     free back into them;
+///   - when every block of a page has been freed, the page *retires*: it
+///     leaves its class and enters a recycle pool any class may reuse, so
+///     a phase churning one size class hands its pages to the next phase
+///     instead of growing the footprint (heap.pagesRetired/pagesRecycled).
+///     The page currently heading a class's available list is exempt —
+///     that hysteresis keeps a free/alloc ping-pong on one block from
+///     retiring and re-priming a page per cycle;
 ///   - oversize requests fall back to the system allocator.
 ///
-/// Freed blocks return to their class's free list (pages are only released
-/// wholesale at destruction), so steady-state compilation touches the
-/// system allocator once per 64 KiB instead of once per node. The backend
+/// Steady-state compilation touches the system allocator once per 64 KiB,
+/// and an idle class's emptied pages are reusable everywhere. The backend
 /// is deliberately invisible to the simulated figures: switching it off
-/// (CompilerOptions::SlabHeap = false) changes only where bytes live, never
-/// what the ManagedHeap accounts — a property the slab-invariance test
-/// pins byte-for-byte.
+/// (CompilerOptions::SlabHeap = false) changes only where bytes live,
+/// never what the ManagedHeap accounts — a property the slab-invariance
+/// test pins byte-for-byte.
 ///
 /// Stats reported (surfaced as "heap.*" through the StatsRegistry):
 ///   SlabAllocs     allocations served from slab storage ("slab hits")
 ///   PagesMapped    64 KiB pages requested from the system allocator
+///   PagesRetired   pages that went fully free and left their class
+///   PagesRecycled  retired pages put back into service
 ///   FallbackAllocs oversize allocations passed to the system allocator
 ///   SystemCalls    total system-allocator calls ("real" allocations)
 ///
@@ -37,18 +49,21 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <new>
 #include <vector>
 
 namespace mpc {
 
-/// Pooled small-object allocator with per-size-class free lists.
+/// Pooled small-object allocator with per-size-class page lists and
+/// whole-page retirement.
 class SlabAllocator {
 public:
   /// Size-class granularity; every small allocation rounds up to this.
   static constexpr size_t GranuleBytes = 16;
   /// Largest slab-served request; bigger ones use the system allocator.
   static constexpr size_t MaxSmallBytes = 512;
-  /// Bytes requested from the system per slab page.
+  /// Bytes requested from the system per slab page (page-aligned, so a
+  /// block's page header is found by masking the block address).
   static constexpr size_t PageBytes = 64 * 1024;
 
   /// Backend counters (real storage only — never the simulated clock).
@@ -56,6 +71,8 @@ public:
     uint64_t SlabAllocs = 0;
     uint64_t SlabFrees = 0;
     uint64_t PagesMapped = 0;
+    uint64_t PagesRetired = 0;
+    uint64_t PagesRecycled = 0;
     uint64_t FallbackAllocs = 0;
     uint64_t SystemCalls = 0;
   };
@@ -64,7 +81,7 @@ public:
   SlabAllocator(const SlabAllocator &) = delete;
   SlabAllocator &operator=(const SlabAllocator &) = delete;
   ~SlabAllocator() {
-    for (void *Page : Pages)
+    for (void *Page : AllPages)
       std::free(Page);
   }
 
@@ -86,23 +103,20 @@ public:
     }
     unsigned C = classOf(Size);
     ++S.SlabAllocs;
-    if (FreeNode *N = Free[C]) {
-      Free[C] = N->Next;
-      return N;
+    PageHeader *P = Avail[C];
+    if (!P)
+      P = takePage(C);
+    void *Block;
+    if (P->Free) {
+      Block = P->Free;
+      P->Free = P->Free->Next;
+    } else {
+      Block = blockAt(P, P->Carved++);
     }
-    size_t ClassBytes = (C + 1) * GranuleBytes;
-    if (static_cast<size_t>(BumpEnd - Bump) < ClassBytes) {
-      // The sub-class remainder of the old page (< one class size) is
-      // abandoned — bounded waste per page, and only on class changes.
-      Bump = static_cast<char *>(std::malloc(PageBytes));
-      BumpEnd = Bump + PageBytes;
-      Pages.push_back(Bump);
-      ++S.PagesMapped;
-      ++S.SystemCalls;
-    }
-    void *P = Bump;
-    Bump += ClassBytes;
-    return P;
+    ++P->Live;
+    if (!P->Free && P->Carved == capacityOf(C))
+      unlinkAvail(P); // page full: out of the allocation path
+    return Block;
   }
 
   void deallocate(void *Ptr, size_t Size) {
@@ -112,11 +126,21 @@ public:
       std::free(Ptr);
       return;
     }
-    unsigned C = classOf(Size);
     ++S.SlabFrees;
+    auto *P = pageOf(Ptr);
     auto *N = static_cast<FreeNode *>(Ptr);
-    N->Next = Free[C];
-    Free[C] = N;
+    N->Next = P->Free;
+    P->Free = N;
+    --P->Live;
+    if (!P->InAvail) {
+      // Was full; the freed block makes it available again. Re-enter
+      // BEHIND the class's active head page: the head keeps absorbing
+      // allocations, and if this page drains completely it retires
+      // instead of pinning a nearly-empty page as the active one.
+      linkAvailAfterHead(P);
+    } else if (P->Live == 0 && Avail[P->ClassIdx] != P) {
+      retire(P);
+    }
   }
 
   const Stats &stats() const { return S; }
@@ -125,17 +149,102 @@ private:
   struct FreeNode {
     FreeNode *Next;
   };
+  /// Lives at the start of every page; blocks follow at HeaderBytes.
+  struct PageHeader {
+    PageHeader *Prev = nullptr; // available-list links (null = unlinked)
+    PageHeader *Next = nullptr;
+    FreeNode *Free = nullptr;   // freed blocks of this page
+    uint32_t Live = 0;          // blocks currently handed out
+    uint32_t Carved = 0;        // blocks carved from the bump region
+    uint32_t ClassIdx = 0;
+    bool InAvail = false;
+  };
+  static constexpr size_t HeaderBytes = 64;
+  static_assert(sizeof(PageHeader) <= HeaderBytes, "header fits its slot");
   static constexpr unsigned NumClasses = MaxSmallBytes / GranuleBytes;
 
   static unsigned classOf(size_t Size) {
     return Size == 0 ? 0
                      : static_cast<unsigned>((Size - 1) / GranuleBytes);
   }
+  static size_t blockBytesOf(unsigned C) { return (C + 1) * GranuleBytes; }
+  static uint32_t capacityOf(unsigned C) {
+    return static_cast<uint32_t>((PageBytes - HeaderBytes) /
+                                 blockBytesOf(C));
+  }
+  static void *blockAt(PageHeader *P, uint32_t Idx) {
+    return reinterpret_cast<char *>(P) + HeaderBytes +
+           size_t(Idx) * blockBytesOf(P->ClassIdx);
+  }
+  static PageHeader *pageOf(void *Block) {
+    return reinterpret_cast<PageHeader *>(
+        reinterpret_cast<uintptr_t>(Block) & ~(uintptr_t(PageBytes) - 1));
+  }
 
-  FreeNode *Free[NumClasses] = {};
-  char *Bump = nullptr;
-  char *BumpEnd = nullptr;
-  std::vector<void *> Pages;
+  void linkAvailFront(PageHeader *P) {
+    P->Prev = nullptr;
+    P->Next = Avail[P->ClassIdx];
+    if (P->Next)
+      P->Next->Prev = P;
+    Avail[P->ClassIdx] = P;
+    P->InAvail = true;
+  }
+
+  /// Links \p P as the second page of its class (or the head when the
+  /// list is empty) — see deallocate() for why full pages re-enter here.
+  void linkAvailAfterHead(PageHeader *P) {
+    PageHeader *Head = Avail[P->ClassIdx];
+    if (!Head) {
+      linkAvailFront(P);
+      return;
+    }
+    P->Prev = Head;
+    P->Next = Head->Next;
+    if (P->Next)
+      P->Next->Prev = P;
+    Head->Next = P;
+    P->InAvail = true;
+  }
+
+  void unlinkAvail(PageHeader *P) {
+    if (P->Prev)
+      P->Prev->Next = P->Next;
+    else
+      Avail[P->ClassIdx] = P->Next;
+    if (P->Next)
+      P->Next->Prev = P->Prev;
+    P->Prev = P->Next = nullptr;
+    P->InAvail = false;
+  }
+
+  /// Fully-free page leaves its class for the shared recycle pool.
+  void retire(PageHeader *P) {
+    unlinkAvail(P);
+    Pool.push_back(P);
+    ++S.PagesRetired;
+  }
+
+  PageHeader *takePage(unsigned C) {
+    void *Mem;
+    if (!Pool.empty()) {
+      Mem = Pool.back();
+      Pool.pop_back();
+      ++S.PagesRecycled;
+    } else {
+      Mem = std::aligned_alloc(PageBytes, PageBytes);
+      AllPages.push_back(Mem);
+      ++S.PagesMapped;
+      ++S.SystemCalls;
+    }
+    auto *P = new (Mem) PageHeader();
+    P->ClassIdx = C;
+    linkAvailFront(P);
+    return P;
+  }
+
+  PageHeader *Avail[NumClasses] = {}; // pages with a free block / carve room
+  std::vector<void *> Pool;           // retired pages awaiting reuse
+  std::vector<void *> AllPages;       // every page ever mapped (teardown)
   bool Enabled;
   uint64_t TotalAllocs = 0;
   Stats S;

@@ -1,9 +1,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Bump-pointer arena for long-lived compiler metadata (interned strings,
-/// misc byte storage). Objects allocated here are never destroyed
-/// individually; the arena frees all memory at once.
+/// Bump-pointer arena for compiler metadata: interned name storage, the
+/// per-compilation-unit syntax heap, and the hash-consed Type objects.
+/// Objects allocated here are never destroyed individually; the arena
+/// frees all memory at once. Callers that place non-trivially-destructible
+/// objects here are responsible for running destructors themselves (the
+/// frontend keeps its syntax nodes trivially destructible instead).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -13,6 +16,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 namespace mpc {
@@ -36,6 +41,28 @@ public:
     Cur = reinterpret_cast<char *>(Aligned + Size);
     TotalUsed += Size;
     return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Constructs a \p T in the arena. The destructor is never run.
+  template <typename T, typename... Args> T *make(Args &&...CtorArgs) {
+    return new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Allocates an uninitialized array of \p N objects of type \p T.
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Copies \p N trivially-copyable elements into the arena; returns the
+  /// stable copy (null when \p N is zero — an empty span needs no bytes).
+  template <typename T> T *copyArray(const T *Data, size_t N) {
+    if (!N)
+      return nullptr;
+    T *Mem = allocateArray<T>(N);
+    for (size_t I = 0; I < N; ++I)
+      Mem[I] = Data[I];
+    return Mem;
   }
 
   /// Copies \p Size bytes into the arena and returns the stable copy.

@@ -1,0 +1,78 @@
+#include "support/NameTable.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace mpc;
+
+uint32_t NameTable::hashText(std::string_view Text) {
+  // FNV-1a over the bytes, folded to 32 bits. Short identifier-sized
+  // strings hash in a handful of cycles and the full hash is cached per
+  // slot, so growth never re-reads the character data.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return static_cast<uint32_t>(H ^ (H >> 32));
+}
+
+void NameTable::grow() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.empty() ? 256 : Old.size() * 2, Slot());
+  size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (!S.Entry)
+      continue;
+    for (size_t I = S.Hash & Mask;; I = (I + 1) & Mask) {
+      if (!Slots[I].Entry) {
+        Slots[I] = S;
+        break;
+      }
+    }
+  }
+}
+
+Name NameTable::intern(std::string_view Text) {
+  if (Slots.empty() || Num * 4 >= Slots.size() * 3)
+    grow();
+  uint32_t H = hashText(Text);
+  size_t Mask = Slots.size() - 1;
+  size_t I = H & Mask;
+  for (;; I = (I + 1) & Mask) {
+    Slot &S = Slots[I];
+    if (!S.Entry)
+      break;
+    if (S.Hash == H && S.Entry->view() == Text)
+      return Name(S.Entry);
+  }
+
+  // Entry header and character data back-to-back in the arena.
+  auto *Entry = static_cast<detail::NameEntry *>(Storage.allocate(
+      sizeof(detail::NameEntry) + Text.size(), alignof(detail::NameEntry)));
+  Entry->Length = static_cast<uint32_t>(Text.size());
+  Entry->Ordinal = NextOrdinal++;
+  if (!Text.empty())
+    std::memcpy(const_cast<char *>(Entry->chars()), Text.data(), Text.size());
+  Slots[I].Entry = Entry;
+  Slots[I].Hash = H;
+  ++Num;
+  return Name(Entry);
+}
+
+Name NameTable::internSuffixed(std::string_view Base, uint64_t N) {
+  char Buf[160];
+  // A uint64 needs at most 20 digits; fall back to heap assembly for
+  // oversized bases rather than truncating (truncation would drop the
+  // distinguishing counter and alias distinct fresh names).
+  if (Base.size() + 22 <= sizeof(Buf)) {
+    int Len = std::snprintf(Buf, sizeof(Buf), "%.*s$%llu",
+                            static_cast<int>(Base.size()), Base.data(),
+                            static_cast<unsigned long long>(N));
+    return intern(std::string_view(Buf, static_cast<size_t>(Len)));
+  }
+  std::string Long(Base);
+  Long += '$';
+  Long += std::to_string(N);
+  return intern(Long);
+}

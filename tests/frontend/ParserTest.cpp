@@ -12,14 +12,14 @@ using namespace mpc;
 
 namespace {
 
-std::vector<Token> lex(const char *Src, StringInterner &Names,
+std::vector<Token> lex(const char *Src, NameTable &Names,
                        DiagnosticEngine &Diags) {
   Lexer L(Src, 0, Names, Diags);
   return L.lexAll();
 }
 
 TEST(LexerTest, TokensAndLiterals) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   auto Toks = lex(R"(class Foo { val x = 42; var s = "hi\n"; 3.5 })", Names,
                   Diags);
@@ -43,7 +43,7 @@ TEST(LexerTest, TokensAndLiterals) {
 }
 
 TEST(LexerTest, SemicolonInference) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   // Newline after `1` ends the statement; after `+` it must not.
   auto Toks = lex("val x = 1\nval y = 2 +\n3", Names, Diags);
@@ -55,13 +55,13 @@ TEST(LexerTest, SemicolonInference) {
 }
 
 TEST(LexerTest, CommentsAreSkipped) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   auto Toks = lex("// line\n/* block\nstill */ val x = 1", Names, Diags);
   EXPECT_EQ(Toks[0].Kind, Tok::KwVal);
 }
 
-SynUnit parse(const char *Src, SynArena &Arena, StringInterner &Names,
+SynUnit parse(const char *Src, SynArena &Arena, NameTable &Names,
               DiagnosticEngine &Diags) {
   Lexer L(Src, 0, Names, Diags);
   Parser P(L.lexAll(), Arena, Names, Diags);
@@ -69,7 +69,7 @@ SynUnit parse(const char *Src, SynArena &Arena, StringInterner &Names,
 }
 
 TEST(ParserTest, ClassShapes) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse(R"(
@@ -90,7 +90,7 @@ class Generic[T](v: T)
 }
 
 TEST(ParserTest, OperatorPrecedence) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse("class C { def f(): Int = 1 + 2 * 3 }", Arena, Names,
@@ -108,7 +108,7 @@ TEST(ParserTest, OperatorPrecedence) {
 }
 
 TEST(ParserTest, PatternForms) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse(R"(
@@ -135,7 +135,7 @@ class C {
 }
 
 TEST(ParserTest, TypesIncludingUnionsAndFunctions) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse(R"(
@@ -155,7 +155,7 @@ class C {
 }
 
 TEST(ParserTest, LambdaVsParenExpr) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse(R"(
@@ -177,7 +177,7 @@ class C {
 }
 
 TEST(ParserTest, ErrorRecoveryKeepsGoing) {
-  StringInterner Names;
+  NameTable Names;
   DiagnosticEngine Diags;
   SynArena Arena;
   SynUnit U = parse("class C { def f(: Int = 1 }\nclass D", Arena, Names,

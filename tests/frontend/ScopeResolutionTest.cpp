@@ -1,0 +1,230 @@
+//===----------------------------------------------------------------------===//
+// Flat-scope resolution semantics: shadowing, nested scopes, barrier
+// (class-body) scoping, local-method mutual visibility, and pattern
+// binders — pinned through full compile+interpret so the ScopeStack must
+// reproduce the chained-scope typer's behaviour observably. A corpus
+// differential re-types the stdlib and dotty workloads in two fresh
+// contexts and requires identical typed trees (determinism of the flat
+// lookup path at scale).
+//===----------------------------------------------------------------------===//
+
+#include "ast/TreePrinter.h"
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "frontend/Frontend.h"
+#include "support/OStream.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+/// Compiles \p Source with the fused pipeline and runs main; returns the
+/// produced output, failing the test on any compile/check/run error.
+std::string run(const char *Source) {
+  CompilerContext Comp;
+  Comp.options().CheckTrees = true;
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"scope.scala", Source});
+  CompileOutput Out =
+      compileProgram(Comp, std::move(Sources), PipelineKind::StandardFused);
+  if (Comp.diags().hasErrors()) {
+    StringOStream OS;
+    Comp.diags().printAll(OS);
+    ADD_FAILURE() << "frontend errors:\n" << OS.str();
+    return "";
+  }
+  if (!Out.CheckFailures.empty()) {
+    ADD_FAILURE() << "tree checker: " << Out.CheckFailures.front().PhaseName
+                  << ": " << Out.CheckFailures.front().Message;
+    return "";
+  }
+  if (Out.EntryPoints.empty()) {
+    ADD_FAILURE() << "no entry point";
+    return "";
+  }
+  Interpreter I(Comp, Out.Units);
+  ExecResult R = I.runMain(Out.EntryPoints.front());
+  EXPECT_FALSE(R.Uncaught) << R.Error;
+  return R.Output;
+}
+
+/// True when \p Source produces at least one frontend diagnostic.
+bool failsToCompile(const char *Source) {
+  CompilerContext Comp;
+  std::vector<SourceInput> Sources;
+  Sources.push_back({"scope.scala", Source});
+  std::vector<CompilationUnit> Units =
+      runFrontEnd(Comp, std::move(Sources));
+  (void)Units;
+  return Comp.diags().hasErrors();
+}
+
+TEST(ScopeResolution, LocalShadowsFieldAndUnshadowsAfterBlock) {
+  EXPECT_EQ(run(R"(
+    object Main {
+      val x: Int = 1
+      def main(args: Array[String]): Unit = {
+        println(x)        // field: 1
+        val x = 2
+        println(x)        // local shadows field: 2
+        {
+          val x = 3
+          println(x)      // inner block shadows outer local: 3
+        }
+        println(x)        // inner binding popped: 2
+      }
+    }
+  )"),
+            "1\n2\n3\n2\n");
+}
+
+TEST(ScopeResolution, MethodParamShadowsFieldAndRebindInSameScope) {
+  EXPECT_EQ(run(R"(
+    object Main {
+      val a: Int = 10
+      def f(a: Int): Int = a + 1
+      def main(args: Array[String]): Unit = {
+        println(f(5))     // param shadows field: 6
+        println(a)        // field intact: 10
+        val b = 1
+        val b = b + 41    // rebind in the same scope sees the previous b
+        println(b)        // 42
+      }
+    }
+  )"),
+            "6\n10\n42\n");
+}
+
+TEST(ScopeResolution, PatternBindersScopePerCase) {
+  EXPECT_EQ(run(R"(
+    case class Box(v: Int)
+    object Main {
+      def main(args: Array[String]): Unit = {
+        val v = 7
+        val r = Box(35) match {
+          case Box(v) => v + v  // binder shadows the local
+          case _ => 0
+        }
+        println(r)
+        println(v)              // case binder popped
+      }
+    }
+  )"),
+            "70\n7\n");
+}
+
+TEST(ScopeResolution, LocalMethodsAreMutuallyVisible) {
+  EXPECT_EQ(run(R"(
+    object Main {
+      def main(args: Array[String]): Unit = {
+        def isEven(n: Int): Boolean = if (n == 0) true else isOdd(n - 1)
+        def isOdd(n: Int): Boolean = if (n == 0) false else isEven(n - 1)
+        println(isEven(10))
+        println(isOdd(10))
+      }
+    }
+  )"),
+            "true\nfalse\n");
+}
+
+TEST(ScopeResolution, TypeParamVisibleInSignaturesAndBodies) {
+  EXPECT_EQ(run(R"(
+    class Pair[A](first: A, second: A) {
+      def swapFirst(replacement: A): Pair[A] =
+        new Pair[A](replacement, second)
+      def get(): A = first
+    }
+    object Main {
+      def main(args: Array[String]): Unit = {
+        val p = new Pair[Int](1, 2)
+        println(p.swapFirst(9).get())
+      }
+    }
+  )"),
+            "9\n");
+}
+
+TEST(ScopeResolution, NestedClassOpensABarrierForOuterTypeParams) {
+  // A nested class body is a fresh root scope: the outer class's type
+  // parameter is NOT in scope (matching the previous chained-scope
+  // typer, whose class scopes were parentless).
+  EXPECT_TRUE(failsToCompile(R"(
+    class Outer[T](seed: T) {
+      class Inner {
+        def broken(x: T): Int = 0
+      }
+    }
+  )"));
+}
+
+TEST(ScopeResolution, NestedClassSeesSiblingNestedClassesAndGlobals) {
+  EXPECT_EQ(run(R"(
+    class Helper(k: Int) { def twice(): Int = k * 2 }
+    object Main {
+      class Wrapper(n: Int) {
+        def enlarge(): Int = new Helper(n).twice()
+      }
+      def main(args: Array[String]): Unit = {
+        println(new Wrapper(21).enlarge())
+      }
+    }
+  )"),
+            "42\n");
+}
+
+TEST(ScopeResolution, LambdaParamsScopeOnlyOverTheBody) {
+  EXPECT_EQ(run(R"(
+    object Main {
+      def main(args: Array[String]): Unit = {
+        val n = 3
+        val f = (n: Int) => n * 10
+        println(f(5))   // lambda param shadows inside the body
+        println(n)      // popped afterwards
+      }
+    }
+  )"),
+            "50\n3\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus differential: identical typed trees across fresh contexts.
+//===----------------------------------------------------------------------===//
+
+std::string frontendDump(const WorkloadProfile &Profile) {
+  CompilerContext Comp;
+  std::vector<CompilationUnit> Units =
+      runFrontEnd(Comp, generateWorkload(Profile));
+  EXPECT_FALSE(Comp.diags().hasErrors());
+  std::string Dump;
+  PrintOptions Opts;
+  Opts.ShowTypes = true;
+  for (const CompilationUnit &U : Units)
+    Dump += treeToString(U.Root.get(), Opts);
+  EXPECT_GT(Comp.stats().get("frontend.scopeProbes"), 0u);
+  EXPECT_GT(Comp.stats().get("frontend.namesInterned"), 0u);
+  EXPECT_GT(Comp.stats().get("frontend.arenaBytes"), 0u);
+  return Dump;
+}
+
+TEST(ScopeResolution, StdlibCorpusTypesDeterministically) {
+  WorkloadProfile P = stdlibProfile(0.05);
+  P.UnitsHint = 3;
+  std::string First = frontendDump(P);
+  std::string Second = frontendDump(P);
+  ASSERT_FALSE(First.empty());
+  EXPECT_EQ(First, Second);
+}
+
+TEST(ScopeResolution, DottyCorpusTypesDeterministically) {
+  WorkloadProfile P = dottyProfile(0.05);
+  P.UnitsHint = 3;
+  std::string First = frontendDump(P);
+  std::string Second = frontendDump(P);
+  ASSERT_FALSE(First.empty());
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace

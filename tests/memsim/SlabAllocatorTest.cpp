@@ -93,6 +93,51 @@ TEST(SlabAllocator, DistinctClassesDoNotAlias) {
   Slab.deallocate(C, 32);
 }
 
+TEST(SlabAllocator, EmptyPagesRetireAndRecycleAcrossClasses) {
+  SlabAllocator Slab;
+  // Fill the first page of the 32-byte class completely (it drops off
+  // the available list as full), then allocate once more so a second
+  // page becomes the class's active head.
+  const size_t BlockBytes = 32;
+  const size_t PerPage = (SlabAllocator::PageBytes - 64) / BlockBytes;
+  std::vector<void *> First;
+  for (size_t I = 0; I < PerPage; ++I)
+    First.push_back(Slab.allocate(BlockBytes));
+  void *Keep = Slab.allocate(BlockBytes); // page 2, the active head
+  EXPECT_EQ(Slab.stats().PagesMapped, 2u);
+  EXPECT_EQ(Slab.stats().PagesRetired, 0u);
+
+  // Free every block of the first page. It re-enters the available list
+  // behind the active head and, once fully free, retires.
+  for (void *P : First)
+    Slab.deallocate(P, BlockBytes);
+  EXPECT_EQ(Slab.stats().PagesRetired, 1u);
+
+  // A different size class reuses the retired page instead of mapping a
+  // fresh one.
+  void *Other = Slab.allocate(128);
+  EXPECT_EQ(Slab.stats().PagesRecycled, 1u);
+  EXPECT_EQ(Slab.stats().PagesMapped, 2u); // no new system page
+  EXPECT_EQ(Slab.stats().SystemCalls, 2u);
+
+  Slab.deallocate(Other, 128);
+  Slab.deallocate(Keep, BlockBytes);
+}
+
+TEST(SlabAllocator, ActivePageHysteresisAvoidsRetireThrash) {
+  SlabAllocator Slab;
+  // A single page that is the class's active page: a free/alloc ping-pong
+  // on one block must not retire and re-prime it every cycle.
+  void *P = Slab.allocate(48);
+  for (int I = 0; I < 1000; ++I) {
+    Slab.deallocate(P, 48);
+    P = Slab.allocate(48);
+  }
+  Slab.deallocate(P, 48);
+  EXPECT_EQ(Slab.stats().PagesRetired, 0u);
+  EXPECT_EQ(Slab.stats().PagesMapped, 1u);
+}
+
 TEST(SlabAllocator, DisabledModePassesThrough) {
   SlabAllocator Slab(/*Enabled=*/false);
   void *P = Slab.allocate(64);

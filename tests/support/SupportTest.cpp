@@ -7,7 +7,7 @@
 #include "support/OStream.h"
 #include "support/Rng.h"
 #include "support/Statistics.h"
-#include "support/StringInterner.h"
+#include "support/NameTable.h"
 
 #include <gtest/gtest.h>
 
@@ -16,7 +16,7 @@ using namespace mpc;
 namespace {
 
 TEST(Interner, IdentityAndOrdinals) {
-  StringInterner I;
+  NameTable I;
   Name A = I.intern("hello");
   Name B = I.intern("hello");
   Name C = I.intern("world");
