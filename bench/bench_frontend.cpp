@@ -48,7 +48,8 @@ void runWorkload(const WorkloadProfile &Profile, unsigned Reps,
 
     // Stage 1: lex every unit.
     std::vector<ParsedUnit> Parsed;
-    std::vector<std::vector<Token>> TokenStreams;
+    std::vector<SynList<Token>> TokenStreams;
+    std::vector<Token> TokScratch;
     Parsed.reserve(Sources.size());
     TokenStreams.reserve(Sources.size());
     Timer T;
@@ -59,7 +60,7 @@ void runWorkload(const WorkloadProfile &Profile, unsigned Reps,
       PU.Source = Src.Text;
       PU.Arena = std::make_shared<SynArena>();
       Lexer Lex(PU.Source, PU.FileId, Comp.names(), Comp.diags());
-      TokenStreams.push_back(Lex.lexAll());
+      TokenStreams.push_back(Lex.lexAll(*PU.Arena, TokScratch));
       Parsed.push_back(std::move(PU));
     }
     double LexSec = T.elapsedSeconds();
@@ -68,7 +69,7 @@ void runWorkload(const WorkloadProfile &Profile, unsigned Reps,
     T.reset();
     uint64_t SynNodes = 0, ArenaBytes = 0;
     for (size_t I = 0; I < Parsed.size(); ++I) {
-      Parser P(std::move(TokenStreams[I]), *Parsed[I].Arena, Comp.names(),
+      Parser P(TokenStreams[I], *Parsed[I].Arena, Comp.names(),
                Comp.diags());
       Parsed[I].Unit = P.parseUnit();
       SynNodes += Parsed[I].Arena->nodeCount();

@@ -37,8 +37,10 @@ ClassSymbol *ClassSymbol::superClass() const {
 
 void ClassSymbol::removeMember(Symbol *S) {
   auto It = std::find(Members.begin(), Members.end(), S);
-  if (It != Members.end())
+  if (It != Members.end()) {
     Members.erase(It);
+    MemberIdxDirty = true;
+  }
 }
 
 bool ClassSymbol::hasMember(Symbol *S) const {
@@ -46,10 +48,25 @@ bool ClassSymbol::hasMember(Symbol *S) const {
 }
 
 Symbol *ClassSymbol::findDeclaredMember(Name MemberName) const {
-  for (Symbol *M : Members)
-    if (M->name() == MemberName)
-      return M;
-  return nullptr;
+  // Tiny classes stay on the linear scan (an index would cost more to
+  // maintain than it saves); larger ones answer from the flat
+  // ordinal-keyed index, rebuilt lazily after any member mutation.
+  if (Members.size() < 8) {
+    for (Symbol *M : Members)
+      if (M->name() == MemberName)
+        return M;
+    return nullptr;
+  }
+  if (MemberIdxDirty) {
+    MemberIdx.clear();
+    // insertIfAbsent keeps the first declaration on duplicate names,
+    // matching the scan's first-match semantics.
+    for (Symbol *M : Members)
+      MemberIdx.insertIfAbsent(M->name().ordinal(), M);
+    MemberIdxDirty = false;
+  }
+  Symbol *const *Found = MemberIdx.find(MemberName.ordinal());
+  return Found ? *Found : nullptr;
 }
 
 Symbol *ClassSymbol::findMember(Name MemberName) const {
@@ -94,6 +111,22 @@ void ClassSymbol::collectAncestors(std::vector<ClassSymbol *> &Out) const {
 
 SymbolTable::SymbolTable(NameTable &Names, TypeContext &Types)
     : Names(Names), Types(Types) {
+  initBuiltins();
+}
+
+void SymbolTable::reset() {
+  Symbols.clear();
+  NextId = 1;
+  FreshCounter = 0;
+  PrimOpIdxByOrdinal.clear();
+  NumPrimOpNames = 0;
+  for (auto &Row : PrimOpTable)
+    for (Symbol *&S : Row)
+      S = nullptr;
+  initBuiltins();
+}
+
+void SymbolTable::initBuiltins() {
   Std.Init = Names.intern("<init>");
   Std.Apply = Names.intern("apply");
   Std.Main = Names.intern("main");

@@ -95,6 +95,16 @@ GcRef<Apply> TreeContext::makeApply(SourceLoc L, TreePtr Fun, TreeList Args,
   return allocate<Apply>(8 * Ks.size(), L, Ty, KidSpan(Ks));
 }
 
+GcRef<Apply> TreeContext::makeApply(SourceLoc L, TreePtr *FunAndArgs,
+                                    size_t NumKids, const Type *Ty) {
+  assert(NumKids >= 1 && FunAndArgs[0] && "Apply requires a function");
+#ifndef NDEBUG
+  for (size_t I = 1; I < NumKids; ++I)
+    assert(FunAndArgs[I] && "Apply argument must be non-null");
+#endif
+  return allocate<Apply>(8 * NumKids, L, Ty, KidSpan(FunAndArgs, NumKids));
+}
+
 GcRef<TypeApply> TreeContext::makeTypeApply(SourceLoc L, TreePtr Fun,
                                             std::vector<const Type *> TArgs,
                                             const Type *Ty) {
@@ -106,6 +116,12 @@ GcRef<New> TreeContext::makeNew(SourceLoc L, const Type *ClsTy,
                                 TreeList Args) {
   assert(ClsTy && "New requires a class type");
   return allocate<New>(8 * Args.size(), L, ClsTy, ClsTy, KidSpan(Args));
+}
+
+GcRef<New> TreeContext::makeNew(SourceLoc L, const Type *ClsTy, TreePtr *Args,
+                                size_t NumArgs) {
+  assert(ClsTy && "New requires a class type");
+  return allocate<New>(8 * NumArgs, L, ClsTy, ClsTy, KidSpan(Args, NumArgs));
 }
 
 GcRef<Typed> TreeContext::makeTyped(SourceLoc L, TreePtr Expr,
@@ -229,6 +245,14 @@ GcRef<SeqLiteral> TreeContext::makeSeqLiteral(SourceLoc L, TreeList Elems,
                                               const Type *Ty) {
   return allocate<SeqLiteral>(8 * Elems.size(), L, Ty, ElemTy,
                               KidSpan(Elems));
+}
+
+GcRef<SeqLiteral> TreeContext::makeSeqLiteral(SourceLoc L, TreePtr *Elems,
+                                              size_t NumElems,
+                                              const Type *ElemTy,
+                                              const Type *Ty) {
+  return allocate<SeqLiteral>(8 * NumElems, L, Ty, ElemTy,
+                              KidSpan(Elems, NumElems));
 }
 
 GcRef<ValDef> TreeContext::makeValDef(SourceLoc L, Symbol *Sym, TreePtr Rhs) {

@@ -774,10 +774,17 @@ public:
   GcRef<Literal> makeLiteral(SourceLoc L, Constant V, const Type *Ty);
   GcRef<Apply> makeApply(SourceLoc L, TreePtr Fun, TreeList Args,
                          const Type *Ty);
+  /// Span overload for the typer's stack-shaped argument scratch:
+  /// \p FunAndArgs[0] is the function, the rest are the arguments; the
+  /// slots are moved from (left null) without an intermediate list.
+  GcRef<Apply> makeApply(SourceLoc L, TreePtr *FunAndArgs, size_t NumKids,
+                         const Type *Ty);
   GcRef<TypeApply> makeTypeApply(SourceLoc L, TreePtr Fun,
                                  std::vector<const Type *> TypeArgs,
                                  const Type *Ty);
   GcRef<New> makeNew(SourceLoc L, const Type *ClsTy, TreeList Args);
+  GcRef<New> makeNew(SourceLoc L, const Type *ClsTy, TreePtr *Args,
+                     size_t NumArgs);
   GcRef<Typed> makeTyped(SourceLoc L, TreePtr Expr, const Type *TargetTy);
   GcRef<Assign> makeAssign(SourceLoc L, TreePtr Lhs, TreePtr Rhs,
                            const Type *UnitTy);
@@ -807,6 +814,9 @@ public:
   GcRef<Goto> makeGoto(SourceLoc L, Symbol *Label, const Type *NothingTy);
   GcRef<SeqLiteral> makeSeqLiteral(SourceLoc L, TreeList Elems,
                                    const Type *ElemTy, const Type *Ty);
+  GcRef<SeqLiteral> makeSeqLiteral(SourceLoc L, TreePtr *Elems,
+                                   size_t NumElems, const Type *ElemTy,
+                                   const Type *Ty);
   GcRef<ValDef> makeValDef(SourceLoc L, Symbol *Sym, TreePtr Rhs);
   GcRef<DefDef> makeDefDef(SourceLoc L, Symbol *Sym,
                            std::vector<uint32_t> ParamListSizes,
@@ -831,6 +841,17 @@ public:
   /// Used by the typer's adaptation steps. Shares the children with the
   /// original by reference (no intermediate list copy).
   TreePtr withType(Tree *T, const Type *NewTy);
+
+  /// Warm-reuse reset: rewinds the creation/copier counters so a recycled
+  /// context reports the same statistics as a cold one. The tree storage
+  /// itself lives in the ManagedHeap, which is reset separately.
+  void resetCounters() {
+    NumCreated = 0;
+    NumReused = 0;
+    NumRebuilt = 0;
+    NumTypeReused = 0;
+    NumTypeShared = 0;
+  }
 
   /// Statistics: how often withNewChildren reused vs. rebuilt.
   uint64_t reuseCount() const { return NumReused; }

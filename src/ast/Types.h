@@ -282,6 +282,12 @@ public:
   /// Number of distinct interned types (for tests / stats).
   size_t internedCount() const { return Owned.size() + NumPrims; }
 
+  /// Empties the interner for warm context reuse: destroys every interned
+  /// type (primitive singletons excepted — they carry no references into
+  /// other tables and stay valid), resets the arena and key pool, and
+  /// keeps table capacity. O(live interned types).
+  void reset();
+
 private:
   // Hash-consing storage: an open-addressed slot table (linear probing,
   // cached hashes) over keys packed as (tag, word sequence) in one

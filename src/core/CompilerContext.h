@@ -70,9 +70,10 @@ struct CompilerOptions {
   /// where real bytes live: the simulated allocation clock (Figures 5/6)
   /// is byte-identical with the slab on or off. Off exists for the
   /// allocator-invariance tests and for baseline comparisons of the
-  /// "heap.realAllocs" counter. Takes effect only through the
-  /// CompilerContext(Opts) constructor — the backend cannot change once
-  /// a node has been allocated.
+  /// "heap.realAllocs" counter. Takes effect through the
+  /// CompilerContext(Opts) constructor or adoptOptions() right after
+  /// reset() — the backend cannot change while the heap holds
+  /// allocations.
   bool SlabHeap = true;
   FusionStrategy Strategy = FusionStrategy::IndexedByKind;
 };
@@ -119,6 +120,39 @@ public:
   }
   CacheSim *cacheSim() const { return Cache; }
   PerfCounters *perf() const { return Perf; }
+
+  /// Warm-reuse reset (the compile service's ContextPool lifecycle):
+  /// restores the context to the observable state of a freshly
+  /// constructed one in O(live) — live symbols/types are dropped and the
+  /// builtin world is rebuilt, while table capacities, arena slabs, and
+  /// (via the shared PagePool) slab pages are retained for the next job.
+  /// Precondition: no tree allocated from this context is still
+  /// referenced (drop the CompileOutput first); asserted via the heap's
+  /// live-byte accounting. Name ordinals, symbol ids, file ids, and the
+  /// allocation clock all restart exactly as in a cold context, which is
+  /// what makes warm and cold runs byte-identical.
+  void reset() {
+    assert(Heap.stats().LiveBytes == 0 &&
+           "context recycled while trees are still referenced");
+    Diags.reset();
+    Stats.clear();
+    Trees.resetCounters();
+    Trees.setCacheSim(nullptr);
+    Cache = nullptr;
+    Perf = nullptr;
+    Types.reset();
+    Names.reset();
+    Syms.reset(); // re-interns builtins; must follow Names/Types resets
+    Heap.reset(); // releases every page; re-arms the slab toggle
+    Heap.setSlabEnabled(Opts.SlabHeap);
+  }
+
+  /// Applies a new job's options to a recycled context. Legal only right
+  /// after reset() (the slab toggle requires an empty heap).
+  void adoptOptions(const CompilerOptions &NewOpts) {
+    Opts = NewOpts;
+    Heap.setSlabEnabled(Opts.SlabHeap);
+  }
 
 private:
   NameTable Names;

@@ -1,14 +1,44 @@
 #include "driver/Batch.h"
 
+#include "ast/TreePrinter.h"
+#include "driver/CompileService.h"
 #include "support/OStream.h"
 
-#include <atomic>
 #include <thread>
 
 using namespace mpc;
 
+BatchResult mpc::runBatchJob(BatchJob Job,
+                             std::unique_ptr<CompilerContext> Comp) {
+  BatchResult R;
+  R.Comp = std::move(Comp);
+  R.Out = compileProgram(*R.Comp, std::move(Job.Sources), Job.Kind);
+  R.HadErrors = R.Comp->diags().hasErrors();
+  // Render any diagnostics (not just errors): in the service's
+  // context-recycling mode this snapshot is the only place warnings and
+  // notes survive the shell's reset.
+  if (!R.Comp->diags().all().empty()) {
+    StringOStream OS;
+    R.Comp->diags().printAll(OS);
+    R.DiagText = OS.str();
+  }
+  R.Heap = R.Comp->heap().stats();
+  if (Job.WantDump) {
+    PrintOptions PO;
+    PO.ShowTypes = true;
+    for (const CompilationUnit &U : R.Out.Units) {
+      R.DumpText += "// === " + U.FileName + " ===\n";
+      R.DumpText += treeToString(U.Root.get(), PO);
+      R.DumpText += '\n';
+    }
+  }
+  return R;
+}
+
 std::vector<BatchResult> mpc::compileBatch(std::vector<BatchJob> Jobs,
                                            unsigned Threads) {
+  if (Jobs.empty())
+    return {};
   if (Threads == 0) {
     Threads = std::thread::hardware_concurrency();
     if (Threads == 0)
@@ -17,36 +47,27 @@ std::vector<BatchResult> mpc::compileBatch(std::vector<BatchJob> Jobs,
   if (Threads > Jobs.size())
     Threads = static_cast<unsigned>(Jobs.size());
 
-  std::vector<BatchResult> Results(Jobs.size());
-  std::atomic<size_t> NextJob{0};
-
-  auto Worker = [&]() {
-    while (true) {
-      size_t I = NextJob.fetch_add(1);
-      if (I >= Jobs.size())
-        return;
-      BatchJob &Job = Jobs[I];
-      BatchResult &R = Results[I];
-      R.Comp = std::make_unique<CompilerContext>(Job.Options);
-      R.Out = compileProgram(*R.Comp, std::move(Job.Sources), Job.Kind);
-      R.HadErrors = R.Comp->diags().hasErrors();
-      if (R.HadErrors) {
-        StringOStream OS;
-        R.Comp->diags().printAll(OS);
-        R.DiagText = OS.str();
-      }
-    }
-  };
-
+  // Serial runs stay inline on the calling thread (no pool, no spawn) —
+  // the historical contract profilers and debuggers rely on.
   if (Threads <= 1) {
-    Worker();
+    std::vector<BatchResult> Results;
+    Results.reserve(Jobs.size());
+    for (BatchJob &Job : Jobs) {
+      auto Comp = std::make_unique<CompilerContext>(Job.Options);
+      Results.push_back(runBatchJob(std::move(Job), std::move(Comp)));
+    }
     return Results;
   }
-  std::vector<std::thread> Pool;
-  Pool.reserve(Threads);
-  for (unsigned T = 0; T < Threads; ++T)
-    Pool.emplace_back(Worker);
-  for (std::thread &T : Pool)
-    T.join();
-  return Results;
+
+  // The parallel batch contract rides on the service: cold isolated
+  // contexts, each handed to its result.
+  ServiceConfig Cfg;
+  Cfg.Threads = Threads;
+  Cfg.WarmContexts = false;
+  Cfg.SharePages = false;
+  Cfg.KeepContexts = true;
+  CompileService Service(Cfg);
+  for (BatchJob &Job : Jobs)
+    Service.enqueue(std::move(Job));
+  return Service.drain();
 }

@@ -8,6 +8,12 @@
 /// parallel because every run owns its CompilerContext (trees, symbols,
 /// interner), so no compiler state is shared between workers.
 ///
+/// compileBatch() is nowadays a thin convenience over the CompileService
+/// (see CompileService.h): it spins up a service in cold-context,
+/// keep-context mode, enqueues every job, and drains — which preserves
+/// the historical contract exactly (isolated contexts, results in job
+/// order, bit-identical to a serial run).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPC_DRIVER_BATCH_H
@@ -26,21 +32,39 @@ struct BatchJob {
   /// Options applied to the job's context (CheckTrees etc.). The fusion
   /// and copier flags are still derived from \p Kind.
   CompilerOptions Options;
+  /// Render a typed tree dump of every lowered unit into
+  /// BatchResult::DumpText. This is how results stay comparable when the
+  /// service recycles contexts (the trees themselves die with the shell).
+  bool WantDump = false;
 };
 
 /// The outcome of one job. The context is returned alongside the output
-/// because the lowered trees it contains live in the context's heap.
+/// because the lowered trees it contains live in the context's heap —
+/// except when the compile service recycles contexts, in which case
+/// Comp is null and Out carries no context-owned data (see
+/// ServiceConfig::KeepContexts).
 struct BatchResult {
   std::unique_ptr<CompilerContext> Comp;
   CompileOutput Out;
   bool HadErrors = false;
   std::string DiagText; // rendered diagnostics when HadErrors
+  std::string DumpText; // typed tree dumps when BatchJob::WantDump
+  /// Simulated-heap statistics snapshot taken right after the compile
+  /// (before any teardown), so warm/cold and serial/parallel runs are
+  /// comparable field by field.
+  HeapStats Heap;
 };
+
+/// Compiles one job in \p Comp, snapshotting diagnostics, heap stats,
+/// and (when requested) tree dumps into the result. The shared per-job
+/// core of compileBatch's serial path and the CompileService workers.
+BatchResult runBatchJob(BatchJob Job, std::unique_ptr<CompilerContext> Comp);
 
 /// Compiles all \p Jobs using up to \p Threads workers (0 = hardware
 /// concurrency). Results are returned in job order regardless of worker
 /// scheduling; each result is produced by an isolated CompilerContext, so
-/// outputs are bit-identical to a serial run.
+/// outputs are bit-identical to a serial run. With one thread (or one
+/// job) the compile runs inline on the calling thread, as it always has.
 std::vector<BatchResult> compileBatch(std::vector<BatchJob> Jobs,
                                       unsigned Threads = 0);
 

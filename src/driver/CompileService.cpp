@@ -1,0 +1,207 @@
+#include "driver/CompileService.h"
+
+#include "support/Timer.h"
+
+using namespace mpc;
+
+//===----------------------------------------------------------------------===//
+// ContextPool
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<CompilerContext>
+ContextPool::acquire(const CompilerOptions &Opts, bool &Reused) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Free.empty()) {
+      std::unique_ptr<CompilerContext> Comp = std::move(Free.back());
+      Free.pop_back();
+      // The shell was reset at recycle time; only the new job's options
+      // need applying (legal: the heap is empty).
+      Comp->adoptOptions(Opts);
+      Reused = true;
+      return Comp;
+    }
+  }
+  Reused = false;
+  auto Comp = std::make_unique<CompilerContext>(Opts);
+  if (Pages)
+    Comp->heap().setPagePool(Pages);
+  return Comp;
+}
+
+void ContextPool::recycle(std::unique_ptr<CompilerContext> Comp) {
+  // Reset eagerly (outside the lock): pages flow back into the shared
+  // pool right away, where a concurrently running job can pick them up.
+  Comp->reset();
+  std::lock_guard<std::mutex> Lock(M);
+  Free.push_back(std::move(Comp));
+}
+
+size_t ContextPool::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Free.size();
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+CompileService::CompileService(ServiceConfig Config)
+    : Cfg(Config),
+      OwnPages(Cfg.SharePages && !Cfg.KeepContexts && !Cfg.ExternalPages
+                   ? std::make_unique<PagePool>()
+                   : nullptr),
+      // A context that escapes to the caller (KeepContexts) must own its
+      // pages outright, so page sharing is service-internal only.
+      Pages(Cfg.KeepContexts ? nullptr
+            : Cfg.SharePages ? (Cfg.ExternalPages ? Cfg.ExternalPages
+                                                  : OwnPages.get())
+                             : nullptr),
+      Contexts(Pages), StartedAt(std::chrono::steady_clock::now()) {
+  unsigned N = Cfg.Threads;
+  if (N == 0) {
+    N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+  }
+  Sheaves.reserve(N);
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Sheaves.push_back(std::make_unique<StatsSheaf>());
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+uint64_t CompileService::enqueue(BatchJob Job) {
+  uint64_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Id = NextJobId++;
+    Done.emplace_back(); // result slot; filled by whichever worker runs it
+    Queue.emplace_back(Id, std::move(Job));
+  }
+  QueueCv.notify_one();
+  return Id;
+}
+
+void CompileService::workerMain(unsigned WorkerIdx) {
+  StatsSheaf &Sheaf = *Sheaves[WorkerIdx];
+  while (true) {
+    uint64_t Id;
+    BatchJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and nothing left to do
+      // One dequeue per JOB (not per slice): whichever worker frees up
+      // first takes the next job, so long jobs don't starve the rest.
+      Id = Queue.front().first;
+      Job = std::move(Queue.front().second);
+      Queue.pop_front();
+    }
+    auto Result = std::make_unique<BatchResult>(runJob(std::move(Job), Sheaf));
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      // A job can only be drained after completing, so its slot is still
+      // inside the window even if other drains happened meanwhile.
+      Done[Id - DrainedUpTo] = std::move(Result);
+    }
+    DoneCv.notify_all();
+  }
+}
+
+BatchResult CompileService::runJob(BatchJob Job, StatsSheaf &Sheaf) {
+  Timer Busy;
+  bool Reused = false;
+  std::unique_ptr<CompilerContext> Comp;
+  if (Cfg.WarmContexts && !Cfg.KeepContexts) {
+    Comp = Contexts.acquire(Job.Options, Reused);
+  } else {
+    Comp = std::make_unique<CompilerContext>(Job.Options);
+    if (Pages)
+      Comp->heap().setPagePool(Pages);
+  }
+  const SlabAllocator::Stats &Backend0 = Comp->heap().backendStats();
+  uint64_t PagesFromPool0 = Backend0.PagesFromPool;
+  uint64_t PagesMapped0 = Backend0.PagesMapped;
+  uint64_t SystemCalls0 = Backend0.SystemCalls;
+
+  BatchResult R = runBatchJob(std::move(Job), std::move(Comp));
+
+  Sheaf.add("service.jobsCompleted", 1);
+  if (Reused)
+    Sheaf.add("service.contextsReused", 1);
+  const SlabAllocator::Stats &Backend = R.Comp->heap().backendStats();
+  Sheaf.add("service.pagesShared", Backend.PagesFromPool - PagesFromPool0);
+  Sheaf.add("service.pagesMapped", Backend.PagesMapped - PagesMapped0);
+  Sheaf.add("service.realAllocs", Backend.SystemCalls - SystemCalls0);
+
+  if (!Cfg.KeepContexts) {
+    // Everything context-owned must die before the shell is recycled:
+    // the units' trees live in the context heap, and the bytecode /
+    // entry points / check failures reference its symbols.
+    R.Out.Units.clear();
+    R.Out.Prog = Program();
+    R.Out.EntryPoints.clear();
+    R.Out.CheckFailures.clear();
+    // Fold the job's pipeline counters into the service aggregate (in
+    // KeepContexts mode the caller owns them via the context).
+    Sheaf.merge(R.Comp->stats());
+    if (Cfg.WarmContexts)
+      Contexts.recycle(std::move(R.Comp));
+    else
+      R.Comp.reset();
+  }
+
+  Sheaf.add("service.busyMicros",
+            static_cast<uint64_t>(Busy.elapsedSeconds() * 1e6));
+  return R;
+}
+
+std::vector<BatchResult> CompileService::drain() {
+  std::vector<BatchResult> Results;
+  uint64_t Target;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Target = NextJobId;
+    // Completed slots never empty again, so a monotonic cursor checks
+    // each slot once across all wakeups — O(window) for the whole wait,
+    // not per notification.
+    uint64_t Scanned = DrainedUpTo;
+    DoneCv.wait(Lock, [&] {
+      while (Scanned < Target && Done[Scanned - DrainedUpTo])
+        ++Scanned;
+      return Scanned >= Target;
+    });
+    Results.reserve(Target - DrainedUpTo);
+    while (DrainedUpTo < Target) {
+      Results.push_back(std::move(*Done.front()));
+      Done.pop_front();
+      ++DrainedUpTo;
+    }
+  }
+
+  // Merge the per-worker sheaves; each drain folds only the deltas since
+  // the previous one, so the registry accumulates lifetime totals.
+  for (auto &Sheaf : Sheaves)
+    Sheaf->drainInto(Stats);
+  double WallSec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - StartedAt)
+                       .count();
+  double Capacity = WallSec * static_cast<double>(Workers.size());
+  double BusySec = static_cast<double>(Stats.get("service.busyMicros")) / 1e6;
+  Stats.counter("service.workerUtilization") =
+      Capacity > 0 ? static_cast<uint64_t>(100.0 * BusySec / Capacity) : 0;
+  return Results;
+}

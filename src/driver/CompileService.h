@@ -1,0 +1,175 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-service layer: a persistent worker pool that treats the
+/// compiler as a long-lived service rather than a one-shot CLI run.
+///
+/// Three ideas on top of the old batch driver:
+///
+///   1. Work queue. Jobs are enqueued (including while the service is
+///      running) onto a mutex+condvar queue; each worker dequeues ONE job
+///      at a time, so scheduling is load-balanced rather than sliced, and
+///      results are delivered in enqueue order at drain().
+///
+///   2. Warm contexts. A ContextPool recycles CompilerContext shells
+///      between jobs: CompilerContext::reset() restores name table, type
+///      interner, symbol world, and heap in O(live) — keeping table
+///      capacities, arena slabs, and (via the shared PagePool) mapped
+///      slab pages — instead of reconstructing everything cold. Name
+///      ordinals, symbol ids, and the allocation clock restart exactly as
+///      in a cold context, so a warm run's output is byte-identical to a
+///      cold run's (pinned by CompileServiceTest).
+///
+///   3. Per-worker stats sheaves. Workers record their counters
+///      (jobs completed, contexts reused, pages obtained from the shared
+///      pool, busy time) in private StatsSheaf blocks; drain() merges the
+///      sheaves into the service's StatsRegistry and derives
+///      service.workerUtilization — no shared counter is touched on the
+///      per-job path.
+///
+/// Context ownership has two modes. KeepContexts=true (what compileBatch
+/// uses) hands each result its context, exactly like the historical
+/// driver — contexts are then necessarily cold and unpooled, and no
+/// shared page pool is attached (the pool must not outlive into caller-
+/// owned contexts). KeepContexts=false is the service mode: the worker
+/// snapshots everything the caller may want (dumps, heap stats,
+/// diagnostics), strips the output of context-owned data, and returns
+/// the shell to the pool for the next job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_DRIVER_COMPILESERVICE_H
+#define MPC_DRIVER_COMPILESERVICE_H
+
+#include "driver/Batch.h"
+#include "memsim/PagePool.h"
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mpc {
+
+/// Mutex-guarded free list of reset CompilerContext shells. acquire()
+/// prefers a warm shell (already reset; just adopts the job's options)
+/// and falls back to constructing one; recycle() resets the shell and
+/// returns it. Every context the pool creates is attached to \p Pages
+/// when non-null, so slab pages flow between shells through the shared
+/// PagePool.
+class ContextPool {
+public:
+  explicit ContextPool(PagePool *Pages = nullptr) : Pages(Pages) {}
+  ContextPool(const ContextPool &) = delete;
+  ContextPool &operator=(const ContextPool &) = delete;
+
+  /// A context configured with \p Opts; \p Reused reports whether it is
+  /// a recycled warm shell.
+  std::unique_ptr<CompilerContext> acquire(const CompilerOptions &Opts,
+                                           bool &Reused);
+
+  /// Resets \p Comp (releasing its pages into the shared pool) and parks
+  /// the shell for the next acquire. Precondition: nothing references
+  /// the context's trees anymore.
+  void recycle(std::unique_ptr<CompilerContext> Comp);
+
+  /// Warm shells currently parked.
+  size_t size() const;
+
+private:
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<CompilerContext>> Free;
+  PagePool *Pages;
+};
+
+/// Service tuning knobs.
+struct ServiceConfig {
+  /// Worker threads; 0 = hardware concurrency (min 1).
+  unsigned Threads = 0;
+  /// Recycle CompilerContext shells between jobs via the ContextPool.
+  bool WarmContexts = true;
+  /// Attach a shared PagePool so slab pages mapped by one job serve the
+  /// next, across contexts and workers.
+  bool SharePages = true;
+  /// Use this pool instead of a service-owned one (e.g.
+  /// &processPagePool() to share pages process-wide across services).
+  PagePool *ExternalPages = nullptr;
+  /// Results keep their contexts (the historical compileBatch contract).
+  /// Forces cold, unpooled contexts with no shared pages — a context
+  /// that escapes to the caller must own its storage outright.
+  bool KeepContexts = false;
+};
+
+/// The persistent compile service.
+class CompileService {
+public:
+  explicit CompileService(ServiceConfig Config = ServiceConfig());
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+  /// Finishes all queued jobs, then stops and joins the workers.
+  ~CompileService();
+
+  /// Queues a job; legal at any time, including while workers are busy
+  /// and from multiple threads. Returns the job's id (== its position in
+  /// the overall enqueue order).
+  uint64_t enqueue(BatchJob Job);
+
+  /// Blocks until every job enqueued so far is complete and returns
+  /// their results in enqueue order (starting after the previous drain's
+  /// last job). Also merges the worker sheaves into stats() and refreshes
+  /// service.workerUtilization. Single consumer: call from one thread at
+  /// a time (enqueue() may race it freely).
+  std::vector<BatchResult> drain();
+
+  /// Merged service counters: service.jobsCompleted, contextsReused,
+  /// pagesShared, workerUtilization (percent), plus the aggregated
+  /// per-job context counters (fusion.*, heap.*, frontend.*) of recycled
+  /// jobs. Stable between drain() calls.
+  StatsRegistry &stats() { return Stats; }
+
+  /// The shared page pool in effect, or null.
+  PagePool *pagePool() { return Pages; }
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+private:
+  void workerMain(unsigned WorkerIdx);
+  BatchResult runJob(BatchJob Job, StatsSheaf &Sheaf);
+
+  ServiceConfig Cfg;
+  // Destruction order matters: workers join first (declared last), then
+  // the context pool drops its shells, then OwnPages frees pages the
+  // shells released into it.
+  std::unique_ptr<PagePool> OwnPages;
+  PagePool *Pages = nullptr;
+  ContextPool Contexts;
+
+  std::mutex M;
+  std::condition_variable QueueCv; // workers: queue non-empty or stopping
+  std::condition_variable DoneCv;  // drain(): a job finished
+  std::deque<std::pair<uint64_t, BatchJob>> Queue;
+  /// Result slots for the undrained id window [DrainedUpTo, NextJobId):
+  /// job \p Id lands at Done[Id - DrainedUpTo]; drain() hands the
+  /// completed prefix out and slides the window, so the vector stays
+  /// bounded by the in-flight job count on a long-lived service.
+  std::deque<std::unique_ptr<BatchResult>> Done;
+  uint64_t NextJobId = 0;
+  uint64_t DrainedUpTo = 0;
+  bool Stopping = false;
+
+  std::vector<std::unique_ptr<StatsSheaf>> Sheaves; // one per worker
+  StatsRegistry Stats;
+  std::chrono::steady_clock::time_point StartedAt;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace mpc
+
+#endif // MPC_DRIVER_COMPILESERVICE_H

@@ -13,6 +13,7 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
   size_t Names0 = Comp.names().size();
   uint64_t ArenaBytes = 0;
   std::vector<ParsedUnit> Parsed;
+  std::vector<Token> TokScratch; // one collection buffer for all units
   for (SourceInput &Src : Sources) {
     ParsedUnit PU;
     PU.FileName = Src.FileName;
@@ -21,7 +22,8 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
     PU.Arena = std::make_shared<SynArena>();
 
     Lexer Lex(PU.Source, PU.FileId, Comp.names(), Comp.diags());
-    Parser P(Lex.lexAll(), *PU.Arena, Comp.names(), Comp.diags());
+    Parser P(Lex.lexAll(*PU.Arena, TokScratch), *PU.Arena, Comp.names(),
+             Comp.diags());
     PU.Unit = P.parseUnit();
     ArenaBytes += PU.Arena->bytesUsed();
     Parsed.push_back(std::move(PU));

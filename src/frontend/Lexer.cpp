@@ -218,8 +218,9 @@ bool Lexer::canStartStatement(Tok K) {
   }
 }
 
-std::vector<Token> Lexer::lexAll() {
-  std::vector<Token> Tokens;
+SynList<Token> Lexer::lexAll(SynArena &Arena, std::vector<Token> &Scratch) {
+  std::vector<Token> &Tokens = Scratch;
+  Tokens.clear();
   Tok Prev = Tok::Semi;
   while (true) {
     bool SawNewline = false;
@@ -247,7 +248,11 @@ std::vector<Token> Lexer::lexAll() {
     Tokens.push_back(T);
     Prev = T.Kind;
   }
-  return Tokens;
+  // One exact-size arena span: the token stream lives and dies with the
+  // unit's syntax, and the caller's scratch capacity serves the next unit.
+  static_assert(std::is_trivially_copyable_v<Token>,
+                "tokens are copied into the arena bytewise");
+  return Arena.list(Tokens);
 }
 
 Token Lexer::make(Tok K) {

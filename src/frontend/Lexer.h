@@ -11,6 +11,7 @@
 #ifndef MPC_FRONTEND_LEXER_H
 #define MPC_FRONTEND_LEXER_H
 
+#include "frontend/Syntax.h"
 #include "frontend/Token.h"
 #include "support/Diagnostics.h"
 #include "support/NameTable.h"
@@ -20,14 +21,21 @@
 
 namespace mpc {
 
-/// Lexes a whole source buffer into a token vector (plus EOF sentinel).
+/// Lexes a whole source buffer into the unit's token stream (plus EOF
+/// sentinel). Tokens are collected in a caller-owned scratch vector and
+/// land as one exact-size span in the unit's SynArena, alongside the
+/// syntax nodes they will become — no per-unit std::vector survives the
+/// parse.
 class Lexer {
 public:
   Lexer(std::string_view Source, uint32_t FileId, NameTable &Names,
         DiagnosticEngine &Diags);
 
-  /// Runs the lexer; returns all tokens ending with EndOfFile.
-  std::vector<Token> lexAll();
+  /// Runs the lexer; returns all tokens ending with EndOfFile as an
+  /// arena-owned exact-size span. \p Scratch is the collection buffer:
+  /// a multi-unit caller passes the same vector for every unit so one
+  /// allocation's capacity serves the whole batch.
+  SynList<Token> lexAll(SynArena &Arena, std::vector<Token> &Scratch);
 
 private:
   char peek(unsigned Ahead = 0) const {

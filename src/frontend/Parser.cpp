@@ -5,13 +5,15 @@
 
 using namespace mpc;
 
-Parser::Parser(std::vector<Token> Toks, SynArena &Arena, NameTable &Names,
+Parser::Parser(SynList<Token> Toks, SynArena &Arena, NameTable &Names,
                DiagnosticEngine &Diags)
-    : Tokens(std::move(Toks)), Arena(Arena), Names(Names), Diags(Diags) {
+    : Tokens(Toks), Arena(Arena), Names(Names), Diags(Diags) {
   if (Tokens.empty()) {
+    // Defensive EOF sentinel for callers that hand-build token spans;
+    // Lexer::lexAll always terminates the stream itself.
     Token Eof;
     Eof.Kind = Tok::EndOfFile;
-    Tokens.push_back(Eof);
+    Tokens = Arena.list({Eof});
   }
 }
 

@@ -22,10 +22,12 @@
 
 namespace mpc {
 
-/// Parses one compilation unit's tokens into a SynUnit.
+/// Parses one compilation unit's tokens into a SynUnit. The token stream
+/// is an arena-owned span (see Lexer::lexAll) that must outlive the
+/// parser — in practice both live in the unit's SynArena.
 class Parser {
 public:
-  Parser(std::vector<Token> Tokens, SynArena &Arena, NameTable &Names,
+  Parser(SynList<Token> Tokens, SynArena &Arena, NameTable &Names,
          DiagnosticEngine &Diags);
 
   /// Parses the whole unit. On syntax errors, diagnostics are reported and
@@ -86,7 +88,7 @@ private:
   bool atOperator() const;
   Name operatorName() const;
 
-  std::vector<Token> Tokens;
+  SynList<Token> Tokens;
   size_t Pos = 0;
   SynArena &Arena;
   NameTable &Names;

@@ -2,6 +2,7 @@
 
 #include "ast/TreeUtils.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace mpc;
@@ -118,7 +119,7 @@ void Typer::declareClass(SynNode *ClsSyn, Symbol *Owner) {
     ModVal->setLoc(ClsSyn->Loc);
     MemberSyms[ClsSyn] = ModVal;
     if (TopLevel) {
-      if (Globals.count(ClsSyn->N.ordinal()))
+      if (Globals.find(ClsSyn->N.ordinal()))
         error(ClsSyn->Loc, "duplicate top-level name " + ClsSyn->N.str());
       Globals[ClsSyn->N.ordinal()] = ModVal;
     } else if (auto *OwnerCls = dyn_cast<ClassSymbol>(Owner)) {
@@ -126,7 +127,7 @@ void Typer::declareClass(SynNode *ClsSyn, Symbol *Owner) {
     }
   } else {
     if (TopLevel) {
-      if (Globals.count(ClsSyn->N.ordinal()))
+      if (Globals.find(ClsSyn->N.ordinal()))
         error(ClsSyn->Loc, "duplicate top-level name " + ClsSyn->N.str());
       Globals[ClsSyn->N.ordinal()] = Cls;
     }
@@ -178,9 +179,8 @@ const Type *Typer::resolveNamedType(SynType *T) {
       return Types.classType(Cls);
   }
   // Global classes.
-  auto It = Globals.find(T->N.ordinal());
-  if (It != Globals.end()) {
-    if (auto *Cls = dyn_cast<ClassSymbol>(It->second))
+  if (Symbol *const *Global = Globals.find(T->N.ordinal())) {
+    if (auto *Cls = dyn_cast<ClassSymbol>(*Global))
       return Types.classType(Cls);
   }
   error(T->Loc, "unknown type " + T->N.str());
@@ -205,9 +205,8 @@ const Type *Typer::resolveType(SynType *T) {
     if (Symbol *Sym = Scopes.lookup(T->N))
       Cls = dyn_cast<ClassSymbol>(Sym);
     if (!Cls) {
-      auto It = Globals.find(T->N.ordinal());
-      if (It != Globals.end())
-        Cls = dyn_cast<ClassSymbol>(It->second);
+      if (Symbol *const *Global = Globals.find(T->N.ordinal()))
+        Cls = dyn_cast<ClassSymbol>(*Global);
     }
     if (!Cls) {
       error(T->Loc, "unknown generic type " + T->N.str());
@@ -683,9 +682,8 @@ Symbol *Typer::lookupUnqualified(Name N, BodyCtx &Ctx, ClassSymbol **FoundIn) {
     }
   }
   // Globals (classes and module values).
-  auto It = Globals.find(N.ordinal());
-  if (It != Globals.end())
-    return It->second;
+  if (Symbol *const *Global = Globals.find(N.ordinal()))
+    return *Global;
   // Predef members (println & friends).
   if (Symbol *M = Comp.syms().predefModuleClass()->findDeclaredMember(N))
     return M;
@@ -891,19 +889,35 @@ bool Typer::unifyTypeParams(const Type *Declared, const Type *Actual,
 
 TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
                          std::vector<const Type *> ExplicitTypeArgs,
-                         std::vector<SynNode *> Args, BodyCtx &Ctx) {
+                         size_t ArgBase, BodyCtx &Ctx) {
   TreeContext &Trees = Comp.trees();
   TypeContext &Types = Comp.types();
   SymbolTable &Syms = Comp.syms();
 
-  // Type the arguments first (needed both for inference and checking).
-  TreeList ArgTrees;
-  for (SynNode *A : Args)
-    ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+  // The caller typed the arguments into ArgScratch[ArgBase..]; this
+  // function owns that region and truncates it on every exit path.
+  const size_t NumArgs = ArgScratch.size() - ArgBase;
+  auto Arg = [&](size_t I) -> TreePtr & { return ArgScratch[ArgBase + I]; };
+  auto Bail = [&]() {
+    ArgScratch.resize(ArgBase);
+    return errorTree(Loc);
+  };
+  // Builds the final Apply straight from the scratch: the function is
+  // appended and rotated to slot 0, then the contiguous [fun, args...]
+  // region is moved into the node without an intermediate list.
+  auto Finish = [&](TreePtr F, const Type *ResultTy) {
+    ArgScratch.push_back(std::move(F));
+    std::rotate(ArgScratch.begin() + ArgBase, ArgScratch.end() - 1,
+                ArgScratch.end());
+    TreePtr R = Trees.makeApply(Loc, ArgScratch.data() + ArgBase,
+                                NumArgs + 1, ResultTy);
+    ArgScratch.resize(ArgBase);
+    return R;
+  };
 
   const Type *FunTy = Fun->type();
   if (!FunTy)
-    return errorTree(Loc);
+    return Bail();
 
   // Applying an array value indexes it: a(i) -> a.apply(i).
   if (isa<RepeatedType>(FunTy)) {
@@ -932,11 +946,11 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
       std::vector<const Type *> Bindings(PT->typeParams().size(), nullptr);
       if (const auto *MT = dyn_cast<MethodType>(PT->underlying())) {
         size_t NDecl = MT->params().size();
-        for (size_t I = 0; I < ArgTrees.size(); ++I) {
+        for (size_t I = 0; I < NumArgs; ++I) {
           const Type *Declared =
               I < NDecl ? MT->params()[I]
                         : (NDecl ? MT->params()[NDecl - 1] : nullptr);
-          unifyTypeParams(Declared, ArgTrees[I]->type(), PT->typeParams(),
+          unifyTypeParams(Declared, Arg(I)->type(), PT->typeParams(),
                           Bindings);
         }
       }
@@ -952,7 +966,7 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
     }
     if (TypeArgs.size() != PT->typeParams().size()) {
       error(Loc, "wrong number of type arguments");
-      return errorTree(Loc);
+      return Bail();
     }
     const Type *Inst =
         Types.substitute(PT->underlying(), PT->typeParams(), TypeArgs);
@@ -965,20 +979,19 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
   const auto *MT = dyn_cast<MethodType>(FunTy);
   if (!MT) {
     error(Loc, "expression of type " + FunTy->show() + " is not callable");
-    return errorTree(Loc);
+    return Bail();
   }
 
   // Primitive operators: numeric promotion and the Boolean short-circuit
   // forms are handled by the caller; here we only compute result types.
   if (Fun->kind() == TreeKind::Select) {
     Symbol *Sym = cast<Select>(Fun.get())->sym();
-    if (Syms.isPrimOp(Sym) && ArgTrees.size() <= 1) {
+    if (Syms.isPrimOp(Sym) && NumArgs <= 1) {
       const Type *QualTy = cast<Select>(Fun.get())->qual()->type();
       std::string_view Op = Sym->name().text();
       bool IsArith = Op == "+" || Op == "-" || Op == "*" || Op == "/" ||
                      Op == "%" || Op == "unary_-";
-      const Type *ArgTy =
-          ArgTrees.empty() ? nullptr : ArgTrees[0]->type();
+      const Type *ArgTy = NumArgs == 0 ? nullptr : Arg(0)->type();
       // Numeric arguments only (== / != against non-primitives reroute
       // through Object.== below).
       bool ArgNumericOk =
@@ -989,8 +1002,7 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
         Symbol *ObjEq = Syms.objectClass()->findDeclaredMember(Sym->name());
         Fun = Trees.makeSelect(Loc, TreePtr(cast<Select>(Fun.get())->qual()),
                                ObjEq, ObjEq->info());
-        return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
-                               Types.booleanType());
+        return Finish(std::move(Fun), Types.booleanType());
       }
       // `1 + "s"` is string concatenation (Scala's any2stringadd): route
       // through String.+ so the whole expression types as String.
@@ -998,13 +1010,12 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
         Symbol *Concat = Syms.stringClass()->findDeclaredMember(Sym->name());
         Fun = Trees.makeSelect(Loc, TreePtr(cast<Select>(Fun.get())->qual()),
                                Concat, Concat->info());
-        return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
-                               Syms.stringType());
+        return Finish(std::move(Fun), Syms.stringType());
       }
       if (!ArgNumericOk) {
         error(Loc, "operator " + Sym->name().str() +
                        " expects a numeric operand");
-        return errorTree(Loc);
+        return Bail();
       }
       const Type *Result;
       if (IsArith) {
@@ -1016,8 +1027,7 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
       } else {
         Result = Types.booleanType(); // comparisons and equality
       }
-      return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
-                             Result);
+      return Finish(std::move(Fun), Result);
     }
   }
 
@@ -1026,30 +1036,31 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
   bool Vararg =
       !Params.empty() && isa<RepeatedType>(Params.back());
   size_t FixedCount = Vararg ? Params.size() - 1 : Params.size();
-  if ((!Vararg && ArgTrees.size() != Params.size()) ||
-      (Vararg && ArgTrees.size() < FixedCount)) {
+  if ((!Vararg && NumArgs != Params.size()) ||
+      (Vararg && NumArgs < FixedCount)) {
     error(Loc, "wrong number of arguments");
-    return errorTree(Loc);
+    return Bail();
   }
-  for (size_t I = 0; I < ArgTrees.size(); ++I) {
+  for (size_t I = 0; I < NumArgs; ++I) {
     const Type *Declared =
         I < FixedCount ? Params[I]
                        : cast<RepeatedType>(Params.back())->elem();
     const Type *Required = Declared->widenByName();
-    if (!Types.isSubtype(ArgTrees[I]->type(), Required))
+    if (!Types.isSubtype(Arg(I)->type(), Required))
       error(Loc, "argument " + std::to_string(I + 1) + " has type " +
-                     ArgTrees[I]->type()->show() + ", expected " +
+                     Arg(I)->type()->show() + ", expected " +
                      Required->show());
   }
-  return Trees.makeApply(Loc, std::move(Fun), std::move(ArgTrees),
-                         MT->result());
+  return Finish(std::move(Fun), MT->result());
 }
 
 TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
   TreeContext &Trees = Comp.trees();
   TypeContext &Types = Comp.types();
   SynNode *FunSyn = E->Kids[0];
-  std::vector<SynNode *> Args(E->Kids.begin() + 1, E->Kids.end());
+  // The argument list is a slice of the arena-owned kid span — no copy.
+  SynNode *const *Args = E->Kids.begin() + 1;
+  const size_t NumArgs = E->Kids.size() - 1;
 
   // Explicit type arguments?
   std::vector<const Type *> ExplicitTargs;
@@ -1062,18 +1073,21 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
 
   // Array literal: Array(e1, ..., en).
   if (Head->K == SynKind::Ref && Head->N.text() == "Array") {
-    TreeList Elems;
+    size_t Base = ArgScratch.size();
     const Type *ElemTy =
         ExplicitTargs.empty() ? nullptr : ExplicitTargs[0];
-    for (SynNode *A : Args) {
-      Elems.push_back(adapt(typedExpr(A, Ctx)));
-      ElemTy = ElemTy ? Types.lub(ElemTy, Elems.back()->type())
-                      : Elems.back()->type();
+    for (size_t I = 0; I < NumArgs; ++I) {
+      ArgScratch.push_back(adapt(typedExpr(Args[I], Ctx)));
+      ElemTy = ElemTy ? Types.lub(ElemTy, ArgScratch.back()->type())
+                      : ArgScratch.back()->type();
     }
     if (!ElemTy)
       ElemTy = Types.anyType();
-    return Trees.makeSeqLiteral(E->Loc, std::move(Elems), ElemTy,
-                                Types.arrayType(ElemTy));
+    TreePtr R = Trees.makeSeqLiteral(E->Loc, ArgScratch.data() + Base,
+                                     NumArgs, ElemTy,
+                                     Types.arrayType(ElemTy));
+    ArgScratch.resize(Base);
+    return R;
   }
 
   // Case-class construction without `new`.
@@ -1088,9 +1102,9 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
         return errorTree(E->Loc);
       }
       // Type arguments: explicit or inferred from the field types.
-      TreeList ArgTrees;
-      for (SynNode *A : Args)
-        ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+      size_t Base = ArgScratch.size();
+      for (size_t I = 0; I < NumArgs; ++I)
+        ArgScratch.push_back(adapt(typedExpr(Args[I], Ctx)));
       std::vector<const Type *> TypeArgs = ExplicitTargs;
       if (TypeArgs.empty() && !Cls->typeParams().empty()) {
         std::vector<const Type *> Bindings(Cls->typeParams().size(),
@@ -1098,8 +1112,9 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
         Symbol *Init = Cls->findDeclaredMember(Comp.syms().std().Init);
         const auto *InitMT = cast<MethodType>(Init->info());
         for (size_t I = 0;
-             I < ArgTrees.size() && I < InitMT->params().size(); ++I)
-          unifyTypeParams(InitMT->params()[I], ArgTrees[I]->type(),
+             I < NumArgs && I < InitMT->params().size(); ++I)
+          unifyTypeParams(InitMT->params()[I],
+                          ArgScratch[Base + I]->type(),
                           Cls->typeParams(), Bindings);
         for (auto *&B : Bindings)
           if (!B)
@@ -1111,16 +1126,19 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
       Symbol *Init = Cls->findDeclaredMember(Comp.syms().std().Init);
       const auto *InitMT = cast<MethodType>(Types.substitute(
           Init->info(), Cls->typeParams(), TypeArgs));
-      if (InitMT->params().size() != ArgTrees.size())
+      if (InitMT->params().size() != NumArgs)
         error(E->Loc, "wrong number of constructor arguments");
-      return Trees.makeNew(E->Loc, ClsTy, std::move(ArgTrees));
+      TreePtr R =
+          Trees.makeNew(E->Loc, ClsTy, ArgScratch.data() + Base, NumArgs);
+      ArgScratch.resize(Base);
+      return R;
     }
   }
 
   // Boolean short-circuit operators desugar to If right here.
   if (Head->K == SynKind::Select &&
       (Head->N.text() == "&&" || Head->N.text() == "||") &&
-      Args.size() == 1) {
+      NumArgs == 1) {
     TreePtr Lhs = adapt(typedExpr(Head->Kids[0], Ctx));
     if (Lhs->type() && Lhs->type()->isPrim(PrimKind::Boolean)) {
       TreePtr Rhs = adapt(typedExpr(Args[0], Ctx));
@@ -1136,13 +1154,17 @@ TreePtr Typer::typedApply(SynNode *E, BodyCtx &Ctx) {
     }
   }
 
-  // General call.
+  // General call. The function is typed first (matching the historical
+  // evaluation order), then the arguments land on the shared scratch.
   TreePtr Fun;
   if (Head->K == SynKind::Ref || Head->K == SynKind::Select)
     Fun = typedSelectOrRef(Head, Ctx);
   else
     Fun = typedExpr(Head, Ctx);
-  return applyCall(E->Loc, std::move(Fun), std::move(ExplicitTargs), Args,
+  size_t Base = ArgScratch.size();
+  for (size_t I = 0; I < NumArgs; ++I)
+    ArgScratch.push_back(adapt(typedExpr(Args[I], Ctx)));
+  return applyCall(E->Loc, std::move(Fun), std::move(ExplicitTargs), Base,
                    Ctx);
 }
 
@@ -1380,9 +1402,8 @@ TreePtr Typer::typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx) {
     if (Symbol *S = Scopes.lookup(P->N))
       Cls = dyn_cast<ClassSymbol>(S);
     if (!Cls) {
-      auto It = Globals.find(P->N.ordinal());
-      if (It != Globals.end())
-        Cls = dyn_cast<ClassSymbol>(It->second);
+      if (Symbol *const *Global = Globals.find(P->N.ordinal()))
+        Cls = dyn_cast<ClassSymbol>(*Global);
     }
     if (!Cls || !Cls->is(SymFlag::Case)) {
       error(P->Loc, P->N.str() + " is not a case class");
@@ -1547,26 +1568,33 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
     }
     const auto *InitMT = cast<MethodType>(Types.substitute(
         Init->info(), CT->cls()->typeParams(), CT->args()));
-    TreeList ArgTrees;
+    size_t Base = ArgScratch.size();
     for (SynNode *A : E->Kids)
-      ArgTrees.push_back(adapt(typedExpr(A, Ctx)));
+      ArgScratch.push_back(adapt(typedExpr(A, Ctx)));
     // `new Throwable` defaults its message, matching the JVM's
     // message-less Throwable() constructor.
-    if (ArgTrees.empty() && CT->cls() == Comp.syms().throwableClass() &&
+    if (ArgScratch.size() == Base &&
+        CT->cls() == Comp.syms().throwableClass() &&
         InitMT->params().size() == 1)
-      ArgTrees.push_back(Trees.makeLiteral(
+      ArgScratch.push_back(Trees.makeLiteral(
           E->Loc, Constant::makeString(Comp.names().intern("")),
           Comp.syms().stringType()));
-    if (ArgTrees.size() != InitMT->params().size()) {
+    size_t NumCtorArgs = ArgScratch.size() - Base;
+    if (NumCtorArgs != InitMT->params().size()) {
       error(E->Loc, "wrong number of constructor arguments");
     } else {
-      for (size_t I = 0; I < ArgTrees.size(); ++I)
-        if (!Types.isSubtype(ArgTrees[I]->type(), InitMT->params()[I]))
+      for (size_t I = 0; I < NumCtorArgs; ++I)
+        if (!Types.isSubtype(ArgScratch[Base + I]->type(),
+                             InitMT->params()[I]))
           error(E->Loc, "constructor argument " + std::to_string(I + 1) +
-                            " has type " + ArgTrees[I]->type()->show() +
+                            " has type " +
+                            ArgScratch[Base + I]->type()->show() +
                             ", expected " + InitMT->params()[I]->show());
     }
-    return Trees.makeNew(E->Loc, ClsTy, std::move(ArgTrees));
+    TreePtr R =
+        Trees.makeNew(E->Loc, ClsTy, ArgScratch.data() + Base, NumCtorArgs);
+    ArgScratch.resize(Base);
+    return R;
   }
   case SynKind::If: {
     TreePtr Cond = adapt(typedExpr(E->Kids[0], Ctx));
@@ -1697,9 +1725,13 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
       if (Arr->type() && isa<ArrayType>(Arr->type())) {
         TreePtr Upd = selectMember(E->Loc, std::move(Arr),
                                    Comp.syms().std().Update, Ctx);
-        std::vector<SynNode *> Args(Lhs->Kids.begin() + 1, Lhs->Kids.end());
-        Args.push_back(E->Kids[1]);
-        return applyCall(E->Loc, std::move(Upd), {}, Args, Ctx);
+        // Index arguments plus the assigned value, typed straight onto
+        // the shared scratch (no per-call argument vector).
+        size_t Base = ArgScratch.size();
+        for (size_t I = 1; I < Lhs->Kids.size(); ++I)
+          ArgScratch.push_back(adapt(typedExpr(Lhs->Kids[I], Ctx)));
+        ArgScratch.push_back(adapt(typedExpr(E->Kids[1], Ctx)));
+        return applyCall(E->Loc, std::move(Upd), {}, Base, Ctx);
       }
       error(E->Loc, "invalid assignment target");
       return errorTree(E->Loc);

@@ -26,6 +26,7 @@
 #include "core/CompilerContext.h"
 #include "frontend/ScopeStack.h"
 #include "frontend/Syntax.h"
+#include "support/FlatPtrMap.h"
 
 #include <memory>
 #include <unordered_map>
@@ -83,10 +84,14 @@ private:
   TreePtr selectMember(SourceLoc Loc, TreePtr Qual, Name N, BodyCtx &Ctx);
 
   /// Applies a function tree (with the given method/function type) to
-  /// typed arguments, checking conformance.
+  /// already-typed arguments, checking conformance. The arguments are
+  /// ArgScratch[ArgBase..] — the caller pushes them onto the shared
+  /// stack-shaped scratch (same pattern as FusedBlock::walk's
+  /// KidScratch); applyCall consumes that region and truncates the
+  /// scratch back to ArgBase before returning.
   TreePtr applyCall(SourceLoc Loc, TreePtr Fun,
                     std::vector<const Type *> ExplicitTypeArgs,
-                    std::vector<SynNode *> Args, BodyCtx &Ctx);
+                    size_t ArgBase, BodyCtx &Ctx);
 
   bool unifyTypeParams(const Type *Declared, const Type *Actual,
                        const std::vector<Symbol *> &Params,
@@ -99,10 +104,15 @@ private:
 
   CompilerContext &Comp;
   ScopeStack Scopes; // the one flat scope table for all passes
-  std::unordered_map<uint32_t, Symbol *> Globals; // name ordinal -> symbol
+  FlatOrdMap<Symbol *> Globals; // name ordinal -> top-level symbol
   std::unordered_map<const SynNode *, ClassSymbol *> ClassSyms;
   std::unordered_map<const SynNode *, Symbol *> MemberSyms;
   std::vector<SynNode *> AllClasses; // declaration order, nested included
+  /// Stack-shaped scratch holding the typed arguments of the call being
+  /// checked. Nested calls push above their caller's region and truncate
+  /// back on return, so one buffer serves the whole recursion — no
+  /// per-call std::vector.
+  TreeList ArgScratch;
 };
 
 } // namespace mpc

@@ -135,6 +135,20 @@ public:
   void setSlabEnabled(bool E) { Slab.setEnabled(E); }
   bool slabEnabled() const { return Slab.enabled(); }
 
+  /// Attaches the cross-context shared page pool (see PagePool.h). Only
+  /// legal while the slab holds no pages.
+  void setPagePool(PagePool *Pool) { Slab.setPagePool(Pool); }
+  PagePool *pagePool() const { return Slab.pagePool(); }
+
+  /// Warm-reuse reset: returns every slab page (to the shared pool when
+  /// attached), clears the simulated statistics and the allocation
+  /// clock. The caller guarantees no object allocated from this heap is
+  /// still referenced. Generational geometry is preserved.
+  void reset() {
+    Slab.releaseAll();
+    resetStats();
+  }
+
   /// Backend counters: slab hits, pages mapped, system-allocator calls.
   const SlabAllocator::Stats &backendStats() const { return Slab.stats(); }
 

@@ -1,0 +1,10 @@
+#include "memsim/PagePool.h"
+
+using namespace mpc;
+
+PagePool &mpc::processPagePool() {
+  // Deliberately leaked: allocators attached to the process-wide pool may
+  // release pages into it from static-destruction order we don't control.
+  static PagePool *Pool = new PagePool();
+  return *Pool;
+}

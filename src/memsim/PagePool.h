@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe pool of retired slab pages shared across compiler
+/// contexts.
+///
+/// Each SlabAllocator recycles its own fully-freed pages; attaching a
+/// PagePool lifts that recycle pool out of the allocator so pages mapped
+/// while compiling one job serve the next job — possibly on a different
+/// worker thread with a different CompilerContext. The pool owns every
+/// page it holds: an allocator that puts a page in transfers ownership,
+/// and takes ownership back when it takes one out, so contexts can come
+/// and go while the pool (owned by the CompileService, or the process-wide
+/// instance from processPagePool()) keeps the memory alive.
+///
+/// All operations are mutex-guarded; they run once per 64 KiB page, never
+/// per allocation, so the lock is far off the allocation fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_MEMSIM_PAGEPOOL_H
+#define MPC_MEMSIM_PAGEPOOL_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+namespace mpc {
+
+/// Mutex-guarded stack of page-sized blocks (see SlabAllocator::PageBytes).
+class PagePool {
+public:
+  PagePool() = default;
+  PagePool(const PagePool &) = delete;
+  PagePool &operator=(const PagePool &) = delete;
+  ~PagePool() {
+    for (void *Page : Pages)
+      std::free(Page);
+  }
+
+  /// Takes a page out of the pool (ownership moves to the caller), or
+  /// returns null when the pool is empty.
+  void *take() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Pages.empty())
+      return nullptr;
+    void *Page = Pages.back();
+    Pages.pop_back();
+    ++NumTaken;
+    return Page;
+  }
+
+  /// Puts a page into the pool; the pool now owns it.
+  void put(void *Page) {
+    std::lock_guard<std::mutex> Lock(M);
+    Pages.push_back(Page);
+    ++NumPut;
+  }
+
+  /// Pages currently held.
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Pages.size();
+  }
+
+  /// Lifetime traffic counters (snapshot under the lock).
+  struct Stats {
+    uint64_t PagesPut = 0;
+    uint64_t PagesTaken = 0;
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return {NumPut, NumTaken};
+  }
+
+private:
+  mutable std::mutex M;
+  std::vector<void *> Pages;
+  uint64_t NumPut = 0;
+  uint64_t NumTaken = 0;
+};
+
+/// The optional process-wide pool: every CompileService (and any direct
+/// SlabAllocator user) that opts in shares one page inventory, so pages
+/// survive service teardown and prime the next service. Constructed on
+/// first use; intentionally leaked at exit (pages outlive any user).
+PagePool &processPagePool();
+
+} // namespace mpc
+
+#endif // MPC_MEMSIM_PAGEPOOL_H

@@ -25,6 +25,18 @@
 ///     retiring and re-priming a page per cycle;
 ///   - oversize requests fall back to the system allocator.
 ///
+/// The recycle pool exists at two scopes. By default it is allocator-local
+/// (a retired page serves this allocator's next takePage). Attaching a
+/// PagePool (setPagePool) lifts it process-wide: retired pages transfer to
+/// the shared, mutex-guarded pool and takePage pulls from it, so pages
+/// mapped while compiling one job serve the next job in a *different*
+/// context — the CompileService's warm-page path. Ownership follows the
+/// page: the allocator tracks the pages it currently holds on an intrusive
+/// list threaded through the page headers and, at destruction or
+/// releaseAll(), frees them (no shared pool) or returns them to the shared
+/// pool (which then owns them). The allocator itself stays single-threaded;
+/// only the PagePool handoff is synchronized.
+///
 /// Steady-state compilation touches the system allocator once per 64 KiB,
 /// and an idle class's emptied pages are reusable everywhere. The backend
 /// is deliberately invisible to the simulated figures: switching it off
@@ -36,7 +48,9 @@
 ///   SlabAllocs     allocations served from slab storage ("slab hits")
 ///   PagesMapped    64 KiB pages requested from the system allocator
 ///   PagesRetired   pages that went fully free and left their class
-///   PagesRecycled  retired pages put back into service
+///   PagesRecycled  retired pages put back into service (either pool)
+///   PagesToPool    pages handed to the shared PagePool
+///   PagesFromPool  pages obtained from the shared PagePool
 ///   FallbackAllocs oversize allocations passed to the system allocator
 ///   SystemCalls    total system-allocator calls ("real" allocations)
 ///
@@ -44,6 +58,8 @@
 
 #ifndef MPC_MEMSIM_SLABALLOCATOR_H
 #define MPC_MEMSIM_SLABALLOCATOR_H
+
+#include "memsim/PagePool.h"
 
 #include <cassert>
 #include <cstddef>
@@ -73,6 +89,8 @@ public:
     uint64_t PagesMapped = 0;
     uint64_t PagesRetired = 0;
     uint64_t PagesRecycled = 0;
+    uint64_t PagesToPool = 0;
+    uint64_t PagesFromPool = 0;
     uint64_t FallbackAllocs = 0;
     uint64_t SystemCalls = 0;
   };
@@ -80,10 +98,7 @@ public:
   explicit SlabAllocator(bool Enabled = true) : Enabled(Enabled) {}
   SlabAllocator(const SlabAllocator &) = delete;
   SlabAllocator &operator=(const SlabAllocator &) = delete;
-  ~SlabAllocator() {
-    for (void *Page : AllPages)
-      std::free(Page);
-  }
+  ~SlabAllocator() { releaseAll(); }
 
   /// Turns the slab on/off. Only legal before the first allocation (the
   /// free path must agree with the alloc path on who owns each block).
@@ -92,6 +107,15 @@ public:
     Enabled = E;
   }
   bool enabled() const { return Enabled; }
+
+  /// Attaches the shared page pool (null detaches). Only legal while the
+  /// allocator holds no pages, so every held page has one unambiguous
+  /// release destination.
+  void setPagePool(PagePool *Pool) {
+    assert(!HeldHead && "page-pool switch while pages are held");
+    Shared = Pool;
+  }
+  PagePool *pagePool() const { return Shared; }
 
   void *allocate(size_t Size) {
     ++TotalAllocs;
@@ -143,6 +167,30 @@ public:
     }
   }
 
+  /// Returns every page this allocator holds — the context-recycling
+  /// "everything is dead now" path, where remaining live blocks die with
+  /// their pages. Pages go back to the shared pool when one is attached,
+  /// otherwise to the system. Afterwards the allocator is as fresh as a
+  /// newly constructed one (cumulative stats excepted), so setEnabled /
+  /// setPagePool become legal again. O(pages held).
+  void releaseAll() {
+    for (PageHeader *P = HeldHead; P;) {
+      PageHeader *Next = P->OwnNext;
+      if (Shared) {
+        ++S.PagesToPool;
+        Shared->put(P);
+      } else {
+        std::free(P);
+      }
+      P = Next;
+    }
+    HeldHead = nullptr;
+    LocalPool.clear();
+    for (unsigned C = 0; C < NumClasses; ++C)
+      Avail[C] = nullptr;
+    TotalAllocs = 0;
+  }
+
   const Stats &stats() const { return S; }
 
 private:
@@ -153,6 +201,8 @@ private:
   struct PageHeader {
     PageHeader *Prev = nullptr; // available-list links (null = unlinked)
     PageHeader *Next = nullptr;
+    PageHeader *OwnPrev = nullptr; // held-list links (all pages we own)
+    PageHeader *OwnNext = nullptr;
     FreeNode *Free = nullptr;   // freed blocks of this page
     uint32_t Live = 0;          // blocks currently handed out
     uint32_t Carved = 0;        // blocks carved from the bump region
@@ -217,34 +267,70 @@ private:
     P->InAvail = false;
   }
 
-  /// Fully-free page leaves its class for the shared recycle pool.
+  void linkHeld(PageHeader *P) {
+    P->OwnPrev = nullptr;
+    P->OwnNext = HeldHead;
+    if (HeldHead)
+      HeldHead->OwnPrev = P;
+    HeldHead = P;
+  }
+
+  void unlinkHeld(PageHeader *P) {
+    if (P->OwnPrev)
+      P->OwnPrev->OwnNext = P->OwnNext;
+    else
+      HeldHead = P->OwnNext;
+    if (P->OwnNext)
+      P->OwnNext->OwnPrev = P->OwnPrev;
+    P->OwnPrev = P->OwnNext = nullptr;
+  }
+
+  /// Fully-free page leaves its class for the recycle pool: the shared
+  /// PagePool when attached (ownership transfers), else the local pool
+  /// (page stays held).
   void retire(PageHeader *P) {
     unlinkAvail(P);
-    Pool.push_back(P);
     ++S.PagesRetired;
+    if (Shared) {
+      unlinkHeld(P);
+      ++S.PagesToPool;
+      Shared->put(P);
+    } else {
+      LocalPool.push_back(P);
+    }
   }
 
   PageHeader *takePage(unsigned C) {
-    void *Mem;
-    if (!Pool.empty()) {
-      Mem = Pool.back();
-      Pool.pop_back();
+    void *Mem = nullptr;
+    bool WasHeld = false;
+    if (!LocalPool.empty()) {
+      Mem = LocalPool.back();
+      LocalPool.pop_back();
       ++S.PagesRecycled;
+      WasHeld = true;
+    } else if (Shared && (Mem = Shared->take())) {
+      ++S.PagesRecycled;
+      ++S.PagesFromPool;
     } else {
       Mem = std::aligned_alloc(PageBytes, PageBytes);
-      AllPages.push_back(Mem);
       ++S.PagesMapped;
       ++S.SystemCalls;
     }
-    auto *P = new (Mem) PageHeader();
+    auto *P = static_cast<PageHeader *>(Mem);
+    if (WasHeld)
+      unlinkHeld(P); // header re-init below would wipe the links
+    P = new (Mem) PageHeader();
     P->ClassIdx = C;
+    linkHeld(P);
     linkAvailFront(P);
     return P;
   }
 
   PageHeader *Avail[NumClasses] = {}; // pages with a free block / carve room
-  std::vector<void *> Pool;           // retired pages awaiting reuse
-  std::vector<void *> AllPages;       // every page ever mapped (teardown)
+  PageHeader *HeldHead = nullptr;     // every page we own (teardown/release)
+  std::vector<void *> LocalPool;      // retired pages awaiting reuse (no
+                                      // shared pool attached)
+  PagePool *Shared = nullptr;
   bool Enabled;
   uint64_t TotalAllocs = 0;
   Stats S;

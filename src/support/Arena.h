@@ -76,18 +76,44 @@ public:
   /// Total bytes handed out (excluding alignment waste).
   uint64_t bytesUsed() const { return TotalUsed; }
 
+  /// Logically empties the arena for reuse, retaining the largest slab
+  /// so a warm arena serves the next compilation without re-growing from
+  /// scratch (usually the newest slab, but an early oversized request
+  /// can leave the largest one mid-list). All previously returned
+  /// pointers are invalidated. O(number of retired slabs).
+  void reset() {
+    if (Slabs.empty()) {
+      TotalUsed = 0;
+      return;
+    }
+    size_t Largest = 0;
+    for (size_t I = 1; I < Slabs.size(); ++I)
+      if (Slabs[I].Size > Slabs[Largest].Size)
+        Largest = I;
+    if (Largest != 0)
+      Slabs.front() = std::move(Slabs[Largest]);
+    Slabs.resize(1);
+    Cur = Slabs.front().Mem.get();
+    End = Cur + Slabs.front().Size;
+    TotalUsed = 0;
+  }
+
 private:
   void growSlab(size_t AtLeast) {
     size_t Size = NextSlabSize;
     if (Size < AtLeast)
       Size = AtLeast * 2;
     NextSlabSize = NextSlabSize * 2;
-    Slabs.push_back(std::make_unique<char[]>(Size));
-    Cur = Slabs.back().get();
+    Slabs.push_back({std::make_unique<char[]>(Size), Size});
+    Cur = Slabs.back().Mem.get();
     End = Cur + Size;
   }
 
-  std::vector<std::unique_ptr<char[]>> Slabs;
+  struct SlabRec {
+    std::unique_ptr<char[]> Mem;
+    size_t Size;
+  };
+  std::vector<SlabRec> Slabs;
   char *Cur = nullptr;
   char *End = nullptr;
   size_t NextSlabSize = 4096;

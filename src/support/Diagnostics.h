@@ -74,6 +74,13 @@ public:
     NumErrors = 0;
   }
 
+  /// Full reset for context recycling: clears diagnostics AND the file
+  /// table, so a warm context assigns the same file ids as a cold one.
+  void reset() {
+    clear();
+    Files.clear();
+  }
+
 private:
   std::vector<Diagnostic> Diags;
   std::vector<std::string> Files;

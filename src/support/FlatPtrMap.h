@@ -1,18 +1,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Flat open-addressing hash map keyed by pointer.
+/// Flat open-addressing hash maps: pointer-keyed (FlatPtrMap) and
+/// name-ordinal-keyed (FlatOrdMap).
 ///
-/// Purpose-built for the fusion engine's DAG memo (input node address ->
-/// transformed subtree): one contiguous slot array, linear probing, and a
-/// multiplicative pointer hash. Compared to std::unordered_map this does
-/// no per-entry allocation and probes cache-adjacent slots, which matters
-/// because the memo is consulted once per shared-subtree visit on the
-/// traversal hot path.
+/// FlatPtrMap is purpose-built for the fusion engine's DAG memo (input
+/// node address -> transformed subtree): one contiguous slot array, linear
+/// probing, and a multiplicative pointer hash. Compared to
+/// std::unordered_map this does no per-entry allocation and probes
+/// cache-adjacent slots, which matters because the memo is consulted once
+/// per shared-subtree visit on the traversal hot path.
 ///
-/// Restrictions that keep it simple: keys are non-null pointers, entries
-/// are never erased individually (clear() drops everything, retaining
-/// capacity), and insertion never overwrites an existing key.
+/// FlatOrdMap applies the same layout to dense uint32 name ordinals (the
+/// ScopeStack's key scheme: slots store ordinal+1 so ordinal 0 — the
+/// empty Name — never collides with the empty-slot sentinel). It backs
+/// the typer's global table and the per-class member index.
+///
+/// Restrictions that keep both simple: keys are non-null (pointers) /
+/// any ordinal (FlatOrdMap), entries are never erased individually
+/// (clear() drops everything, retaining capacity).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -103,6 +109,101 @@ private:
         if (!Slots[I].Key) {
           Slots[I].Key = S.Key;
           Slots[I].Value = std::move(S.Value);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Num = 0;
+};
+
+/// Open-addressing map keyed by a name ordinal (uint32). Same layout as
+/// the ScopeStack's slot table: linear probing over ordinal+1 keys with a
+/// multiplicative hash, no tombstones. \p ValueT must be
+/// default-constructible; the default value doubles as "absent" for
+/// lookup() (the typer stores non-null Symbol pointers).
+template <typename ValueT> class FlatOrdMap {
+public:
+  /// Pointer to the value mapped to \p Ord, or null when absent.
+  ValueT *find(uint32_t Ord) {
+    if (Slots.empty())
+      return nullptr;
+    size_t Mask = Slots.size() - 1;
+    uint32_t Key = Ord + 1;
+    for (size_t I = hashOrd(Ord) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.OrdPlus1 == Key)
+        return &S.Value;
+      if (S.OrdPlus1 == 0)
+        return nullptr;
+    }
+  }
+  const ValueT *find(uint32_t Ord) const {
+    return const_cast<FlatOrdMap *>(this)->find(Ord);
+  }
+
+  /// The value slot for \p Ord, inserting a default-constructed value
+  /// when the key is new (std::map::operator[] semantics).
+  ValueT &operator[](uint32_t Ord) {
+    if (Slots.size() < 8 || Num * 4 >= Slots.size() * 3)
+      grow();
+    size_t Mask = Slots.size() - 1;
+    uint32_t Key = Ord + 1;
+    for (size_t I = hashOrd(Ord) & Mask;; I = (I + 1) & Mask) {
+      Slot &S = Slots[I];
+      if (S.OrdPlus1 == Key)
+        return S.Value;
+      if (S.OrdPlus1 == 0) {
+        S.OrdPlus1 = Key;
+        ++Num;
+        return S.Value;
+      }
+    }
+  }
+
+  /// Inserts \p Ord -> \p Value when absent; existing entries win (the
+  /// declaration-order "first match" of a linear member scan).
+  void insertIfAbsent(uint32_t Ord, ValueT Value) {
+    ValueT &Slot = (*this)[Ord];
+    if (Slot == ValueT())
+      Slot = std::move(Value);
+  }
+
+  /// Drops all entries but keeps the slot array capacity.
+  void clear() {
+    for (Slot &S : Slots) {
+      S.OrdPlus1 = 0;
+      S.Value = ValueT();
+    }
+    Num = 0;
+  }
+
+  size_t size() const { return Num; }
+  bool empty() const { return Num == 0; }
+
+private:
+  struct Slot {
+    uint32_t OrdPlus1 = 0; // key ordinal + 1; 0 = empty slot
+    ValueT Value{};
+  };
+
+  static size_t hashOrd(uint32_t Ord) {
+    uint64_t H = Ord * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(H ^ (H >> 32));
+  }
+
+  void grow() {
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(Old.empty() ? 16 : Old.size() * 2, Slot());
+    size_t Mask = Slots.size() - 1;
+    for (Slot &S : Old) {
+      if (S.OrdPlus1 == 0)
+        continue;
+      for (size_t I = hashOrd(S.OrdPlus1 - 1) & Mask;; I = (I + 1) & Mask) {
+        if (Slots[I].OrdPlus1 == 0) {
+          Slots[I] = std::move(S);
           break;
         }
       }

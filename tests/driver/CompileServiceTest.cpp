@@ -1,0 +1,208 @@
+//===----------------------------------------------------------------------===//
+// Compile-service tests: the persistent worker pool with warm context
+// reuse and the shared page pool must be observationally identical to
+// serial cold-context compilation.
+//
+//   * Determinism differential: per-job typed tree dumps and HeapStats
+//     are byte-identical to a serial cold-context baseline at worker
+//     counts 1, 4, and 8, over the corpus plus generated stdlib/dotty
+//     workloads.
+//   * Context-reuse invariance: a warm (recycled) context produces the
+//     same output as a cold one, and the service actually reuses shells.
+//   * Page-pool stress: many small jobs churn pages through the shared
+//     pool (service.pagesShared > 0) with no allocator corruption — the
+//     SlabAllocator's internal invariants run under every job.
+//   * Queue behavior: enqueue-while-running across multiple drains keeps
+//     in-order delivery and accumulates counters.
+//===----------------------------------------------------------------------===//
+
+#include "driver/CompileService.h"
+#include "workload/Corpus.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+/// The job list both sides compile: every corpus program plus two
+/// generated code bases (the paper's stdlib/dotty stand-ins, tiny scale).
+std::vector<BatchJob> serviceJobs() {
+  std::vector<BatchJob> Jobs;
+  for (const CorpusProgram &P : corpusPrograms()) {
+    BatchJob J;
+    J.Sources.push_back({P.Name + ".scala", P.Source});
+    J.WantDump = true;
+    Jobs.push_back(std::move(J));
+  }
+  for (bool Dotty : {false, true}) {
+    WorkloadProfile P = Dotty ? dottyProfile(0.02) : stdlibProfile(0.02);
+    P.UnitsHint = 2;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    J.WantDump = true;
+    Jobs.push_back(std::move(J));
+  }
+  return Jobs;
+}
+
+void expectSameHeap(const HeapStats &A, const HeapStats &B,
+                    const std::string &Label) {
+  EXPECT_EQ(A.AllocatedBytes, B.AllocatedBytes) << Label;
+  EXPECT_EQ(A.AllocatedObjects, B.AllocatedObjects) << Label;
+  EXPECT_EQ(A.TenuredBytes, B.TenuredBytes) << Label;
+  EXPECT_EQ(A.TenuredObjects, B.TenuredObjects) << Label;
+  EXPECT_EQ(A.TenuredBeforeBoundaryBytes, B.TenuredBeforeBoundaryBytes)
+      << Label;
+  EXPECT_EQ(A.FreedBytes, B.FreedBytes) << Label;
+  EXPECT_EQ(A.FreedObjects, B.FreedObjects) << Label;
+  EXPECT_EQ(A.MinorGCs, B.MinorGCs) << Label;
+  EXPECT_EQ(A.LiveBytes, B.LiveBytes) << Label;
+  EXPECT_EQ(A.PeakLiveBytes, B.PeakLiveBytes) << Label;
+}
+
+/// The reference: one cold context per job, no service, no pooling —
+/// exactly what a serial compileBatch run used to do.
+std::vector<BatchResult> serialColdBaseline(std::vector<BatchJob> Jobs) {
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  Cfg.WarmContexts = false;
+  Cfg.SharePages = false;
+  CompileService Service(Cfg);
+  for (BatchJob &J : Jobs)
+    Service.enqueue(std::move(J));
+  return Service.drain();
+}
+
+TEST(CompileService, WarmSharedServiceMatchesSerialColdAtEveryThreadCount) {
+  std::vector<BatchResult> Baseline = serialColdBaseline(serviceJobs());
+  for (unsigned Threads : {1u, 4u, 8u}) {
+    ServiceConfig Cfg;
+    Cfg.Threads = Threads;
+    Cfg.WarmContexts = true;
+    Cfg.SharePages = true;
+    CompileService Service(Cfg);
+    std::vector<BatchJob> Jobs = serviceJobs();
+    for (BatchJob &J : Jobs)
+      Service.enqueue(std::move(J));
+    std::vector<BatchResult> Results = Service.drain();
+    ASSERT_EQ(Results.size(), Baseline.size()) << Threads << " threads";
+    for (size_t I = 0; I < Results.size(); ++I) {
+      std::string Label =
+          "job " + std::to_string(I) + " @ " + std::to_string(Threads) +
+          " threads";
+      EXPECT_FALSE(Results[I].HadErrors)
+          << Label << ": " << Results[I].DiagText;
+      EXPECT_FALSE(Results[I].DumpText.empty()) << Label;
+      EXPECT_EQ(Results[I].DumpText, Baseline[I].DumpText) << Label;
+      expectSameHeap(Results[I].Heap, Baseline[I].Heap, Label);
+      // Service mode: contexts were recycled, not returned.
+      EXPECT_EQ(Results[I].Comp, nullptr) << Label;
+    }
+    EXPECT_EQ(Service.stats().get("service.jobsCompleted"), Jobs.size());
+  }
+}
+
+TEST(CompileService, WarmContextProducesColdOutput) {
+  // One worker, so the second round runs on recycled shells for sure.
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  CompileService Service(Cfg);
+  std::vector<BatchJob> Round1 = serviceJobs();
+  std::vector<BatchJob> Round2 = serviceJobs();
+  for (BatchJob &J : Round1)
+    Service.enqueue(std::move(J));
+  std::vector<BatchResult> First = Service.drain();
+  for (BatchJob &J : Round2)
+    Service.enqueue(std::move(J));
+  std::vector<BatchResult> Second = Service.drain();
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].DumpText, Second[I].DumpText) << "job " << I;
+    expectSameHeap(First[I].Heap, Second[I].Heap,
+                   "job " + std::to_string(I));
+  }
+  // Round 2 ran entirely on warm shells.
+  EXPECT_GE(Service.stats().get("service.contextsReused"), First.size());
+}
+
+TEST(CompileService, PagePoolStressSharesPagesAcrossJobs) {
+  ServiceConfig Cfg;
+  Cfg.Threads = 4;
+  CompileService Service(Cfg);
+  ASSERT_NE(Service.pagePool(), nullptr);
+  // Many small jobs: every completion releases its pages into the shared
+  // pool, every start pulls from it.
+  unsigned NumJobs = 24;
+  for (uint64_t Seed = 1; Seed <= NumJobs; ++Seed) {
+    WorkloadProfile P = stdlibProfile(0.01);
+    P.Seed = Seed;
+    P.UnitsHint = 1;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    Service.enqueue(std::move(J));
+  }
+  std::vector<BatchResult> Results = Service.drain();
+  ASSERT_EQ(Results.size(), NumJobs);
+  for (size_t I = 0; I < Results.size(); ++I)
+    EXPECT_FALSE(Results[I].HadErrors) << "job " << I;
+  EXPECT_EQ(Service.stats().get("service.jobsCompleted"), NumJobs);
+  // Pages mapped by earlier jobs served later ones.
+  EXPECT_GT(Service.stats().get("service.pagesShared"), 0u);
+  // All shells are parked, so their pages are back in the pool.
+  EXPECT_GT(Service.pagePool()->size(), 0u);
+  PagePool::Stats PS = Service.pagePool()->stats();
+  EXPECT_GE(PS.PagesPut, PS.PagesTaken);
+}
+
+TEST(CompileService, EnqueueWhileRunningKeepsOrderAcrossDrains) {
+  ServiceConfig Cfg;
+  Cfg.Threads = 2;
+  CompileService Service(Cfg);
+  const auto &Corpus = corpusPrograms();
+  auto JobFor = [&](size_t I) {
+    BatchJob J;
+    J.Sources.push_back(
+        {Corpus[I].Name + ".scala", Corpus[I].Source});
+    J.WantDump = true;
+    return J;
+  };
+  // First wave enqueued while workers may already be chewing on it.
+  std::vector<uint64_t> Ids;
+  for (size_t I = 0; I < 3 && I < Corpus.size(); ++I)
+    Ids.push_back(Service.enqueue(JobFor(I)));
+  std::vector<BatchResult> Wave1 = Service.drain();
+  ASSERT_EQ(Wave1.size(), Ids.size());
+  EXPECT_EQ(Ids.front(), 0u);
+  // Second wave on the same (still running) service.
+  for (size_t I = 0; I < 3 && I < Corpus.size(); ++I)
+    Service.enqueue(JobFor(I));
+  std::vector<BatchResult> Wave2 = Service.drain();
+  ASSERT_EQ(Wave2.size(), Wave1.size());
+  for (size_t I = 0; I < Wave1.size(); ++I)
+    EXPECT_EQ(Wave1[I].DumpText, Wave2[I].DumpText) << "job " << I;
+  EXPECT_EQ(Service.stats().get("service.jobsCompleted"),
+            Wave1.size() + Wave2.size());
+  EXPECT_GT(Service.stats().get("service.contextsReused"), 0u);
+}
+
+TEST(CompileService, ErrorsStayIsolatedWithoutContexts) {
+  ServiceConfig Cfg;
+  Cfg.Threads = 2;
+  CompileService Service(Cfg);
+  BatchJob Good;
+  Good.Sources.push_back({"ok.scala", corpusPrograms()[0].Source});
+  BatchJob Bad;
+  Bad.Sources.push_back({"bad.scala", "class C { def f(): Int = missing }"});
+  Service.enqueue(std::move(Good));
+  Service.enqueue(std::move(Bad));
+  std::vector<BatchResult> Results = Service.drain();
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_FALSE(Results[0].HadErrors);
+  EXPECT_TRUE(Results[1].HadErrors);
+  EXPECT_NE(Results[1].DiagText.find("not found: missing"),
+            std::string::npos);
+}
+
+} // namespace

@@ -12,17 +12,19 @@ using namespace mpc;
 
 namespace {
 
-std::vector<Token> lex(const char *Src, NameTable &Names,
-                       DiagnosticEngine &Diags) {
+SynList<Token> lex(const char *Src, SynArena &Arena, NameTable &Names,
+                   DiagnosticEngine &Diags) {
   Lexer L(Src, 0, Names, Diags);
-  return L.lexAll();
+  std::vector<Token> Scratch;
+  return L.lexAll(Arena, Scratch);
 }
 
 TEST(LexerTest, TokensAndLiterals) {
   NameTable Names;
   DiagnosticEngine Diags;
-  auto Toks = lex(R"(class Foo { val x = 42; var s = "hi\n"; 3.5 })", Names,
-                  Diags);
+  SynArena Arena;
+  auto Toks = lex(R"(class Foo { val x = 42; var s = "hi\n"; 3.5 })", Arena,
+                  Names, Diags);
   EXPECT_FALSE(Diags.hasErrors());
   ASSERT_GE(Toks.size(), 10u);
   EXPECT_EQ(Toks[0].Kind, Tok::KwClass);
@@ -45,8 +47,9 @@ TEST(LexerTest, TokensAndLiterals) {
 TEST(LexerTest, SemicolonInference) {
   NameTable Names;
   DiagnosticEngine Diags;
+  SynArena Arena;
   // Newline after `1` ends the statement; after `+` it must not.
-  auto Toks = lex("val x = 1\nval y = 2 +\n3", Names, Diags);
+  auto Toks = lex("val x = 1\nval y = 2 +\n3", Arena, Names, Diags);
   int Semis = 0;
   for (const Token &T : Toks)
     if (T.Kind == Tok::Semi)
@@ -57,14 +60,17 @@ TEST(LexerTest, SemicolonInference) {
 TEST(LexerTest, CommentsAreSkipped) {
   NameTable Names;
   DiagnosticEngine Diags;
-  auto Toks = lex("// line\n/* block\nstill */ val x = 1", Names, Diags);
+  SynArena Arena;
+  auto Toks =
+      lex("// line\n/* block\nstill */ val x = 1", Arena, Names, Diags);
   EXPECT_EQ(Toks[0].Kind, Tok::KwVal);
 }
 
 SynUnit parse(const char *Src, SynArena &Arena, NameTable &Names,
               DiagnosticEngine &Diags) {
   Lexer L(Src, 0, Names, Diags);
-  Parser P(L.lexAll(), Arena, Names, Diags);
+  std::vector<Token> Scratch;
+  Parser P(L.lexAll(Arena, Scratch), Arena, Names, Diags);
   return P.parseUnit();
 }
 
