@@ -62,6 +62,10 @@ Outcome measure(const std::vector<std::vector<SourceInput>> &JobSources,
     Cfg.Threads = benchThreads();
     Cfg.WarmContexts = Warm;
     Cfg.SharePages = Warm;
+    // This bench measures the warm-CONTEXT path; with the artifact cache
+    // on, repetitions would replay instead of recompiling (that effect
+    // has its own benchmark, bench_cache_warm_edit).
+    Cfg.Cache.Enabled = false;
     CompileService Service(Cfg);
     Timer T;
     for (const std::vector<SourceInput> &Sources : JobSources) {

@@ -1,0 +1,85 @@
+#include "driver/ArtifactCache.h"
+
+using namespace mpc;
+
+ArtifactCache::ArtifactCache(CacheConfig Config) : Cfg(Config) {}
+
+size_t ArtifactCache::artifactBytes(const CachedArtifact &Artifact) {
+  size_t Bytes = sizeof(Entry) + Artifact.DiagText.size() +
+                 Artifact.DumpText.size();
+  for (const std::string &E : Artifact.PlanErrors)
+    Bytes += sizeof(std::string) + E.size();
+  return Bytes;
+}
+
+bool ArtifactCache::lookup(const JobKey &Key, CachedArtifact &Out) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++NumMisses;
+    return false;
+  }
+  ++NumHits;
+  // Freshen: move the entry to the hot end of the LRU list.
+  Lru.splice(Lru.begin(), Lru, It->second);
+  Out = It->second->Artifact;
+  return true;
+}
+
+void ArtifactCache::insert(const JobKey &Key, CachedArtifact Artifact) {
+  size_t Bytes = artifactBytes(Artifact);
+  std::lock_guard<std::mutex> Lock(M);
+  if ((Artifact.HadErrors && !Cfg.CacheErrors) || Bytes > Cfg.MaxBytes) {
+    ++NumRejected;
+    return;
+  }
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    // Replace in place (two racing workers compiled the same key; the
+    // payloads are byte-identical by construction, so either wins).
+    BytesHeld -= It->second->Bytes;
+    It->second->Artifact = std::move(Artifact);
+    It->second->Bytes = Bytes;
+    BytesHeld += Bytes;
+    Lru.splice(Lru.begin(), Lru, It->second);
+  } else {
+    Lru.push_front(Entry{Key, std::move(Artifact), Bytes});
+    Index.emplace(Key, Lru.begin());
+    BytesHeld += Bytes;
+    ++NumInsertions;
+  }
+  evictToCapLocked();
+}
+
+void ArtifactCache::evictToCapLocked() {
+  while (BytesHeld > Cfg.MaxBytes) {
+    Entry &Cold = Lru.back();
+    BytesHeld -= Cold.Bytes;
+    Index.erase(Cold.Key);
+    Lru.pop_back();
+    ++NumEvictions;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  Stats S;
+  S.Hits = NumHits;
+  S.Misses = NumMisses;
+  S.Insertions = NumInsertions;
+  S.Evictions = NumEvictions;
+  S.RejectedInserts = NumRejected;
+  S.Bytes = BytesHeld;
+  S.Entries = Lru.size();
+  return S;
+}
+
+size_t ArtifactCache::bytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return BytesHeld;
+}
+
+size_t ArtifactCache::entries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Lru.size();
+}

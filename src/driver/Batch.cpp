@@ -8,6 +8,72 @@
 
 using namespace mpc;
 
+//===----------------------------------------------------------------------===//
+// Job keys (content-addressed identity)
+//===----------------------------------------------------------------------===//
+
+// CACHE-RELEVANCE AUDIT of CompilerOptions. Every field must appear in
+// exactly one of these lists; the static_assert below trips when a field
+// is added (or one changes size) without extending the audit, so a new
+// option can never silently alias cache entries.
+//
+//   Mixed into the key (affect dumps, diagnostics, or the simulated
+//   HeapStats the cache replays):
+//     FuseMiniphases   fusion changes node lifetimes -> HeapStats
+//     CheckTrees       checker failures surface in output
+//     AlwaysCopy       copier baseline changes allocation clock
+//     IdentitySkip     node reuse changes allocation clock
+//     SubtreePruning   observationally identical, but mixed anyway so the
+//                      pruning ablation never shares entries (conservative)
+//     DagMemoize       sharing changes allocation clock
+//     Strategy         dispatch strategy, mixed conservatively
+//
+//   Cache-IRRELEVANT (excluded deliberately):
+//     SlabHeap         selects the real-storage backend only; the
+//                      simulated stats and all rendered output are
+//                      byte-identical either way (pinned by the
+//                      SlabAllocatorTest invariance suite), so slab-on
+//                      and slab-off jobs may share one cache entry.
+static_assert(sizeof(CompilerOptions) == 12,
+              "CompilerOptions changed: audit the cache-relevance lists "
+              "above, extend optionsFingerprint(), then update this size");
+
+namespace {
+
+Fingerprint optionsFingerprint(const CompilerOptions &O) {
+  const unsigned char Bits[8] = {
+      static_cast<unsigned char>(O.FuseMiniphases),
+      static_cast<unsigned char>(O.CheckTrees),
+      static_cast<unsigned char>(O.AlwaysCopy),
+      static_cast<unsigned char>(O.IdentitySkip),
+      static_cast<unsigned char>(O.SubtreePruning),
+      static_cast<unsigned char>(O.DagMemoize),
+      static_cast<unsigned char>(O.Strategy),
+      0, // reserved
+  };
+  return fingerprintBytes(Bits, sizeof(Bits));
+}
+
+} // namespace
+
+Fingerprint mpc::fingerprintSource(const SourceInput &Source) {
+  return combine(fingerprintString(Source.FileName),
+                 fingerprintString(Source.Text));
+}
+
+JobKey mpc::jobKeyFor(const BatchJob &Job) {
+  // Domain tag so a JobKey can never collide with a bare source
+  // fingerprint someone stores in the same table.
+  Fingerprint FP = fingerprintUInt(0x4a4f424bu /* "JOBK" */);
+  // Order-sensitive fold: unit order assigns file ids and shapes output.
+  for (const SourceInput &S : Job.Sources)
+    FP = combine(FP, fingerprintSource(S));
+  FP = combine(FP, optionsFingerprint(Job.Options));
+  FP = combine(FP, fingerprintUInt(static_cast<uint64_t>(Job.Kind)));
+  FP = combine(FP, fingerprintUInt(Job.WantDump ? 1 : 0));
+  return JobKey{FP};
+}
+
 BatchResult mpc::runBatchJob(BatchJob Job,
                              std::unique_ptr<CompilerContext> Comp) {
   BatchResult R;

@@ -20,6 +20,7 @@
 #define MPC_DRIVER_BATCH_H
 
 #include "driver/Driver.h"
+#include "support/Fingerprint.h"
 
 #include <memory>
 
@@ -37,6 +38,37 @@ struct BatchJob {
   /// service recycles contexts (the trees themselves die with the shell).
   bool WantDump = false;
 };
+
+/// Content-addressed identity of a BatchJob: everything that determines
+/// the job's observable output (sources in order, cache-relevant options,
+/// pipeline kind, dump request) folded into one 128-bit fingerprint. Two
+/// jobs with equal keys produce byte-identical results, so the compile
+/// service's ArtifactCache can replay one for the other.
+struct JobKey {
+  Fingerprint FP;
+
+  bool operator==(const JobKey &O) const { return FP == O.FP; }
+  bool operator!=(const JobKey &O) const { return FP != O.FP; }
+  std::string hex() const { return FP.hex(); }
+};
+
+/// Hash adaptor for keying unordered containers by JobKey — the key is
+/// already a high-quality hash, so one lane is the bucket index.
+struct JobKeyHasher {
+  size_t operator()(const JobKey &K) const {
+    return static_cast<size_t>(K.FP.Lo);
+  }
+};
+
+/// Content fingerprint of one source input (name and text, each
+/// length-folded, so renames and edits both change it).
+Fingerprint fingerprintSource(const SourceInput &Source);
+
+/// Derives the job's content-addressed key. See Batch.cpp for the
+/// CompilerOptions audit: every field is either mixed into the key or
+/// explicitly listed as cache-irrelevant, with a sizeof tripwire that
+/// fails the build when a new field is added unaudited.
+JobKey jobKeyFor(const BatchJob &Job);
 
 /// The outcome of one job. The context is returned alongside the output
 /// because the lowered trees it contains live in the context's heap —

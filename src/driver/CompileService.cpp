@@ -49,7 +49,7 @@ size_t ContextPool::size() const {
 CompileService::CompileService(ServiceConfig Config)
     : Cfg(Config),
       OwnPages(Cfg.SharePages && !Cfg.KeepContexts && !Cfg.ExternalPages
-                   ? std::make_unique<PagePool>()
+                   ? std::make_unique<PagePool>(Cfg.PagePoolCfg)
                    : nullptr),
       // A context that escapes to the caller (KeepContexts) must own its
       // pages outright, so page sharing is service-internal only.
@@ -57,6 +57,11 @@ CompileService::CompileService(ServiceConfig Config)
             : Cfg.SharePages ? (Cfg.ExternalPages ? Cfg.ExternalPages
                                                   : OwnPages.get())
                              : nullptr),
+      // KeepContexts forces the cache off: a replayed hit carries no
+      // context, which that contract hands to the caller.
+      Cache(Cfg.Cache.Enabled && !Cfg.KeepContexts
+                ? std::make_unique<ArtifactCache>(Cfg.Cache)
+                : nullptr),
       Contexts(Pages), StartedAt(std::chrono::steady_clock::now()) {
   unsigned N = Cfg.Threads;
   if (N == 0) {
@@ -114,15 +119,66 @@ void CompileService::workerMain(unsigned WorkerIdx) {
     {
       std::lock_guard<std::mutex> Lock(M);
       // A job can only be drained after completing, so its slot is still
-      // inside the window even if other drains happened meanwhile.
+      // inside the window even if other drains happened meanwhile. The
+      // slot was reserved at enqueue time — completion fills it in place
+      // and never grows the window under the lock.
       Done[Id - DrainedUpTo] = std::move(Result);
+      ++CompletedJobs;
     }
     DoneCv.notify_all();
   }
 }
 
+namespace {
+
+/// Rebuilds a service-mode BatchResult from a cached payload — exactly
+/// the shape the miss path leaves after stripping context-owned data, so
+/// replayed and compiled results are indistinguishable byte for byte.
+BatchResult replayArtifact(CachedArtifact Artifact) {
+  BatchResult R;
+  R.Out.Timings = Artifact.Timings;
+  R.Out.PlanErrors = std::move(Artifact.PlanErrors);
+  R.HadErrors = Artifact.HadErrors;
+  R.DiagText = std::move(Artifact.DiagText);
+  R.DumpText = std::move(Artifact.DumpText);
+  R.Heap = Artifact.Heap;
+  return R;
+}
+
+/// The replayable slice of a finished (already stripped) service result.
+CachedArtifact captureArtifact(const BatchResult &R) {
+  CachedArtifact Artifact;
+  Artifact.Timings = R.Out.Timings;
+  Artifact.PlanErrors = R.Out.PlanErrors;
+  Artifact.HadErrors = R.HadErrors;
+  Artifact.DiagText = R.DiagText;
+  Artifact.DumpText = R.DumpText;
+  Artifact.Heap = R.Heap;
+  return Artifact;
+}
+
+} // namespace
+
 BatchResult CompileService::runJob(BatchJob Job, StatsSheaf &Sheaf) {
   Timer Busy;
+
+  // Consult the artifact cache first: a hit replays the stored result
+  // without touching (or even acquiring) a context.
+  JobKey Key;
+  if (Cache) {
+    Key = jobKeyFor(Job);
+    CachedArtifact Artifact;
+    if (Cache->lookup(Key, Artifact)) {
+      Sheaf.add("service.jobsCompleted", 1);
+      Sheaf.add("service.cacheHits", 1);
+      BatchResult R = replayArtifact(std::move(Artifact));
+      Sheaf.add("service.busyMicros",
+                static_cast<uint64_t>(Busy.elapsedSeconds() * 1e6));
+      return R;
+    }
+    Sheaf.add("service.cacheMisses", 1);
+  }
+
   bool Reused = false;
   std::unique_ptr<CompilerContext> Comp;
   if (Cfg.WarmContexts && !Cfg.KeepContexts) {
@@ -162,11 +218,20 @@ BatchResult CompileService::runJob(BatchJob Job, StatsSheaf &Sheaf) {
       Contexts.recycle(std::move(R.Comp));
     else
       R.Comp.reset();
+    // Install the stripped result for future hits. (Cache implies
+    // !KeepContexts, so the payload never references a context.)
+    if (Cache)
+      Cache->insert(Key, captureArtifact(R));
   }
 
   Sheaf.add("service.busyMicros",
             static_cast<uint64_t>(Busy.elapsedSeconds() * 1e6));
   return R;
+}
+
+size_t CompileService::pendingJobs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return static_cast<size_t>(NextJobId - CompletedJobs);
 }
 
 std::vector<BatchResult> CompileService::drain() {
@@ -203,5 +268,15 @@ std::vector<BatchResult> CompileService::drain() {
   double BusySec = static_cast<double>(Stats.get("service.busyMicros")) / 1e6;
   Stats.counter("service.workerUtilization") =
       Capacity > 0 ? static_cast<uint64_t>(100.0 * BusySec / Capacity) : 0;
+  // Occupancy gauges (not deltas): refreshed to the current value each
+  // drain. Hits/misses accumulate through the sheaves above.
+  if (Cache) {
+    ArtifactCache::Stats CS = Cache->stats();
+    Stats.counter("service.cacheBytes") = CS.Bytes;
+    Stats.counter("service.cacheEntries") = CS.Entries;
+    Stats.counter("service.cacheEvictions") = CS.Evictions;
+  }
+  if (Pages)
+    Stats.counter("heap.pagesTrimmed") = Pages->stats().PagesTrimmed;
   return Results;
 }

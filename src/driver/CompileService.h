@@ -27,6 +27,18 @@
 ///      service.workerUtilization — no shared counter is touched on the
 ///      per-job path.
 ///
+///   4. Content-addressed artifact cache. Each dequeued job derives its
+///      JobKey (hash of sources + cache-relevant options + pipeline
+///      kind, see driver/Batch.h) and consults the ArtifactCache first:
+///      a hit replays the stored result into the drain window without
+///      touching a context at all; a miss compiles and installs the
+///      replayable payload. Replay is byte-identical to a cache-disabled
+///      run (pinned by CompileServiceTest), counters surface as
+///      service.cacheHits/cacheMisses/cacheBytes/cacheEvictions, and
+///      capacity is LRU-bounded by CacheConfig::MaxBytes. KeepContexts
+///      mode forces the cache off — a replayed hit has no context to
+///      hand to the caller.
+///
 /// Context ownership has two modes. KeepContexts=true (what compileBatch
 /// uses) hands each result its context, exactly like the historical
 /// driver — contexts are then necessarily cold and unpooled, and no
@@ -41,6 +53,7 @@
 #ifndef MPC_DRIVER_COMPILESERVICE_H
 #define MPC_DRIVER_COMPILESERVICE_H
 
+#include "driver/ArtifactCache.h"
 #include "driver/Batch.h"
 #include "memsim/PagePool.h"
 #include "support/Statistics.h"
@@ -99,6 +112,13 @@ struct ServiceConfig {
   /// Use this pool instead of a service-owned one (e.g.
   /// &processPagePool() to share pages process-wide across services).
   PagePool *ExternalPages = nullptr;
+  /// Sizing policy of the service-owned page pool (ignored when
+  /// ExternalPages is set — the external pool brings its own cap).
+  PagePoolConfig PagePoolCfg;
+  /// Artifact-cache policy: consult-before-compile with LRU-bounded
+  /// storage. Forced off in KeepContexts mode (a cache hit produces no
+  /// context, which that contract requires).
+  CacheConfig Cache;
   /// Results keep their contexts (the historical compileBatch contract).
   /// Forces cold, unpooled contexts with no shared pages — a context
   /// that escapes to the caller must own its storage outright.
@@ -126,14 +146,25 @@ public:
   /// a time (enqueue() may race it freely).
   std::vector<BatchResult> drain();
 
+  /// Jobs enqueued but not yet completed by a worker (queued + running).
+  /// Monotone within a burst, 0 after a drain completes with no new
+  /// enqueues — the backlog signal an open-loop load generator throttles
+  /// on. Thread-safe.
+  size_t pendingJobs() const;
+
   /// Merged service counters: service.jobsCompleted, contextsReused,
-  /// pagesShared, workerUtilization (percent), plus the aggregated
-  /// per-job context counters (fusion.*, heap.*, frontend.*) of recycled
-  /// jobs. Stable between drain() calls.
+  /// pagesShared, workerUtilization (percent), the cache counters
+  /// (service.cacheHits/cacheMisses/cacheBytes/cacheEvictions), plus the
+  /// aggregated per-job context counters (fusion.*, heap.*, frontend.*)
+  /// of recycled jobs. Stable between drain() calls.
   StatsRegistry &stats() { return Stats; }
 
   /// The shared page pool in effect, or null.
   PagePool *pagePool() { return Pages; }
+
+  /// The artifact cache in effect, or null (cache disabled or
+  /// KeepContexts mode).
+  ArtifactCache *artifactCache() { return Cache.get(); }
 
   unsigned threadCount() const {
     return static_cast<unsigned>(Workers.size());
@@ -149,19 +180,23 @@ private:
   // shells released into it.
   std::unique_ptr<PagePool> OwnPages;
   PagePool *Pages = nullptr;
+  std::unique_ptr<ArtifactCache> Cache;
   ContextPool Contexts;
 
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable QueueCv; // workers: queue non-empty or stopping
   std::condition_variable DoneCv;  // drain(): a job finished
   std::deque<std::pair<uint64_t, BatchJob>> Queue;
   /// Result slots for the undrained id window [DrainedUpTo, NextJobId):
-  /// job \p Id lands at Done[Id - DrainedUpTo]; drain() hands the
-  /// completed prefix out and slides the window, so the vector stays
-  /// bounded by the in-flight job count on a long-lived service.
+  /// the slot is reserved by enqueue() (the window only ever grows
+  /// there), a completing worker fills Done[Id - DrainedUpTo] in place,
+  /// and drain() hands the completed prefix out and slides the window —
+  /// so the deque stays bounded by the in-flight job count on a
+  /// long-lived service and completion never grows it under the lock.
   std::deque<std::unique_ptr<BatchResult>> Done;
   uint64_t NextJobId = 0;
   uint64_t DrainedUpTo = 0;
+  uint64_t CompletedJobs = 0;
   bool Stopping = false;
 
   std::vector<std::unique_ptr<StatsSheaf>> Sheaves; // one per worker

@@ -5,6 +5,8 @@ using namespace mpc;
 PagePool &mpc::processPagePool() {
   // Deliberately leaked: allocators attached to the process-wide pool may
   // release pages into it from static-destruction order we don't control.
+  // Runs with the default PagePoolConfig cap, so the process-wide
+  // inventory is bounded too.
   static PagePool *Pool = new PagePool();
   return *Pool;
 }

@@ -13,6 +13,11 @@
 /// and go while the pool (owned by the CompileService, or the process-wide
 /// instance from processPagePool()) keeps the memory alive.
 ///
+/// Inventory is bounded: PagePoolConfig::MaxPages caps how many pages the
+/// pool keeps; a put() beyond the cap frees the page back to the system
+/// ("trim", counted in Stats::PagesTrimmed), so one burst of large jobs
+/// cannot pin its peak footprint for the life of the service.
+///
 /// All operations are mutex-guarded; they run once per 64 KiB page, never
 /// per allocation, so the lock is far off the allocation fast path.
 ///
@@ -28,10 +33,21 @@
 
 namespace mpc {
 
+/// Pool sizing policy.
+struct PagePoolConfig {
+  /// Pages the pool may hold at once. A put() that would exceed the cap
+  /// frees the page to the system instead ("trim"), so idle inventory is
+  /// bounded: a burst of large jobs can no longer pin its peak footprint
+  /// forever. 0 = unbounded (the pre-cap behavior). The default caps the
+  /// pool at 1024 x 64 KiB = 64 MiB.
+  size_t MaxPages = 1024;
+};
+
 /// Mutex-guarded stack of page-sized blocks (see SlabAllocator::PageBytes).
 class PagePool {
 public:
-  PagePool() = default;
+  explicit PagePool(PagePoolConfig Config = PagePoolConfig())
+      : Cfg(Config) {}
   PagePool(const PagePool &) = delete;
   PagePool &operator=(const PagePool &) = delete;
   ~PagePool() {
@@ -51,9 +67,15 @@ public:
     return Page;
   }
 
-  /// Puts a page into the pool; the pool now owns it.
+  /// Puts a page into the pool; the pool now owns it. When the pool is
+  /// at MaxPages, the page is trimmed (freed to the system) instead.
   void put(void *Page) {
     std::lock_guard<std::mutex> Lock(M);
+    if (Cfg.MaxPages != 0 && Pages.size() >= Cfg.MaxPages) {
+      std::free(Page);
+      ++NumTrimmed;
+      return;
+    }
     Pages.push_back(Page);
     ++NumPut;
   }
@@ -64,21 +86,28 @@ public:
     return Pages.size();
   }
 
+  const PagePoolConfig &config() const { return Cfg; }
+
   /// Lifetime traffic counters (snapshot under the lock).
   struct Stats {
     uint64_t PagesPut = 0;
     uint64_t PagesTaken = 0;
+    /// Pages freed to the system because the pool was at MaxPages
+    /// (surfaced by the compile service as "heap.pagesTrimmed").
+    uint64_t PagesTrimmed = 0;
   };
   Stats stats() const {
     std::lock_guard<std::mutex> Lock(M);
-    return {NumPut, NumTaken};
+    return {NumPut, NumTaken, NumTrimmed};
   }
 
 private:
   mutable std::mutex M;
+  PagePoolConfig Cfg;
   std::vector<void *> Pages;
   uint64_t NumPut = 0;
   uint64_t NumTaken = 0;
+  uint64_t NumTrimmed = 0;
 };
 
 /// The optional process-wide pool: every CompileService (and any direct

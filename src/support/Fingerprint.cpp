@@ -1,0 +1,75 @@
+#include "support/Fingerprint.h"
+
+using namespace mpc;
+
+namespace {
+
+// splitmix64 finalizer: full-avalanche bijection on 64 bits.
+inline uint64_t avalanche(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
+// Little-endian word assembly, alignment- and endianness-agnostic.
+inline uint64_t readWordLE(const unsigned char *P, size_t N) {
+  uint64_t W = 0;
+  for (size_t I = 0; I < N; ++I)
+    W |= uint64_t(P[I]) << (8 * I);
+  return W;
+}
+
+constexpr uint64_t KLane0 = 0x9e3779b97f4a7c15ull; // golden-ratio odd
+constexpr uint64_t KLane1 = 0xc13fa9a902a6328full;
+constexpr uint64_t KStep = 0x2545f4914f6cdd1dull;
+
+} // namespace
+
+std::string Fingerprint::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+  for (int I = 0; I < 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+Fingerprint mpc::fingerprintBytes(const void *Data, size_t Size,
+                                  Fingerprint Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t A = Seed.Lo ^ KLane0;
+  uint64_t B = Seed.Hi ^ KLane1;
+  size_t N = Size;
+  while (N >= 8) {
+    uint64_t W = readWordLE(P, 8);
+    A = avalanche(A ^ W);
+    B = avalanche(B + W + KStep);
+    P += 8;
+    N -= 8;
+  }
+  // Tail word (zero-padded) plus the total length: "abc" and "abc\0" must
+  // differ, as must equal bytes at different lengths.
+  uint64_t Tail = readWordLE(P, N);
+  A = avalanche(A ^ Tail ^ Size);
+  B = avalanche(B + Tail + Size * KStep);
+  return {A, B};
+}
+
+Fingerprint mpc::fingerprintString(const std::string &S, Fingerprint Seed) {
+  return fingerprintBytes(S.data(), S.size(), Seed);
+}
+
+Fingerprint mpc::fingerprintUInt(uint64_t Value) {
+  return {avalanche(Value ^ KLane0), avalanche(Value + KLane1)};
+}
+
+Fingerprint mpc::combine(Fingerprint A, Fingerprint B) {
+  // Asymmetric in A and B (combine(A,B) != combine(B,A)) and re-avalanched
+  // so folding a chain of fingerprints keeps full dispersion.
+  return {avalanche(A.Lo ^ (B.Lo + KStep)),
+          avalanche(A.Hi + avalanche(B.Hi ^ KLane1))};
+}

@@ -14,6 +14,13 @@
 //     SlabAllocator's internal invariants run under every job.
 //   * Queue behavior: enqueue-while-running across multiple drains keeps
 //     in-order delivery and accumulates counters.
+//   * Artifact cache: a cache-hit drain is byte-identical to a
+//     cache-disabled run at worker counts 1/4/8, error results replay or
+//     recompile per CacheErrors, and the service counters track
+//     hits/misses/bytes.
+//   * Error recovery under reset(): syntactically invalid programs
+//     interleaved with valid ones across recycled contexts produce
+//     diagnostics identical to cold compilation.
 //===----------------------------------------------------------------------===//
 
 #include "driver/CompileService.h"
@@ -106,8 +113,11 @@ TEST(CompileService, WarmSharedServiceMatchesSerialColdAtEveryThreadCount) {
 
 TEST(CompileService, WarmContextProducesColdOutput) {
   // One worker, so the second round runs on recycled shells for sure.
+  // Cache off: this test pins the warm-CONTEXT path, so round 2 must
+  // recompile on recycled shells rather than replay cached artifacts.
   ServiceConfig Cfg;
   Cfg.Threads = 1;
+  Cfg.Cache.Enabled = false;
   CompileService Service(Cfg);
   std::vector<BatchJob> Round1 = serviceJobs();
   std::vector<BatchJob> Round2 = serviceJobs();
@@ -157,8 +167,10 @@ TEST(CompileService, PagePoolStressSharesPagesAcrossJobs) {
 }
 
 TEST(CompileService, EnqueueWhileRunningKeepsOrderAcrossDrains) {
+  // Cache off so wave 2 exercises context recycling, not cache replay.
   ServiceConfig Cfg;
   Cfg.Threads = 2;
+  Cfg.Cache.Enabled = false;
   CompileService Service(Cfg);
   const auto &Corpus = corpusPrograms();
   auto JobFor = [&](size_t I) {
@@ -185,6 +197,260 @@ TEST(CompileService, EnqueueWhileRunningKeepsOrderAcrossDrains) {
   EXPECT_EQ(Service.stats().get("service.jobsCompleted"),
             Wave1.size() + Wave2.size());
   EXPECT_GT(Service.stats().get("service.contextsReused"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact cache
+//===----------------------------------------------------------------------===//
+
+TEST(CompileService, CacheHitDrainIsByteIdenticalToCacheDisabledRun) {
+  // The correctness bar of the cache: replayed results must be
+  // indistinguishable from compiled ones. Baseline = cache-disabled
+  // serial service; cached services enqueue the same jobs TWICE, so the
+  // second drain is served entirely from the cache.
+  ServiceConfig BaseCfg;
+  BaseCfg.Threads = 1;
+  BaseCfg.WarmContexts = false;
+  BaseCfg.SharePages = false;
+  BaseCfg.Cache.Enabled = false;
+  CompileService Baseline(BaseCfg);
+  for (BatchJob &J : serviceJobs())
+    Baseline.enqueue(std::move(J));
+  std::vector<BatchResult> Expected = Baseline.drain();
+
+  for (unsigned Threads : {1u, 4u, 8u}) {
+    ServiceConfig Cfg;
+    Cfg.Threads = Threads;
+    CompileService Service(Cfg);
+    ASSERT_NE(Service.artifactCache(), nullptr);
+    for (int Round = 0; Round < 2; ++Round) {
+      for (BatchJob &J : serviceJobs())
+        Service.enqueue(std::move(J));
+      std::vector<BatchResult> Results = Service.drain();
+      ASSERT_EQ(Results.size(), Expected.size());
+      for (size_t I = 0; I < Results.size(); ++I) {
+        std::string Label = "job " + std::to_string(I) + " round " +
+                            std::to_string(Round) + " @ " +
+                            std::to_string(Threads) + " threads";
+        EXPECT_EQ(Results[I].DumpText, Expected[I].DumpText) << Label;
+        EXPECT_EQ(Results[I].DiagText, Expected[I].DiagText) << Label;
+        EXPECT_EQ(Results[I].HadErrors, Expected[I].HadErrors) << Label;
+        expectSameHeap(Results[I].Heap, Expected[I].Heap, Label);
+        EXPECT_EQ(Results[I].Comp, nullptr) << Label;
+      }
+    }
+    // Round 1 all missed, round 2 all hit.
+    EXPECT_EQ(Service.stats().get("service.cacheMisses"), Expected.size())
+        << Threads << " threads";
+    EXPECT_EQ(Service.stats().get("service.cacheHits"), Expected.size())
+        << Threads << " threads";
+    EXPECT_GT(Service.stats().get("service.cacheBytes"), 0u);
+    EXPECT_EQ(Service.stats().get("service.jobsCompleted"),
+              2 * Expected.size());
+  }
+}
+
+TEST(CompileService, CacheKeysOnSourceContent) {
+  // Same file name, different text: must miss. Different name, same
+  // text: must also miss (file names appear in dumps/diagnostics).
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  CompileService Service(Cfg);
+  auto Enqueue = [&](const std::string &Name, const std::string &Text) {
+    BatchJob J;
+    J.Sources.push_back({Name, Text});
+    J.WantDump = true;
+    Service.enqueue(std::move(J));
+  };
+  Enqueue("a.scala", corpusPrograms()[0].Source);
+  Enqueue("a.scala", corpusPrograms()[1].Source);
+  Enqueue("b.scala", corpusPrograms()[0].Source);
+  Enqueue("a.scala", corpusPrograms()[0].Source); // the only repeat
+  std::vector<BatchResult> Results = Service.drain();
+  ASSERT_EQ(Results.size(), 4u);
+  EXPECT_EQ(Results[3].DumpText, Results[0].DumpText);
+  EXPECT_EQ(Service.stats().get("service.cacheMisses"), 3u);
+  EXPECT_EQ(Service.stats().get("service.cacheHits"), 1u);
+}
+
+TEST(CompileService, ErrorResultsReplayDeterministically) {
+  // CacheErrors on (default): the second failing job is a hit and its
+  // diagnostics replay byte-identically.
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  CompileService Service(Cfg);
+  std::string Bad = "class C { def f(): Int = missing }";
+  for (int I = 0; I < 2; ++I) {
+    BatchJob J;
+    J.Sources.push_back({"bad.scala", Bad});
+    Service.enqueue(std::move(J));
+  }
+  std::vector<BatchResult> Results = Service.drain();
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_TRUE(Results[0].HadErrors);
+  EXPECT_TRUE(Results[1].HadErrors);
+  EXPECT_EQ(Results[0].DiagText, Results[1].DiagText);
+  EXPECT_EQ(Service.stats().get("service.cacheHits"), 1u);
+
+  // CacheErrors off: both failing jobs compile, outputs still identical.
+  ServiceConfig NoErrCfg;
+  NoErrCfg.Threads = 1;
+  NoErrCfg.Cache.CacheErrors = false;
+  CompileService NoErr(NoErrCfg);
+  for (int I = 0; I < 2; ++I) {
+    BatchJob J;
+    J.Sources.push_back({"bad.scala", Bad});
+    NoErr.enqueue(std::move(J));
+  }
+  std::vector<BatchResult> NoErrResults = NoErr.drain();
+  ASSERT_EQ(NoErrResults.size(), 2u);
+  EXPECT_EQ(NoErrResults[0].DiagText, NoErrResults[1].DiagText);
+  EXPECT_EQ(NoErr.stats().get("service.cacheHits"), 0u);
+  EXPECT_EQ(NoErr.stats().get("service.cacheMisses"), 2u);
+}
+
+TEST(CompileService, CacheEvictionKeepsBytesUnderCap) {
+  // A churn stream of distinct jobs through a deliberately tiny cache:
+  // service.cacheBytes must stay under MaxBytes while evictions mount.
+  auto ChurnJob = [](uint64_t Seed) {
+    WorkloadProfile P = stdlibProfile(0.01);
+    P.Seed = Seed;
+    P.UnitsHint = 1;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    J.WantDump = true; // dumps make artifacts big enough to churn
+    return J;
+  };
+  const uint64_t NumJobs = 24;
+  // Probe pass: measure what the whole stream occupies uncapped, then
+  // cap the real cache at a third of that — evictions are then certain,
+  // and every artifact still fits individually (they are similar sizes).
+  uint64_t TotalBytes;
+  {
+    ServiceConfig Probe;
+    Probe.Threads = 2;
+    CompileService Service(Probe);
+    for (uint64_t Seed = 1; Seed <= NumJobs; ++Seed)
+      Service.enqueue(ChurnJob(Seed));
+    Service.drain();
+    TotalBytes = Service.stats().get("service.cacheBytes");
+    ASSERT_GT(TotalBytes, 0u);
+    EXPECT_EQ(Service.stats().get("service.cacheEvictions"), 0u);
+  }
+
+  ServiceConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.Cache.MaxBytes = TotalBytes / 3;
+  CompileService Service(Cfg);
+  for (uint64_t Seed = 1; Seed <= NumJobs; ++Seed) {
+    Service.enqueue(ChurnJob(Seed));
+    std::vector<BatchResult> R = Service.drain();
+    ASSERT_EQ(R.size(), 1u);
+    EXPECT_FALSE(R[0].HadErrors);
+    EXPECT_LE(Service.stats().get("service.cacheBytes"), Cfg.Cache.MaxBytes)
+        << "after job " << Seed;
+  }
+  ASSERT_NE(Service.artifactCache(), nullptr);
+  EXPECT_GT(Service.stats().get("service.cacheEvictions"), 0u);
+  EXPECT_LE(Service.artifactCache()->bytes(), Cfg.Cache.MaxBytes);
+  // Churned entries really left: the cache holds fewer than the stream.
+  EXPECT_LT(Service.artifactCache()->entries(), NumJobs);
+}
+
+//===----------------------------------------------------------------------===//
+// Error recovery on recycled contexts
+//===----------------------------------------------------------------------===//
+
+TEST(CompileService, ErrorRecoveryOnRecycledContextsMatchesCold) {
+  // Invalid programs (parse errors and type errors) interleaved with
+  // valid ones, twice over, on one worker with the cache OFF — so every
+  // second-round job recompiles on a shell that previously absorbed a
+  // failed job. Diagnostics and dumps must match the cold baseline
+  // exactly; nothing else exercises error recovery under reset().
+  auto MixedJobs = [] {
+    std::vector<BatchJob> Jobs;
+    auto Add = [&](const std::string &Name, const std::string &Text) {
+      BatchJob J;
+      J.Sources.push_back({Name, Text});
+      J.WantDump = true;
+      Jobs.push_back(std::move(J));
+    };
+    Add("ok1.scala", corpusPrograms()[0].Source);
+    Add("parse_err.scala", "class { def broken(");
+    Add("ok2.scala", corpusPrograms()[1].Source);
+    Add("type_err.scala", "class C { def f(): Int = missing }");
+    Add("ok3.scala", corpusPrograms()[2].Source);
+    Add("parse_err2.scala", "def f = } }");
+    return Jobs;
+  };
+
+  ServiceConfig ColdCfg;
+  ColdCfg.Threads = 1;
+  ColdCfg.WarmContexts = false;
+  ColdCfg.SharePages = false;
+  ColdCfg.Cache.Enabled = false;
+  CompileService Cold(ColdCfg);
+  for (BatchJob &J : MixedJobs())
+    Cold.enqueue(std::move(J));
+  std::vector<BatchResult> Expected = Cold.drain();
+  // Sanity: the mix really contains failures and successes.
+  EXPECT_FALSE(Expected[0].HadErrors);
+  EXPECT_TRUE(Expected[1].HadErrors);
+  EXPECT_TRUE(Expected[3].HadErrors);
+
+  ServiceConfig WarmCfg;
+  WarmCfg.Threads = 1;
+  WarmCfg.Cache.Enabled = false;
+  CompileService Warm(WarmCfg);
+  for (int Round = 0; Round < 2; ++Round) {
+    for (BatchJob &J : MixedJobs())
+      Warm.enqueue(std::move(J));
+    std::vector<BatchResult> Results = Warm.drain();
+    ASSERT_EQ(Results.size(), Expected.size());
+    for (size_t I = 0; I < Results.size(); ++I) {
+      std::string Label =
+          "job " + std::to_string(I) + " round " + std::to_string(Round);
+      EXPECT_EQ(Results[I].HadErrors, Expected[I].HadErrors) << Label;
+      EXPECT_EQ(Results[I].DiagText, Expected[I].DiagText) << Label;
+      EXPECT_EQ(Results[I].DumpText, Expected[I].DumpText) << Label;
+      expectSameHeap(Results[I].Heap, Expected[I].Heap, Label);
+    }
+  }
+  // Round 2 ran on shells recycled after absorbing failed jobs.
+  EXPECT_GT(Warm.stats().get("service.contextsReused"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Backlog accounting
+//===----------------------------------------------------------------------===//
+
+TEST(CompileService, PendingJobsTracksBacklog) {
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  CompileService Service(Cfg);
+  EXPECT_EQ(Service.pendingJobs(), 0u);
+  unsigned NumJobs = 6;
+  for (uint64_t Seed = 1; Seed <= NumJobs; ++Seed) {
+    WorkloadProfile P = stdlibProfile(0.01);
+    P.Seed = Seed;
+    P.UnitsHint = 1;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    Service.enqueue(std::move(J));
+  }
+  // Between enqueue and drain the backlog is at most everything
+  // enqueued; after the drain it must be exactly zero.
+  EXPECT_LE(Service.pendingJobs(), size_t(NumJobs));
+  std::vector<BatchResult> Results = Service.drain();
+  ASSERT_EQ(Results.size(), NumJobs);
+  EXPECT_EQ(Service.pendingJobs(), 0u);
+  // A second wave counts from zero again.
+  BatchJob J;
+  J.Sources.push_back({"ok.scala", corpusPrograms()[0].Source});
+  Service.enqueue(std::move(J));
+  EXPECT_LE(Service.pendingJobs(), 1u);
+  Service.drain();
+  EXPECT_EQ(Service.pendingJobs(), 0u);
 }
 
 TEST(CompileService, ErrorsStayIsolatedWithoutContexts) {

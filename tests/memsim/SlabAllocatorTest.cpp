@@ -138,6 +138,56 @@ TEST(SlabAllocator, ActivePageHysteresisAvoidsRetireThrash) {
   EXPECT_EQ(Slab.stats().PagesMapped, 1u);
 }
 
+TEST(PagePool, TrimCapsPoolInventory) {
+  // A pool capped at 2 pages: releasing an allocator that holds more
+  // trims the excess to the system instead of hoarding it.
+  PagePoolConfig Cfg;
+  Cfg.MaxPages = 2;
+  PagePool Pool(Cfg);
+  SlabAllocator Slab;
+  Slab.setPagePool(&Pool);
+  // Map well over two pages across several classes.
+  std::vector<std::pair<void *, size_t>> Blocks;
+  for (size_t Size : {32u, 128u, 256u, 480u})
+    for (int I = 0; I < 300; ++I)
+      Blocks.push_back({Slab.allocate(Size), Size});
+  ASSERT_GT(Slab.stats().PagesMapped, 2u);
+  uint64_t Mapped = Slab.stats().PagesMapped;
+  for (auto &[Ptr, Size] : Blocks)
+    Slab.deallocate(Ptr, Size);
+  Slab.releaseAll();
+  // The cap held: at most MaxPages pooled, the rest trimmed.
+  EXPECT_LE(Pool.size(), Cfg.MaxPages);
+  PagePool::Stats PS = Pool.stats();
+  EXPECT_EQ(PS.PagesTrimmed, Mapped - Pool.size());
+  EXPECT_GT(PS.PagesTrimmed, 0u);
+  // Pooled pages still serve the next context.
+  SlabAllocator Next;
+  Next.setPagePool(&Pool);
+  void *P = Next.allocate(64);
+  EXPECT_EQ(Next.stats().PagesFromPool, 1u);
+  EXPECT_EQ(Next.stats().PagesMapped, 0u);
+  Next.deallocate(P, 64);
+}
+
+TEST(PagePool, UnboundedWhenMaxPagesZero) {
+  PagePoolConfig Cfg;
+  Cfg.MaxPages = 0;
+  PagePool Pool(Cfg);
+  SlabAllocator Slab;
+  Slab.setPagePool(&Pool);
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 2000; ++I)
+    Blocks.push_back(Slab.allocate(256));
+  uint64_t Mapped = Slab.stats().PagesMapped;
+  ASSERT_GT(Mapped, 4u);
+  for (void *P : Blocks)
+    Slab.deallocate(P, 256);
+  Slab.releaseAll();
+  EXPECT_EQ(Pool.size(), Mapped);
+  EXPECT_EQ(Pool.stats().PagesTrimmed, 0u);
+}
+
 TEST(SlabAllocator, DisabledModePassesThrough) {
   SlabAllocator Slab(/*Enabled=*/false);
   void *P = Slab.allocate(64);

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+// Fingerprint tests: the 128-bit content hash under the artifact cache.
+// Determinism, sensitivity (content, length, seed, order), tail handling
+// at every alignment, combinator asymmetry, and hex rendering.
+//===----------------------------------------------------------------------===//
+
+#include "support/Fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace mpc;
+
+namespace {
+
+TEST(Fingerprint, DeterministicAcrossCalls) {
+  std::string S = "class C { def f(): Int = 42 }";
+  Fingerprint A = fingerprintString(S);
+  Fingerprint B = fingerprintString(S);
+  EXPECT_EQ(A, B);
+  // A fresh copy of the bytes hashes the same (no address dependence).
+  std::string T = S;
+  EXPECT_EQ(fingerprintBytes(T.data(), T.size()), A);
+}
+
+TEST(Fingerprint, ContentSensitivity) {
+  Fingerprint Base = fingerprintString("class C { val x = 1 }");
+  // Single-character edit anywhere flips the fingerprint.
+  EXPECT_NE(fingerprintString("class C { val x = 2 }"), Base);
+  EXPECT_NE(fingerprintString("class D { val x = 1 }"), Base);
+  // Whitespace counts: content addressing is over bytes, not tokens.
+  EXPECT_NE(fingerprintString("class C  { val x = 1 }"), Base);
+}
+
+TEST(Fingerprint, LengthFolding) {
+  // Equal prefixes at different lengths differ, including the trailing
+  // NUL-padding trap ("abc" vs "abc\0") the tail word must not hide.
+  EXPECT_NE(fingerprintString("abc"), fingerprintString(std::string("abc\0", 4)));
+  EXPECT_NE(fingerprintString(""), fingerprintString(std::string(1, '\0')));
+  EXPECT_NE(fingerprintString(std::string(8, 'x')),
+            fingerprintString(std::string(16, 'x')));
+}
+
+TEST(Fingerprint, EveryTailLengthDistinct) {
+  // 0..33 bytes covers empty input, sub-word tails, exact word
+  // boundaries, and multi-word bodies; all 34 fingerprints (both lanes)
+  // must be distinct.
+  std::string Data = "0123456789abcdefghijklmnopqrstuvw";
+  std::set<std::string> Seen;
+  for (size_t N = 0; N <= Data.size(); ++N)
+    Seen.insert(fingerprintBytes(Data.data(), N).hex());
+  EXPECT_EQ(Seen.size(), Data.size() + 1);
+}
+
+TEST(Fingerprint, SeedChainsDistinctly) {
+  Fingerprint SeedA = fingerprintUInt(1);
+  Fingerprint SeedB = fingerprintUInt(2);
+  std::string S = "shared body";
+  EXPECT_NE(fingerprintString(S, SeedA), fingerprintString(S, SeedB));
+  EXPECT_NE(fingerprintString(S, SeedA), fingerprintString(S));
+}
+
+TEST(Fingerprint, UIntDispersion) {
+  // Nearby integers land far apart (avalanche), and 0 is not special.
+  std::set<std::string> Seen;
+  for (uint64_t V = 0; V < 64; ++V)
+    Seen.insert(fingerprintUInt(V).hex());
+  EXPECT_EQ(Seen.size(), 64u);
+  EXPECT_NE(fingerprintUInt(0).Lo, 0u);
+}
+
+TEST(Fingerprint, CombineIsOrderSensitive) {
+  Fingerprint A = fingerprintString("unit_a.scala");
+  Fingerprint B = fingerprintString("unit_b.scala");
+  EXPECT_NE(combine(A, B), combine(B, A));
+  // Not associative either: chaining position matters.
+  Fingerprint C = fingerprintString("unit_c.scala");
+  EXPECT_NE(combine(combine(A, B), C), combine(A, combine(B, C)));
+  // Folding one more element changes the chain.
+  EXPECT_NE(combine(A, B), A);
+  EXPECT_NE(combine(A, B), B);
+}
+
+TEST(Fingerprint, HexRendering) {
+  Fingerprint Z;
+  EXPECT_EQ(Z.hex(), std::string(32, '0'));
+  Fingerprint F{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(F.hex(), "fedcba98765432100123456789abcdef");
+  EXPECT_EQ(fingerprintString("x").hex().size(), 32u);
+}
+
+TEST(Fingerprint, ComparatorsAgree) {
+  Fingerprint A = fingerprintString("a");
+  Fingerprint B = fingerprintString("b");
+  EXPECT_TRUE(A == A);
+  EXPECT_FALSE(A != A);
+  EXPECT_TRUE(A != B);
+  // Strict weak ordering: exactly one of <, ==, > holds.
+  EXPECT_TRUE((A < B) != (B < A));
+  EXPECT_FALSE(A < A);
+}
+
+} // namespace
