@@ -51,6 +51,9 @@ struct Outcome {
   uint64_t PagesMapped = 0;
   uint64_t RealAllocs = 0;
   uint64_t Utilization = 0;
+  uint64_t QueueDepthPeak = 0;
+  double QueueWaitSec = 0;   // summed across jobs, last repetition
+  double CompileSec = 0;     // summed phase time across jobs, last repetition
 };
 
 Outcome measure(const std::vector<std::vector<SourceInput>> &JobSources,
@@ -81,6 +84,13 @@ Outcome measure(const std::vector<std::vector<SourceInput>> &JobSources,
         std::abort();
       }
     Rates.push_back(double(JobSources.size()) / Sec);
+    Out.QueueWaitSec = 0;
+    Out.CompileSec = 0;
+    for (const BatchResult &R : Results) {
+      Out.QueueWaitSec += R.Out.Timings.QueueWaitSec;
+      Out.CompileSec += R.Out.Timings.totalSec();
+    }
+    Out.QueueDepthPeak = Service.stats().get("service.queueDepthPeak");
     Out.ContextsReused = Service.stats().get("service.contextsReused");
     Out.PagesShared = Service.stats().get("service.pagesShared");
     Out.PagesMapped = Service.stats().get("service.pagesMapped");
@@ -131,6 +141,16 @@ int main() {
               (unsigned long long)Cold.RealAllocs,
               (unsigned long long)Warm.RealAllocs);
 
+  // Queueing behavior: how long jobs sat in the admission queue versus
+  // actually compiling, and how deep the queue got. The whole job set is
+  // enqueued up-front, so queue wait dominates until the pool drains —
+  // warm contexts shrink the compile side and with it the wait behind it.
+  std::printf("  queue wait vs compile (summed): cold %.1f ms / %.1f ms, "
+              "warm %.1f ms / %.1f ms; queue depth peak: %llu\n",
+              1e3 * Cold.QueueWaitSec, 1e3 * Cold.CompileSec,
+              1e3 * Warm.QueueWaitSec, 1e3 * Warm.CompileSec,
+              (unsigned long long)Warm.QueueDepthPeak);
+
   jsonMetric("service_throughput", "cold_jobs_per_sec", Cold.JobsPerSec.Mean);
   jsonMetric("service_throughput", "warm_jobs_per_sec", Warm.JobsPerSec.Mean);
   jsonMetric("service_throughput", "warm_cv_pct", Warm.JobsPerSec.CvPct);
@@ -143,5 +163,9 @@ int main() {
              double(Warm.PagesMapped));
   jsonMetric("service_throughput", "worker_utilization_pct",
              double(Warm.Utilization));
+  jsonMetric("service_throughput", "warm_queue_wait_sec", Warm.QueueWaitSec);
+  jsonMetric("service_throughput", "warm_compile_sec", Warm.CompileSec);
+  jsonMetric("service_throughput", "queue_depth_peak",
+             double(Warm.QueueDepthPeak));
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "memsim/CacheSim.h"
 #include "memsim/ManagedHeap.h"
 #include "memsim/PerfCounters.h"
+#include "support/CancelToken.h"
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/NameTable.h"
@@ -121,6 +122,22 @@ public:
   CacheSim *cacheSim() const { return Cache; }
   PerfCounters *perf() const { return Perf; }
 
+  /// Attaches a cancellation token for the current job (null detaches).
+  /// The token is owned by the caller (the batch runner keeps it on its
+  /// stack), so whoever sets it must clear it before the context
+  /// escapes — reset() also clears it.
+  void setCancelToken(const CancelToken *T) { Cancel = T; }
+  const CancelToken *cancelToken() const { return Cancel; }
+
+  /// Cooperative cancellation checkpoint: throws DeadlineExceeded when
+  /// the attached token (if any) has expired. Stages call this between
+  /// units and at phase boundaries — never mid-traversal — so the unwind
+  /// only ever crosses RAII-held trees and the context stays recyclable.
+  void checkpoint() const {
+    if (Cancel)
+      Cancel->checkpoint();
+  }
+
   /// Warm-reuse reset (the compile service's ContextPool lifecycle):
   /// restores the context to the observable state of a freshly
   /// constructed one in O(live) — live symbols/types are dropped and the
@@ -140,6 +157,7 @@ public:
     Trees.setCacheSim(nullptr);
     Cache = nullptr;
     Perf = nullptr;
+    Cancel = nullptr;
     Types.reset();
     Names.reset();
     Syms.reset(); // re-interns builtins; must follow Names/Types resets
@@ -165,6 +183,7 @@ private:
   CompilerOptions Opts;
   CacheSim *Cache = nullptr;
   PerfCounters *Perf = nullptr;
+  const CancelToken *Cancel = nullptr;
 };
 
 } // namespace mpc

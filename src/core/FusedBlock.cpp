@@ -83,6 +83,10 @@ FusedBlock::FusedBlock(std::vector<MiniPhase *> Ps) : Phases(std::move(Ps)) {
 }
 
 void FusedBlock::runOnUnit(CompilationUnit &Unit, CompilerContext &Comp) {
+  // Cancellation checkpoint at the phase boundary: the traversal below is
+  // uninterruptible, so an expired deadline surfaces here — before the
+  // walk — bounding cancellation latency to one fused group per unit.
+  Comp.checkpoint();
   PhaseRunContext Ctx{Comp, Unit};
   // §4.2: per-unit initialization of every constituent phase, in order.
   for (MiniPhase *P : Phases)

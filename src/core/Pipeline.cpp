@@ -1,5 +1,7 @@
 #include "core/Pipeline.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace mpc;
@@ -30,8 +32,13 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
       uint64_t Hooks0 = Group.Block->hooksExecuted();
       uint64_t Pruned0 = Group.Block->subtreesPruned();
       uint64_t PrepOnly0 = Group.Block->prepareOnlyWalks();
-      for (CompilationUnit &Unit : Units)
+      for (CompilationUnit &Unit : Units) {
+        // Phase-entry fault point + cancellation checkpoint: both fire
+        // between traversals only, so an unwind from here crosses nothing
+        // but RAII-held trees (runOnUnit runs its own checkpoint).
+        faultStagePoint(FaultSite::PhaseEntry);
         Group.Block->runOnUnit(Unit, Comp);
+      }
       Result.NodesVisited += Group.Block->nodesVisited() - Visited0;
       Result.HooksExecuted += Group.Block->hooksExecuted() - Hooks0;
       Result.SubtreesPruned += Group.Block->subtreesPruned() - Pruned0;
@@ -41,8 +48,11 @@ PipelineResult TransformPipeline::run(std::vector<CompilationUnit> &Units,
       // Unfused: each phase is a separate whole-tree pass over all units
       // (Listing 3's phase-outer / unit-inner loop).
       for (Phase *P : Group.Members) {
-        for (CompilationUnit &Unit : Units)
+        for (CompilationUnit &Unit : Units) {
+          faultStagePoint(FaultSite::PhaseEntry);
+          Comp.checkpoint();
           P->runOnUnit(Unit, Comp);
+        }
         ++Result.Traversals;
       }
     }

@@ -19,10 +19,34 @@ bool ArtifactCache::lookup(const JobKey &Key, CachedArtifact &Out) {
     ++NumMisses;
     return false;
   }
+  // Integrity gate: the payload's recomputed size must equal the size
+  // accounted when it was stored. Anything that mutated the entry in
+  // place desynchronizes the two, and a payload we can't vouch for must
+  // not replay — drop it and degrade to a miss (the caller recompiles).
+  Entry &E = *It->second;
+  if (artifactBytes(E.Artifact) != E.Bytes) {
+    ++NumIntegrityRejects;
+    ++NumMisses;
+    BytesHeld -= E.Bytes;
+    Lru.erase(It->second);
+    Index.erase(It);
+    return false;
+  }
   ++NumHits;
   // Freshen: move the entry to the hot end of the LRU list.
   Lru.splice(Lru.begin(), Lru, It->second);
-  Out = It->second->Artifact;
+  Out = E.Artifact;
+  return true;
+}
+
+bool ArtifactCache::corruptEntryForTest(const JobKey &Key) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It == Index.end())
+    return false;
+  // Grow the payload behind the accounting's back — exactly the
+  // desynchronization the lookup-time integrity check exists to catch.
+  It->second->Artifact.DumpText += "<corrupted>";
   return true;
 }
 
@@ -69,6 +93,7 @@ ArtifactCache::Stats ArtifactCache::stats() const {
   S.Insertions = NumInsertions;
   S.Evictions = NumEvictions;
   S.RejectedInserts = NumRejected;
+  S.IntegrityRejects = NumIntegrityRejects;
   S.Bytes = BytesHeld;
   S.Entries = Lru.size();
   return S;

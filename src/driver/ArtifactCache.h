@@ -74,6 +74,13 @@ public:
 
   /// On hit, copies the payload into \p Out, freshens the entry's LRU
   /// position, and returns true. Counts a hit or a miss either way.
+  ///
+  /// Integrity check before replay: the stored payload's recomputed byte
+  /// size must match the size accounted at insert time. A mismatch means
+  /// the entry was corrupted in place (a stray write, a buggy in-place
+  /// mutation); replaying it would serve wrong bytes silently, so the
+  /// entry is dropped, IntegrityRejects counts it, and the lookup
+  /// degrades to a miss — the job recompiles and reinstalls.
   bool lookup(const JobKey &Key, CachedArtifact &Out);
 
   /// Installs \p Artifact under \p Key (replacing any previous entry),
@@ -89,6 +96,9 @@ public:
     uint64_t Insertions = 0;
     uint64_t Evictions = 0;
     uint64_t RejectedInserts = 0;
+    /// Entries dropped at lookup because their stored payload no longer
+    /// matched its accounted size (see lookup()).
+    uint64_t IntegrityRejects = 0;
     uint64_t Bytes = 0;   // current payload bytes held
     uint64_t Entries = 0; // current entry count
   };
@@ -101,6 +111,11 @@ public:
   /// The byte charge an artifact contributes to MaxBytes: payload strings
   /// plus the fixed per-entry footprint.
   static size_t artifactBytes(const CachedArtifact &Artifact);
+
+  /// Test hook: mutates \p Key's stored payload in place WITHOUT fixing
+  /// the byte accounting, simulating in-cache corruption. Returns false
+  /// when the key is absent. Production code never calls this.
+  bool corruptEntryForTest(const JobKey &Key);
 
 private:
   struct Entry {
@@ -122,6 +137,7 @@ private:
   uint64_t NumInsertions = 0;
   uint64_t NumEvictions = 0;
   uint64_t NumRejected = 0;
+  uint64_t NumIntegrityRejects = 0;
 };
 
 } // namespace mpc

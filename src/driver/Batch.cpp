@@ -2,8 +2,10 @@
 
 #include "ast/TreePrinter.h"
 #include "driver/CompileService.h"
+#include "support/CancelToken.h"
 #include "support/OStream.h"
 
+#include <chrono>
 #include <thread>
 
 using namespace mpc;
@@ -63,7 +65,10 @@ Fingerprint mpc::fingerprintSource(const SourceInput &Source) {
 
 JobKey mpc::jobKeyFor(const BatchJob &Job) {
   // Domain tag so a JobKey can never collide with a bare source
-  // fingerprint someone stores in the same table.
+  // fingerprint someone stores in the same table. Note what is absent
+  // below: BatchJob::Priority and DeadlineSec are scheduling metadata
+  // with no effect on the compiled output, so jobs differing only in
+  // them deliberately share one cache entry.
   Fingerprint FP = fingerprintUInt(0x4a4f424bu /* "JOBK" */);
   // Order-sensitive fold: unit order assigns file ids and shapes output.
   for (const SourceInput &S : Job.Sources)
@@ -77,19 +82,63 @@ JobKey mpc::jobKeyFor(const BatchJob &Job) {
 BatchResult mpc::runBatchJob(BatchJob Job,
                              std::unique_ptr<CompilerContext> Comp) {
   BatchResult R;
+  // The context moves into the result BEFORE the compile runs, so the
+  // firewall below hands it back even when the compile unwinds — the
+  // service decides whether the shell is still recyclable, but it must
+  // never be lost to an exception.
   R.Comp = std::move(Comp);
-  R.Out = compileProgram(*R.Comp, std::move(Job.Sources), Job.Kind);
-  R.HadErrors = R.Comp->diags().hasErrors();
+
+  // Arm the job's soft deadline as a stack-local token. The token lives
+  // on this frame, so every exit path below detaches it before the
+  // context escapes.
+  CancelToken Token;
+  if (Job.DeadlineSec > 0) {
+    Token.armDeadline(CancelToken::Clock::now() +
+                      std::chrono::duration_cast<CancelToken::Clock::duration>(
+                          std::chrono::duration<double>(Job.DeadlineSec)));
+    R.Comp->setCancelToken(&Token);
+  }
+
+  bool WantDump = Job.WantDump;
+  try {
+    R.Out = compileProgram(*R.Comp, std::move(Job.Sources), Job.Kind);
+    R.HadErrors = R.Comp->diags().hasErrors();
+  } catch (const DeadlineExceeded &E) {
+    // Checkpoints only throw between units / at phase boundaries, where
+    // all trees are RAII-held — the unwind released them, so the context
+    // is clean (LiveBytes == 0) and stays recyclable.
+    R.Status = JobStatus::DeadlineExceeded;
+    R.HadErrors = true;
+    R.DiagText = std::string("error: ") + E.what() + "\n";
+    WantDump = false;
+  } catch (const std::exception &E) {
+    // Worker firewall: an arbitrary exception becomes a failed result.
+    // Unlike a deadline unwind, the throw site is unknown (it may have
+    // interrupted an allocation mid-charge), so the context counts as
+    // poisoned — the service discards it rather than recycling.
+    R.Status = JobStatus::Faulted;
+    R.HadErrors = true;
+    R.DiagText = std::string("error: compile job faulted: ") + E.what() + "\n";
+    WantDump = false;
+  } catch (...) {
+    R.Status = JobStatus::Faulted;
+    R.HadErrors = true;
+    R.DiagText = "error: compile job faulted: unknown exception\n";
+    WantDump = false;
+  }
+  R.Comp->setCancelToken(nullptr);
+
   // Render any diagnostics (not just errors): in the service's
   // context-recycling mode this snapshot is the only place warnings and
-  // notes survive the shell's reset.
-  if (!R.Comp->diags().all().empty()) {
+  // notes survive the shell's reset. On a cancelled/faulted run the
+  // explanatory text above takes their place.
+  if (R.Status == JobStatus::Ok && !R.Comp->diags().all().empty()) {
     StringOStream OS;
     R.Comp->diags().printAll(OS);
     R.DiagText = OS.str();
   }
   R.Heap = R.Comp->heap().stats();
-  if (Job.WantDump) {
+  if (WantDump && R.Status == JobStatus::Ok) {
     PrintOptions PO;
     PO.ShowTypes = true;
     for (const CompilationUnit &U : R.Out.Units) {

@@ -26,6 +26,32 @@
 
 namespace mpc {
 
+/// Scheduling class of a job in the compile service's admission queue.
+/// Interactive jobs (IDE requests, incremental rebuilds) jump ahead of
+/// Batch jobs, subject to the anti-starvation burst cap
+/// (ServiceConfig::InteractiveBurst).
+enum class JobPriority : uint8_t {
+  Interactive,
+  Batch,
+};
+
+/// How a job's run ended. Everything except Ok also sets
+/// BatchResult::HadErrors with an explanatory DiagText.
+enum class JobStatus : uint8_t {
+  /// Compiled (possibly with source-level diagnostics).
+  Ok,
+  /// Never compiled: refused or shed by the service's admission control.
+  Rejected,
+  /// Cancelled at a checkpoint after its soft deadline expired (or spent
+  /// the whole deadline waiting in the queue). The context unwinds
+  /// through RAII tree holders only, so it stays recyclable.
+  DeadlineExceeded,
+  /// An exception escaped the compile; the worker's firewall converted it
+  /// into this failed result. The job's context is treated as poisoned —
+  /// discarded by the service, never recycled.
+  Faulted,
+};
+
 /// One independent compile job.
 struct BatchJob {
   std::vector<SourceInput> Sources;
@@ -37,6 +63,15 @@ struct BatchJob {
   /// BatchResult::DumpText. This is how results stay comparable when the
   /// service recycles contexts (the trees themselves die with the shell).
   bool WantDump = false;
+  /// Queue lane in the compile service (ignored by plain compileBatch).
+  /// Scheduling metadata only — deliberately NOT part of the JobKey, so
+  /// an interactive job can replay a batch job's cached artifact.
+  JobPriority Priority = JobPriority::Batch;
+  /// Soft deadline in seconds, measured from enqueue (so queue wait
+  /// counts against it); 0 = none. Enforced cooperatively at phase
+  /// boundaries — see CompilerContext::checkpoint(). Cache-irrelevant,
+  /// like Priority.
+  double DeadlineSec = 0;
 };
 
 /// Content-addressed identity of a BatchJob: everything that determines
@@ -78,6 +113,7 @@ JobKey jobKeyFor(const BatchJob &Job);
 struct BatchResult {
   std::unique_ptr<CompilerContext> Comp;
   CompileOutput Out;
+  JobStatus Status = JobStatus::Ok;
   bool HadErrors = false;
   std::string DiagText; // rendered diagnostics when HadErrors
   std::string DumpText; // typed tree dumps when BatchJob::WantDump
@@ -85,11 +121,21 @@ struct BatchResult {
   /// (before any teardown), so warm/cold and serial/parallel runs are
   /// comparable field by field.
   HeapStats Heap;
+  /// Order this job was taken off the service queue (0-based, service
+  /// lifetime scope) — makes the priority-lane schedule observable to
+  /// tests. Stays 0 for jobs that never reached a worker (rejected/shed).
+  uint64_t DequeueSeq = 0;
 };
 
 /// Compiles one job in \p Comp, snapshotting diagnostics, heap stats,
 /// and (when requested) tree dumps into the result. The shared per-job
 /// core of compileBatch's serial path and the CompileService workers.
+///
+/// This is also the fault boundary: a DeadlineExceeded unwind (the job's
+/// DeadlineSec, armed here as a stack-local CancelToken) or any other
+/// exception escaping the compile is caught and folded into the result's
+/// Status — the context is always returned inside the result, never lost
+/// to the unwind.
 BatchResult runBatchJob(BatchJob Job, std::unique_ptr<CompilerContext> Comp);
 
 /// Compiles all \p Jobs using up to \p Threads workers (0 = hardware

@@ -77,45 +77,177 @@ CompileService::CompileService(ServiceConfig Config)
     Workers.emplace_back([this, I] { workerMain(I); });
 }
 
-CompileService::~CompileService() {
+CompileService::~CompileService() { stop(); }
+
+void CompileService::stop() {
   {
     std::lock_guard<std::mutex> Lock(M);
     Stopping = true;
   }
+  // Wake everyone: workers drain the already-admitted queue and exit;
+  // Block-policy producers waiting for space fail their admission.
   QueueCv.notify_all();
+  SpaceCv.notify_all();
+  // The join phase is guarded separately (never under M — workers need M
+  // to finish) and is idempotent: a second stop(), or the destructor
+  // after an explicit stop(), finds nothing joinable.
+  std::lock_guard<std::mutex> JoinLock(JoinM);
   for (std::thread &W : Workers)
-    W.join();
+    if (W.joinable())
+      W.join();
+}
+
+void CompileService::completeRejectedLocked(uint64_t Id, double QueueWaitSec,
+                                            const char *Why) {
+  auto R = std::make_unique<BatchResult>();
+  R->Status = JobStatus::Rejected;
+  R->HadErrors = true;
+  R->DiagText = std::string("error: ") + Why + "\n";
+  R->Out.Timings.QueueWaitSec = QueueWaitSec;
+  Done[Id - DrainedUpTo] = std::move(R);
+  ++CompletedJobs;
+}
+
+AdmitResult CompileService::tryEnqueue(BatchJob Job) {
+  AdmitResult A;
+  bool NotifyDone = false;
+  bool Refused = false;
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    if (Stopping)
+      return A; // refused: no id, no slot, no result owed
+    if (Cfg.MaxQueueDepth != 0 && queueDepthLocked() >= Cfg.MaxQueueDepth) {
+      switch (Cfg.Policy) {
+      case QueuePolicy::Block:
+        SpaceCv.wait(Lock, [this] {
+          return Stopping || queueDepthLocked() < Cfg.MaxQueueDepth;
+        });
+        if (Stopping)
+          return A;
+        break;
+      case QueuePolicy::RejectNewest: {
+        // The arrival is refused but still owns a slot: its Rejected
+        // result completes immediately, keeping drain() in-order with no
+        // gaps in the id sequence.
+        ++JobsRejected;
+        A.Id = NextJobId++;
+        Done.emplace_back();
+        completeRejectedLocked(A.Id, 0,
+                               "compile job rejected: queue full");
+        NotifyDone = true;
+        Refused = true;
+        break;
+      }
+      case QueuePolicy::ShedOldest: {
+        // Make room by completing the oldest queued job as Rejected —
+        // batch lane first, so interactive work is the last to be shed.
+        // The shed victim's slot was reserved at its own admission;
+        // filling it preserves in-order delivery.
+        auto Now = std::chrono::steady_clock::now();
+        while (queueDepthLocked() >= Cfg.MaxQueueDepth) {
+          std::deque<QueuedJob> &Lane =
+              !BatchLane.empty() ? BatchLane : InteractiveLane;
+          QueuedJob Victim = std::move(Lane.front());
+          Lane.pop_front();
+          ++JobsShed;
+          ++A.JobsShed;
+          completeRejectedLocked(
+              Victim.Id,
+              std::chrono::duration<double>(Now - Victim.EnqueuedAt).count(),
+              "compile job shed: queue full, displaced by a newer job");
+        }
+        NotifyDone = true;
+        break;
+      }
+      }
+    }
+    if (!Refused) {
+      A.Id = NextJobId++;
+      A.Accepted = true;
+      Done.emplace_back(); // result slot; filled by whichever worker runs it
+      std::deque<QueuedJob> &Lane =
+          Job.Priority == JobPriority::Interactive ? InteractiveLane
+                                                   : BatchLane;
+      Lane.push_back(
+          QueuedJob{A.Id, std::move(Job), std::chrono::steady_clock::now()});
+      if (queueDepthLocked() > QueueDepthPeak)
+        QueueDepthPeak = queueDepthLocked();
+    }
+  }
+  if (A.Accepted)
+    QueueCv.notify_one();
+  if (NotifyDone)
+    DoneCv.notify_all();
+  return A;
 }
 
 uint64_t CompileService::enqueue(BatchJob Job) {
-  uint64_t Id;
-  {
-    std::lock_guard<std::mutex> Lock(M);
-    Id = NextJobId++;
-    Done.emplace_back(); // result slot; filled by whichever worker runs it
-    Queue.emplace_back(Id, std::move(Job));
-  }
-  QueueCv.notify_one();
-  return Id;
+  return tryEnqueue(std::move(Job)).Id;
 }
 
 void CompileService::workerMain(unsigned WorkerIdx) {
   StatsSheaf &Sheaf = *Sheaves[WorkerIdx];
   while (true) {
     uint64_t Id;
+    uint64_t Seq;
+    double QueueWait;
     BatchJob Job;
     {
       std::unique_lock<std::mutex> Lock(M);
-      QueueCv.wait(Lock, [this] { return Stopping || !Queue.empty(); });
-      if (Queue.empty())
+      QueueCv.wait(Lock, [this] {
+        return Stopping || !InteractiveLane.empty() || !BatchLane.empty();
+      });
+      if (InteractiveLane.empty() && BatchLane.empty())
         return; // Stopping, and nothing left to do
       // One dequeue per JOB (not per slice): whichever worker frees up
       // first takes the next job, so long jobs don't starve the rest.
-      Id = Queue.front().first;
-      Job = std::move(Queue.front().second);
-      Queue.pop_front();
+      // Lane choice: interactive first, except that after InteractiveBurst
+      // consecutive interactive takes with batch work waiting, the batch
+      // lane gets the next slot (anti-starvation).
+      bool TakeBatch =
+          !BatchLane.empty() &&
+          (InteractiveLane.empty() || SinceBatch >= Cfg.InteractiveBurst);
+      std::deque<QueuedJob> &Lane = TakeBatch ? BatchLane : InteractiveLane;
+      if (TakeBatch)
+        SinceBatch = 0;
+      else
+        ++SinceBatch;
+      QueuedJob QJ = std::move(Lane.front());
+      Lane.pop_front();
+      Id = QJ.Id;
+      Job = std::move(QJ.Job);
+      Seq = DequeueCounter++;
+      QueueWait = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - QJ.EnqueuedAt)
+                      .count();
     }
-    auto Result = std::make_unique<BatchResult>(runJob(std::move(Job), Sheaf));
+    // A slot opened up for a Block-policy producer.
+    SpaceCv.notify_one();
+
+    std::unique_ptr<BatchResult> Result;
+    double Deadline = Job.DeadlineSec;
+    if (Deadline > 0 && QueueWait >= Deadline) {
+      // The deadline (measured from enqueue) expired while the job sat in
+      // the queue: complete it without compiling — and without consulting
+      // the cache, so an expired job's status never depends on what
+      // happens to be cached.
+      Result = std::make_unique<BatchResult>();
+      Result->Status = JobStatus::DeadlineExceeded;
+      Result->HadErrors = true;
+      Result->DiagText = "error: job deadline exceeded while queued\n";
+      Sheaf.add("service.jobsCompleted", 1);
+      Sheaf.add("service.jobsDeadlineExceeded", 1);
+    } else {
+      // The remaining budget is what runBatchJob arms as the in-compile
+      // deadline: queue wait counts against the job's total allowance.
+      if (Deadline > 0)
+        Job.DeadlineSec = Deadline - QueueWait;
+      Result = std::make_unique<BatchResult>(runJob(std::move(Job), Sheaf));
+    }
+    Result->DequeueSeq = Seq;
+    // Per-request, even on a cache replay (the compile-stage timings are
+    // the cached copy; the wait is this request's own).
+    Result->Out.Timings.QueueWaitSec = QueueWait;
     {
       std::lock_guard<std::mutex> Lock(M);
       // A job can only be drained after completing, so its slot is still
@@ -198,6 +330,10 @@ BatchResult CompileService::runJob(BatchJob Job, StatsSheaf &Sheaf) {
   Sheaf.add("service.jobsCompleted", 1);
   if (Reused)
     Sheaf.add("service.contextsReused", 1);
+  if (R.Status == JobStatus::DeadlineExceeded)
+    Sheaf.add("service.jobsDeadlineExceeded", 1);
+  else if (R.Status == JobStatus::Faulted)
+    Sheaf.add("service.jobsFaulted", 1);
   const SlabAllocator::Stats &Backend = R.Comp->heap().backendStats();
   Sheaf.add("service.pagesShared", Backend.PagesFromPool - PagesFromPool0);
   Sheaf.add("service.pagesMapped", Backend.PagesMapped - PagesMapped0);
@@ -214,13 +350,27 @@ BatchResult CompileService::runJob(BatchJob Job, StatsSheaf &Sheaf) {
     // Fold the job's pipeline counters into the service aggregate (in
     // KeepContexts mode the caller owns them via the context).
     Sheaf.merge(R.Comp->stats());
-    if (Cfg.WarmContexts)
-      Contexts.recycle(std::move(R.Comp));
-    else
+    if (R.Status == JobStatus::Faulted) {
+      // Fault containment: the exception's throw site is unknown (it may
+      // have split an allocation from its accounting), so the shell
+      // counts as poisoned. Destroying it frees its pages wholesale —
+      // through the shared pool when attached — without reset()'s
+      // clean-heap precondition; the pool simply builds a fresh shell
+      // next time. A DeadlineExceeded unwind, by contrast, only ever
+      // crosses RAII tree holders, so that shell recycles normally.
       R.Comp.reset();
-    // Install the stripped result for future hits. (Cache implies
-    // !KeepContexts, so the payload never references a context.)
-    if (Cache)
+      Sheaf.add("service.contextsDiscarded", 1);
+    } else if (Cfg.WarmContexts) {
+      Contexts.recycle(std::move(R.Comp));
+    } else {
+      R.Comp.reset();
+    }
+    // Install the stripped result for future hits — completed compiles
+    // only: a rejected/cancelled/faulted result describes this request's
+    // scheduling fate, not the job's content, and must never replay for
+    // an equal key. (Cache implies !KeepContexts, so the payload never
+    // references a context.)
+    if (Cache && R.Status == JobStatus::Ok)
       Cache->insert(Key, captureArtifact(R));
   }
 
@@ -234,9 +384,15 @@ size_t CompileService::pendingJobs() const {
   return static_cast<size_t>(NextJobId - CompletedJobs);
 }
 
+size_t CompileService::queuedJobs() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return queueDepthLocked();
+}
+
 std::vector<BatchResult> CompileService::drain() {
   std::vector<BatchResult> Results;
   uint64_t Target;
+  uint64_t Rejected, Shed, DepthPeak;
   {
     std::unique_lock<std::mutex> Lock(M);
     Target = NextJobId;
@@ -255,6 +411,9 @@ std::vector<BatchResult> CompileService::drain() {
       Done.pop_front();
       ++DrainedUpTo;
     }
+    Rejected = JobsRejected;
+    Shed = JobsShed;
+    DepthPeak = QueueDepthPeak;
   }
 
   // Merge the per-worker sheaves; each drain folds only the deltas since
@@ -269,12 +428,17 @@ std::vector<BatchResult> CompileService::drain() {
   Stats.counter("service.workerUtilization") =
       Capacity > 0 ? static_cast<uint64_t>(100.0 * BusySec / Capacity) : 0;
   // Occupancy gauges (not deltas): refreshed to the current value each
-  // drain. Hits/misses accumulate through the sheaves above.
+  // drain. Hits/misses accumulate through the sheaves above; the
+  // admission counters are service-lifetime totals read under M.
+  Stats.counter("service.jobsRejected") = Rejected;
+  Stats.counter("service.jobsShed") = Shed;
+  Stats.counter("service.queueDepthPeak") = DepthPeak;
   if (Cache) {
     ArtifactCache::Stats CS = Cache->stats();
     Stats.counter("service.cacheBytes") = CS.Bytes;
     Stats.counter("service.cacheEntries") = CS.Entries;
     Stats.counter("service.cacheEvictions") = CS.Evictions;
+    Stats.counter("service.cacheIntegrityRejects") = CS.IntegrityRejects;
   }
   if (Pages)
     Stats.counter("heap.pagesTrimmed") = Pages->stats().PagesTrimmed;

@@ -4,12 +4,28 @@
 /// The compile-service layer: a persistent worker pool that treats the
 /// compiler as a long-lived service rather than a one-shot CLI run.
 ///
-/// Three ideas on top of the old batch driver:
+/// Ideas on top of the old batch driver:
 ///
-///   1. Work queue. Jobs are enqueued (including while the service is
-///      running) onto a mutex+condvar queue; each worker dequeues ONE job
-///      at a time, so scheduling is load-balanced rather than sliced, and
-///      results are delivered in enqueue order at drain().
+///   1. Work queue with admission control. Jobs are enqueued (including
+///      while the service is running) onto a mutex+condvar queue split
+///      into two priority lanes (Interactive ahead of Batch, with an
+///      anti-starvation burst cap); each worker dequeues ONE job at a
+///      time, so scheduling is load-balanced rather than sliced, and
+///      results are delivered in enqueue order at drain(). The queue is
+///      optionally bounded (ServiceConfig::MaxQueueDepth): arrivals at a
+///      full queue block, are rejected, or shed the oldest queued job
+///      (QueuePolicy), with refused jobs completing in the drain window
+///      as JobStatus::Rejected — overload degrades answers, never the
+///      in-order delivery contract.
+///
+///   1b. Deadlines and fault containment. A job's soft deadline
+///      (BatchJob::DeadlineSec, measured from enqueue) is enforced by
+///      cooperative checkpoints at phase boundaries; an expired job
+///      unwinds cleanly to JobStatus::DeadlineExceeded and its context
+///      stays recyclable. Any other exception is caught by the worker
+///      firewall in runBatchJob: the job fails (JobStatus::Faulted), its
+///      possibly-poisoned context is discarded instead of recycled
+///      (service.contextsDiscarded), and the worker lives on.
 ///
 ///   2. Warm contexts. A ContextPool recycles CompilerContext shells
 ///      between jobs: CompilerContext::reset() restores name table, type
@@ -100,10 +116,50 @@ private:
   PagePool *Pages;
 };
 
+/// What the service does when a job arrives at a full queue
+/// (ServiceConfig::MaxQueueDepth).
+enum class QueuePolicy : uint8_t {
+  /// tryEnqueue() blocks until a worker frees a slot (or the service
+  /// stops). The closed-loop default: producers self-throttle.
+  Block,
+  /// The arriving job is refused: it still gets an id and completes
+  /// immediately in the drain window with JobStatus::Rejected.
+  RejectNewest,
+  /// The arriving job is admitted and the oldest *queued* job is shed in
+  /// its place (Batch lane first — interactive work is the last to go).
+  /// Shed jobs complete with JobStatus::Rejected in the drain window, so
+  /// in-order delivery is preserved under overload.
+  ShedOldest,
+};
+
+/// Sentinel id returned by enqueue()/tryEnqueue() after stop(): the job
+/// was not admitted and owns no slot in the drain window.
+inline constexpr uint64_t InvalidJobId = ~uint64_t(0);
+
+/// What admission control decided about one tryEnqueue() call.
+struct AdmitResult {
+  uint64_t Id = InvalidJobId;
+  /// False: the job was refused (queue full under RejectNewest, or the
+  /// service is stopped). When Id != InvalidJobId the refusal still
+  /// delivers a Rejected result in the drain window.
+  bool Accepted = false;
+  /// Queued jobs this admission displaced (ShedOldest only).
+  uint64_t JobsShed = 0;
+};
+
 /// Service tuning knobs.
 struct ServiceConfig {
   /// Worker threads; 0 = hardware concurrency (min 1).
   unsigned Threads = 0;
+  /// Admission bound: queued-but-not-running jobs the service holds
+  /// before Policy kicks in. 0 = unbounded (the historical behavior).
+  size_t MaxQueueDepth = 0;
+  /// What to do with arrivals at a full queue.
+  QueuePolicy Policy = QueuePolicy::Block;
+  /// Anti-starvation cap for the priority lanes: after this many
+  /// consecutive interactive dequeues while batch work waits, the next
+  /// dequeue takes from the batch lane regardless.
+  unsigned InteractiveBurst = 3;
   /// Recycle CompilerContext shells between jobs via the ContextPool.
   bool WarmContexts = true;
   /// Attach a shared PagePool so slab pages mapped by one job serve the
@@ -131,13 +187,27 @@ public:
   explicit CompileService(ServiceConfig Config = ServiceConfig());
   CompileService(const CompileService &) = delete;
   CompileService &operator=(const CompileService &) = delete;
-  /// Finishes all queued jobs, then stops and joins the workers.
+  /// Equivalent to stop(): finishes already-admitted jobs, then joins.
   ~CompileService();
+
+  /// Admission-controlled enqueue; legal at any time, from any thread.
+  /// Applies MaxQueueDepth/Policy at a full queue and reports what
+  /// happened. After stop() the job is refused with Id == InvalidJobId.
+  AdmitResult tryEnqueue(BatchJob Job);
 
   /// Queues a job; legal at any time, including while workers are busy
   /// and from multiple threads. Returns the job's id (== its position in
-  /// the overall enqueue order).
+  /// the overall enqueue order). Convenience over tryEnqueue(): a job
+  /// refused by admission control still returns its id (its Rejected
+  /// result arrives at drain); only after stop() does it return
+  /// InvalidJobId, with no result owed.
   uint64_t enqueue(BatchJob Job);
+
+  /// Stops the service: no further admissions, already-admitted queued
+  /// jobs still run, then workers exit and are joined. Idempotent and
+  /// safe to race with enqueue()/tryEnqueue() from other threads (they
+  /// fail cleanly). The destructor calls this.
+  void stop();
 
   /// Blocks until every job enqueued so far is complete and returns
   /// their results in enqueue order (starting after the previous drain's
@@ -152,11 +222,18 @@ public:
   /// on. Thread-safe.
   size_t pendingJobs() const;
 
+  /// Jobs currently sitting in the admission queue (both lanes, not yet
+  /// taken by a worker). Thread-safe.
+  size_t queuedJobs() const;
+
   /// Merged service counters: service.jobsCompleted, contextsReused,
   /// pagesShared, workerUtilization (percent), the cache counters
-  /// (service.cacheHits/cacheMisses/cacheBytes/cacheEvictions), plus the
-  /// aggregated per-job context counters (fusion.*, heap.*, frontend.*)
-  /// of recycled jobs. Stable between drain() calls.
+  /// (service.cacheHits/cacheMisses/cacheBytes/cacheEvictions), the
+  /// admission/robustness counters (service.jobsRejected, jobsShed,
+  /// jobsDeadlineExceeded, jobsFaulted, contextsDiscarded,
+  /// queueDepthPeak), plus the aggregated per-job context counters
+  /// (fusion.*, heap.*, frontend.*) of recycled jobs. Stable between
+  /// drain() calls.
   StatsRegistry &stats() { return Stats; }
 
   /// The shared page pool in effect, or null.
@@ -170,9 +247,30 @@ public:
     return static_cast<unsigned>(Workers.size());
   }
 
+  /// Warm context shells currently parked in the pool. At most one shell
+  /// exists per worker at any instant (and discarded shells die), so this
+  /// never exceeds threadCount() — the soak test's fixed point.
+  size_t warmContexts() const { return Contexts.size(); }
+
 private:
+  /// One admitted-but-not-yet-running job. EnqueuedAt feeds the queue
+  /// wait (reported per result and counted against the soft deadline).
+  struct QueuedJob {
+    uint64_t Id;
+    BatchJob Job;
+    std::chrono::steady_clock::time_point EnqueuedAt;
+  };
+
   void workerMain(unsigned WorkerIdx);
   BatchResult runJob(BatchJob Job, StatsSheaf &Sheaf);
+  /// Queue depth across both lanes. Caller holds M.
+  size_t queueDepthLocked() const {
+    return InteractiveLane.size() + BatchLane.size();
+  }
+  /// Completes \p Id in the drain window with a Rejected result without
+  /// it ever reaching a worker. Caller holds M; caller notifies DoneCv.
+  void completeRejectedLocked(uint64_t Id, double QueueWaitSec,
+                              const char *Why);
 
   ServiceConfig Cfg;
   // Destruction order matters: workers join first (declared last), then
@@ -186,7 +284,14 @@ private:
   mutable std::mutex M;
   std::condition_variable QueueCv; // workers: queue non-empty or stopping
   std::condition_variable DoneCv;  // drain(): a job finished
-  std::deque<std::pair<uint64_t, BatchJob>> Queue;
+  std::condition_variable SpaceCv; // Block-policy producers: a slot freed
+  /// The admission queue, split by JobPriority. Workers prefer the
+  /// interactive lane; SinceBatch enforces the InteractiveBurst cap so
+  /// the batch lane cannot starve.
+  std::deque<QueuedJob> InteractiveLane;
+  std::deque<QueuedJob> BatchLane;
+  unsigned SinceBatch = 0;     // interactive takes since the last batch take
+  uint64_t DequeueCounter = 0; // BatchResult::DequeueSeq source
   /// Result slots for the undrained id window [DrainedUpTo, NextJobId):
   /// the slot is reserved by enqueue() (the window only ever grows
   /// there), a completing worker fills Done[Id - DrainedUpTo] in place,
@@ -198,10 +303,15 @@ private:
   uint64_t DrainedUpTo = 0;
   uint64_t CompletedJobs = 0;
   bool Stopping = false;
+  // Admission counters (under M); published as gauges at drain().
+  uint64_t JobsRejected = 0;
+  uint64_t JobsShed = 0;
+  uint64_t QueueDepthPeak = 0;
 
   std::vector<std::unique_ptr<StatsSheaf>> Sheaves; // one per worker
   StatsRegistry Stats;
   std::chrono::steady_clock::time_point StartedAt;
+  std::mutex JoinM; // serializes stop()'s join phase (idempotent stop)
   std::vector<std::thread> Workers;
 };
 

@@ -34,6 +34,10 @@ CompileOutput mpc::compileProgramWithPlan(CompilerContext &Comp,
   if (Comp.diags().hasErrors())
     return Out;
 
+  // Stage boundary: a deadline that expired during the frontend surfaces
+  // here rather than after a full pipeline run.
+  Comp.checkpoint();
+
   // Tree transformation pipeline (Listing 3's loop).
   TreeChecker Checker(makeRetypeChecker());
   TransformPipeline Pipeline(Plan);
@@ -45,6 +49,7 @@ CompileOutput mpc::compileProgramWithPlan(CompilerContext &Comp,
   Out.CheckFailures = std::move(PR.CheckFailures);
 
   // Back end.
+  Comp.checkpoint();
   T.reset();
   Out.Prog = generateCode(Out.Units, Comp);
   Out.Timings.BackendSec = T.elapsedSeconds();

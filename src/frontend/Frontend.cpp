@@ -2,6 +2,7 @@
 
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
+#include "support/FaultInjector.h"
 #include "support/OStream.h"
 
 #include <cassert>
@@ -15,6 +16,11 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
   std::vector<ParsedUnit> Parsed;
   std::vector<Token> TokScratch; // one collection buffer for all units
   for (SourceInput &Src : Sources) {
+    // Frontend stage loop: cancellation checkpoint + fault point between
+    // sources. At this boundary only RAII state (parsed units, arenas) is
+    // live, so an unwind from either leaves the context recyclable.
+    Comp.checkpoint();
+    faultStagePoint(FaultSite::FrontendEntry);
     ParsedUnit PU;
     PU.FileName = Src.FileName;
     PU.FileId = Comp.diags().addFile(Src.FileName);
@@ -28,6 +34,9 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
     ArenaBytes += PU.Arena->bytesUsed();
     Parsed.push_back(std::move(PU));
   }
+  // Last pre-typer boundary: typing is the longest uninterruptible
+  // stretch of the frontend, so check once more before entering it.
+  Comp.checkpoint();
   Typer T(Comp);
   std::vector<CompilationUnit> Units = T.run(Parsed);
   // frontend.scopeProbes is recorded by the typer itself.

@@ -26,6 +26,8 @@
 #ifndef MPC_MEMSIM_PAGEPOOL_H
 #define MPC_MEMSIM_PAGEPOOL_H
 
+#include "support/FaultInjector.h"
+
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
@@ -58,6 +60,11 @@ public:
   /// Takes a page out of the pool (ownership moves to the caller), or
   /// returns null when the pool is empty.
   void *take() {
+    // Injected miss simulates an exhausted pool: the caller falls through
+    // to a fresh system mapping, exercising the cold-page path on demand.
+    if (FaultInjector *FI = activeFaultInjector())
+      if (FI->missPoolTake())
+        return nullptr;
     std::lock_guard<std::mutex> Lock(M);
     if (Pages.empty())
       return nullptr;

@@ -60,6 +60,7 @@
 #define MPC_MEMSIM_SLABALLOCATOR_H
 
 #include "memsim/PagePool.h"
+#include "support/FaultInjector.h"
 
 #include <cassert>
 #include <cstddef>
@@ -120,6 +121,9 @@ public:
   void *allocate(size_t Size) {
     ++TotalAllocs;
     if (!Enabled || Size > MaxSmallBytes) {
+      if (FaultInjector *FI = activeFaultInjector())
+        if (FI->failFallbackAlloc())
+          throw std::bad_alloc();
       ++S.SystemCalls;
       if (Enabled)
         ++S.FallbackAllocs;
@@ -301,6 +305,12 @@ private:
   }
 
   PageHeader *takePage(unsigned C) {
+    // Fault point sits above the pool lookups so its firing frequency does
+    // not depend on pool warmth — an injected exhaustion hits warm and
+    // cold page paths alike.
+    if (FaultInjector *FI = activeFaultInjector())
+      if (FI->failPageAlloc())
+        throw std::bad_alloc();
     void *Mem = nullptr;
     bool WasHeld = false;
     if (!LocalPool.empty()) {

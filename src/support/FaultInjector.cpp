@@ -1,0 +1,65 @@
+#include "support/FaultInjector.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace mpc;
+
+std::atomic<FaultInjector *> mpc::detail::GFaultInjector{nullptr};
+
+namespace {
+
+/// SplitMix64 finalizer — the same mixer the workload Rng and the
+/// fingerprint module use, applied here to (seed, site, arrival index).
+uint64_t mix(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+bool FaultInjector::decide(FaultSite Site, double Rate) {
+  if (Rate <= 0)
+    return false;
+  uint64_t N = Arrivals[static_cast<unsigned>(Site)].fetch_add(
+      1, std::memory_order_relaxed);
+  uint64_t H = mix(Cfg.Seed ^
+                   (uint64_t(static_cast<unsigned>(Site)) << 56) ^ N);
+  // Top 53 bits -> uniform double in [0, 1).
+  double U = double(H >> 11) * 0x1.0p-53;
+  return U < Rate;
+}
+
+void FaultInjector::stagePoint(FaultSite Site) {
+  assert(Site == FaultSite::FrontendEntry || Site == FaultSite::PhaseEntry);
+  if (Cfg.StageHook)
+    Cfg.StageHook(Site);
+  if (decide(Site, Cfg.StageDelayRate)) {
+    ++NumStageDelays;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(Cfg.StageDelayMicros));
+  }
+  // Each decision consumes its own arrival index, so the delay and throw
+  // draws are independent: a delayed arrival may also throw.
+  if (decide(Site, Cfg.StageThrowRate)) {
+    ++NumStageThrows;
+    throw InjectedFault(Site == FaultSite::PhaseEntry
+                            ? "injected fault at pipeline phase entry"
+                            : "injected fault at frontend entry");
+  }
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultConfig Config)
+    : FI(std::move(Config)) {
+  FaultInjector *Expected = nullptr;
+  bool Installed = detail::GFaultInjector.compare_exchange_strong(
+      Expected, &FI, std::memory_order_release);
+  assert(Installed && "a FaultInjector is already installed");
+  (void)Installed;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  detail::GFaultInjector.store(nullptr, std::memory_order_release);
+}

@@ -240,4 +240,35 @@ TEST(ArtifactCache, DuplicateInsertReplacesInPlace) {
   EXPECT_EQ(Cache.stats().Insertions, 1u);
 }
 
+TEST(ArtifactCache, CorruptedEntryDegradesToMissAndIsDropped) {
+  // Integrity gate: an entry whose stored payload no longer matches its
+  // accounted byte size must never replay. It degrades to a miss, is
+  // counted, and is dropped so the next compile reinstalls a good copy.
+  ArtifactCache Cache;
+  Cache.insert(keyOf(1), artifactOf("pristine"));
+  Cache.insert(keyOf(2), artifactOf("bystander"));
+  size_t BytesBefore = Cache.bytes();
+  ASSERT_TRUE(Cache.corruptEntryForTest(keyOf(1)));
+
+  CachedArtifact Out;
+  EXPECT_FALSE(Cache.lookup(keyOf(1), Out));
+  ArtifactCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.IntegrityRejects, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Entries, 1u); // corrupted entry evicted, bystander intact
+  EXPECT_LT(Cache.bytes(), BytesBefore);
+  EXPECT_TRUE(Cache.lookup(keyOf(2), Out));
+  EXPECT_EQ(Out.DumpText, "bystander");
+
+  // A fresh insert under the same key serves again — self-healing.
+  Cache.insert(keyOf(1), artifactOf("pristine"));
+  ASSERT_TRUE(Cache.lookup(keyOf(1), Out));
+  EXPECT_EQ(Out.DumpText, "pristine");
+  EXPECT_EQ(Cache.stats().IntegrityRejects, 1u);
+
+  // Corrupting a nonexistent key is a no-op.
+  EXPECT_FALSE(Cache.corruptEntryForTest(keyOf(99)));
+}
+
 } // namespace
