@@ -135,6 +135,15 @@ private:
   void step() {
     if (++Steps > StepLimit)
       throw InterpError{"step limit exceeded"};
+    // Cancellation checkpoint: the interpreter is the one backend stage
+    // whose runtime is workload-controlled (a hot loop in the program
+    // under test runs arbitrarily long), so polling only at phase
+    // boundaries would let it blow through a deadline unboundedly. Every
+    // 256th step keeps the poll off the hot path while bounding the
+    // overshoot; DeadlineExceeded unwinds past run()'s handlers (which
+    // catch only guest-level failures) to the service's worker firewall.
+    if ((Steps & 255) == 0)
+      Comp.checkpoint();
   }
 
   ClassDef *classDef(ClassSymbol *Cls) {

@@ -2,6 +2,8 @@
 
 #include "support/Timer.h"
 
+#include <cassert>
+
 using namespace mpc;
 
 //===----------------------------------------------------------------------===//
@@ -63,6 +65,10 @@ CompileService::CompileService(ServiceConfig Config)
                 ? std::make_unique<ArtifactCache>(Cfg.Cache)
                 : nullptr),
       Contexts(Pages), StartedAt(std::chrono::steady_clock::now()) {
+  // A streamed result is stripped of its context, which KeepContexts
+  // promises to hand over — the two modes cannot compose.
+  assert(!(Cfg.OnResult && Cfg.KeepContexts) &&
+         "OnResult delivery is incompatible with KeepContexts");
   unsigned N = Cfg.Threads;
   if (N == 0) {
     N = std::thread::hardware_concurrency();
@@ -97,14 +103,21 @@ void CompileService::stop() {
       W.join();
 }
 
-void CompileService::completeRejectedLocked(uint64_t Id, double QueueWaitSec,
-                                            const char *Why) {
-  auto R = std::make_unique<BatchResult>();
-  R->Status = JobStatus::Rejected;
-  R->HadErrors = true;
-  R->DiagText = std::string("error: ") + Why + "\n";
-  R->Out.Timings.QueueWaitSec = QueueWaitSec;
-  Done[Id - DrainedUpTo] = std::move(R);
+void CompileService::completeRejectedLocked(
+    uint64_t Id, double QueueWaitSec, const char *Why,
+    std::vector<PendingReject> &Deferred) {
+  BatchResult R;
+  R.Status = JobStatus::Rejected;
+  R.HadErrors = true;
+  R.DiagText = std::string("error: ") + Why + "\n";
+  R.Out.Timings.QueueWaitSec = QueueWaitSec;
+  if (Cfg.OnResult) {
+    // Streaming mode: no drain-window slot exists; the caller fires the
+    // callback once M is released (user code never runs under the lock).
+    Deferred.push_back(PendingReject{Id, std::move(R)});
+  } else {
+    Done[Id - DrainedUpTo] = std::make_unique<BatchResult>(std::move(R));
+  }
   ++CompletedJobs;
 }
 
@@ -112,6 +125,7 @@ AdmitResult CompileService::tryEnqueue(BatchJob Job) {
   AdmitResult A;
   bool NotifyDone = false;
   bool Refused = false;
+  std::vector<PendingReject> Deferred;
   {
     std::unique_lock<std::mutex> Lock(M);
     if (Stopping)
@@ -131,9 +145,10 @@ AdmitResult CompileService::tryEnqueue(BatchJob Job) {
         // gaps in the id sequence.
         ++JobsRejected;
         A.Id = NextJobId++;
-        Done.emplace_back();
-        completeRejectedLocked(A.Id, 0,
-                               "compile job rejected: queue full");
+        if (!Cfg.OnResult)
+          Done.emplace_back();
+        completeRejectedLocked(A.Id, 0, "compile job rejected: queue full",
+                               Deferred);
         NotifyDone = true;
         Refused = true;
         break;
@@ -154,7 +169,8 @@ AdmitResult CompileService::tryEnqueue(BatchJob Job) {
           completeRejectedLocked(
               Victim.Id,
               std::chrono::duration<double>(Now - Victim.EnqueuedAt).count(),
-              "compile job shed: queue full, displaced by a newer job");
+              "compile job shed: queue full, displaced by a newer job",
+              Deferred);
         }
         NotifyDone = true;
         break;
@@ -164,7 +180,8 @@ AdmitResult CompileService::tryEnqueue(BatchJob Job) {
     if (!Refused) {
       A.Id = NextJobId++;
       A.Accepted = true;
-      Done.emplace_back(); // result slot; filled by whichever worker runs it
+      if (!Cfg.OnResult)
+        Done.emplace_back(); // result slot; filled by whichever worker runs it
       std::deque<QueuedJob> &Lane =
           Job.Priority == JobPriority::Interactive ? InteractiveLane
                                                    : BatchLane;
@@ -174,6 +191,9 @@ AdmitResult CompileService::tryEnqueue(BatchJob Job) {
         QueueDepthPeak = queueDepthLocked();
     }
   }
+  // Streaming mode: deliver refusals now that M is released.
+  for (PendingReject &P : Deferred)
+    Cfg.OnResult(P.Id, std::move(P.R));
   if (A.Accepted)
     QueueCv.notify_one();
   if (NotifyDone)
@@ -248,7 +268,14 @@ void CompileService::workerMain(unsigned WorkerIdx) {
     // Per-request, even on a cache replay (the compile-stage timings are
     // the cached copy; the wait is this request's own).
     Result->Out.Timings.QueueWaitSec = QueueWait;
-    {
+    if (Cfg.OnResult) {
+      // Streaming mode: hand the result over right now, on this worker
+      // thread, before counting it complete — so quiescence (drain(),
+      // stop()) implies the callback has run for every admitted job.
+      Cfg.OnResult(Id, std::move(*Result));
+      std::lock_guard<std::mutex> Lock(M);
+      ++CompletedJobs;
+    } else {
       std::lock_guard<std::mutex> Lock(M);
       // A job can only be drained after completing, so its slot is still
       // inside the window even if other drains happened meanwhile. The
@@ -396,20 +423,28 @@ std::vector<BatchResult> CompileService::drain() {
   {
     std::unique_lock<std::mutex> Lock(M);
     Target = NextJobId;
-    // Completed slots never empty again, so a monotonic cursor checks
-    // each slot once across all wakeups — O(window) for the whole wait,
-    // not per notification.
-    uint64_t Scanned = DrainedUpTo;
-    DoneCv.wait(Lock, [&] {
-      while (Scanned < Target && Done[Scanned - DrainedUpTo])
-        ++Scanned;
-      return Scanned >= Target;
-    });
-    Results.reserve(Target - DrainedUpTo);
-    while (DrainedUpTo < Target) {
-      Results.push_back(std::move(*Done.front()));
-      Done.pop_front();
-      ++DrainedUpTo;
+    if (Cfg.OnResult) {
+      // Streaming mode: results were handed to the callback as they
+      // completed; drain() degenerates to a quiescence barrier plus the
+      // stats merge below.
+      DoneCv.wait(Lock, [&] { return CompletedJobs >= Target; });
+      DrainedUpTo = Target;
+    } else {
+      // Completed slots never empty again, so a monotonic cursor checks
+      // each slot once across all wakeups — O(window) for the whole wait,
+      // not per notification.
+      uint64_t Scanned = DrainedUpTo;
+      DoneCv.wait(Lock, [&] {
+        while (Scanned < Target && Done[Scanned - DrainedUpTo])
+          ++Scanned;
+        return Scanned >= Target;
+      });
+      Results.reserve(Target - DrainedUpTo);
+      while (DrainedUpTo < Target) {
+        Results.push_back(std::move(*Done.front()));
+        Done.pop_front();
+        ++DrainedUpTo;
+      }
     }
     Rejected = JobsRejected;
     Shed = JobsShed;

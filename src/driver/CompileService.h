@@ -78,6 +78,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -179,6 +180,18 @@ struct ServiceConfig {
   /// Forces cold, unpooled contexts with no shared pages — a context
   /// that escapes to the caller must own its storage outright.
   bool KeepContexts = false;
+  /// Streaming delivery (the network server's mode): when set, every
+  /// completed job — including rejected/shed ones — is handed to this
+  /// callback the moment it finishes, in *completion* order, instead of
+  /// being parked in the drain window. The callback runs on the
+  /// completing worker's thread (or the admitting thread for refusals),
+  /// never under the service lock, and must be thread-safe; it must not
+  /// call back into drain(). stop() returns only after the callback has
+  /// fired for every admitted job — the graceful-drain contract a server
+  /// builds on. drain() still merges stats (and waits for quiescence)
+  /// but returns no results in this mode. Incompatible with
+  /// KeepContexts.
+  std::function<void(uint64_t Id, BatchResult Result)> OnResult;
 };
 
 /// The persistent compile service.
@@ -267,10 +280,19 @@ private:
   size_t queueDepthLocked() const {
     return InteractiveLane.size() + BatchLane.size();
   }
-  /// Completes \p Id in the drain window with a Rejected result without
-  /// it ever reaching a worker. Caller holds M; caller notifies DoneCv.
+  /// A refusal result pending callback delivery (OnResult mode): built
+  /// under M, fired after M is released.
+  struct PendingReject {
+    uint64_t Id;
+    BatchResult R;
+  };
+  /// Completes \p Id with a Rejected result without it ever reaching a
+  /// worker: into the drain window, or (OnResult mode) onto \p Deferred
+  /// for the caller to deliver outside the lock. Caller holds M; caller
+  /// notifies DoneCv.
   void completeRejectedLocked(uint64_t Id, double QueueWaitSec,
-                              const char *Why);
+                              const char *Why,
+                              std::vector<PendingReject> &Deferred);
 
   ServiceConfig Cfg;
   // Destruction order matters: workers join first (declared last), then

@@ -1,0 +1,185 @@
+#include "net/LoadGen.h"
+
+#include "workload/ProgramGenerator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace mpc;
+using namespace mpc::net;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  double Rank = P / 100.0 * double(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - double(Lo);
+  return Sorted[Lo] * (1 - Frac) + Sorted[Hi] * Frac;
+}
+
+} // namespace
+
+LoadGenReport net::runLoadGen(const LoadGenConfig &Cfg) {
+  LoadGenReport Rep;
+  Rep.Scheduled = Cfg.NumRequests;
+  Rep.OfferedRps = Cfg.Rps;
+
+  // Pre-generate the job variants once: workload generation is itself
+  // compiler-sized work and must not eat into the arrival schedule.
+  unsigned NumVariants = std::max(1u, Cfg.Variants);
+  std::vector<std::vector<SourceInput>> Variants;
+  Variants.reserve(NumVariants);
+  for (unsigned V = 0; V < NumVariants; ++V) {
+    WorkloadProfile Profile = stdlibProfile(Cfg.SourceScale);
+    Profile.Seed = Cfg.Seed + V;
+    Profile.UnitsHint = 2;
+    Variants.push_back(generateWorkload(Profile));
+  }
+
+  std::atomic<uint64_t> NextArrival{0};
+  std::mutex ResultM;
+  std::vector<double> LatMs, QueueMs;
+  LatMs.reserve(Cfg.NumRequests);
+
+  std::atomic<uint64_t> Completed{0}, Ok{0}, Deadline{0}, Faulted{0},
+      GaveUp{0};
+
+  Clock::time_point T0 = Clock::now();
+  double PerArrivalSec = Cfg.Rps > 0 ? 1.0 / Cfg.Rps : 0;
+
+  unsigned NumWorkers = std::max(1u, Cfg.Connections);
+  std::vector<ClientStats> WorkerStats(NumWorkers);
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumWorkers);
+
+  for (unsigned W = 0; W < NumWorkers; ++W) {
+    Workers.emplace_back([&, W] {
+      ClientConfig CC;
+      CC.Port = Cfg.Port;
+      CC.MaxRetries = Cfg.MaxRetries;
+      CC.IoTimeoutMs = Cfg.IoTimeoutMs;
+      CC.JitterSeed = Cfg.Seed * 1000003 + W;
+      CompileClient Client(CC);
+
+      std::vector<double> MyLat, MyQueue;
+
+      for (;;) {
+        uint64_t I = NextArrival.fetch_add(1, std::memory_order_relaxed);
+        if (I >= Cfg.NumRequests)
+          break;
+
+        // Open loop: wait for the scheduled arrival instant; if we are
+        // already past it (server backlog pushed back on the pool), run
+        // immediately — the lateness lands in this request's latency.
+        Clock::time_point ScheduledAt =
+            T0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(PerArrivalSec *
+                                                   double(I)));
+        if (Cfg.Rps > 0)
+          std::this_thread::sleep_until(ScheduledAt);
+        else
+          ScheduledAt = Clock::now();
+
+        WireRequest Req;
+        Req.ReqId = I + 1;
+        Req.DeadlineMillis = Cfg.DeadlineMillis;
+        Req.Sources = Variants[I % NumVariants];
+
+        WireResponse Resp;
+        std::string Err;
+        if (!Client.compile(Req, Resp, Err)) {
+          GaveUp.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+
+        double Ms = std::chrono::duration<double, std::milli>(
+                        Clock::now() - ScheduledAt)
+                        .count();
+        MyLat.push_back(Ms);
+        MyQueue.push_back(double(Resp.QueueWaitMicros) / 1000.0);
+        Completed.fetch_add(1, std::memory_order_relaxed);
+        switch (Resp.Status) {
+        case WireStatus::Ok:
+          Ok.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case WireStatus::DeadlineExceeded:
+          Deadline.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case WireStatus::Faulted:
+          Faulted.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+
+      Client.close();
+      WorkerStats[W] = Client.stats();
+      std::lock_guard<std::mutex> Lock(ResultM);
+      LatMs.insert(LatMs.end(), MyLat.begin(), MyLat.end());
+      QueueMs.insert(QueueMs.end(), MyQueue.begin(), MyQueue.end());
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+
+  Rep.WallSec =
+      std::chrono::duration<double>(Clock::now() - T0).count();
+  Rep.Completed = Completed.load();
+  Rep.Ok = Ok.load();
+  Rep.Deadline = Deadline.load();
+  Rep.Faulted = Faulted.load();
+  Rep.GaveUp = GaveUp.load();
+  for (const ClientStats &CS : WorkerStats) {
+    Rep.Retries += CS.BackoffSleeps;
+    Rep.RetryAfterSeen += CS.RetryAfterSeen;
+    Rep.Reconnects += CS.Reconnects;
+  }
+
+  std::sort(LatMs.begin(), LatMs.end());
+  std::sort(QueueMs.begin(), QueueMs.end());
+  Rep.P50Ms = percentile(LatMs, 50);
+  Rep.P95Ms = percentile(LatMs, 95);
+  Rep.P99Ms = percentile(LatMs, 99);
+  Rep.MaxMs = LatMs.empty() ? 0 : LatMs.back();
+  double Sum = 0;
+  for (double L : LatMs)
+    Sum += L;
+  Rep.MeanMs = LatMs.empty() ? 0 : Sum / double(LatMs.size());
+  Rep.QueueP50Ms = percentile(QueueMs, 50);
+  Rep.QueueP95Ms = percentile(QueueMs, 95);
+  Rep.QueueP99Ms = percentile(QueueMs, 99);
+  Rep.AchievedRps = Rep.WallSec > 0 ? double(Rep.Completed) / Rep.WallSec : 0;
+  return Rep;
+}
+
+std::string net::formatReport(const LoadGenReport &R) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "offered %.1f rps achieved %.1f rps | %llu/%llu completed "
+      "(%llu ok, %llu deadline, %llu faulted, %llu gave up) | "
+      "latency ms p50 %.2f p95 %.2f p99 %.2f max %.2f | "
+      "queue-wait ms p50 %.2f p95 %.2f p99 %.2f | "
+      "%llu retries, %llu retry-after, %llu reconnects",
+      R.OfferedRps, R.AchievedRps,
+      static_cast<unsigned long long>(R.Completed),
+      static_cast<unsigned long long>(R.Scheduled),
+      static_cast<unsigned long long>(R.Ok),
+      static_cast<unsigned long long>(R.Deadline),
+      static_cast<unsigned long long>(R.Faulted),
+      static_cast<unsigned long long>(R.GaveUp), R.P50Ms, R.P95Ms, R.P99Ms,
+      R.MaxMs, R.QueueP50Ms, R.QueueP95Ms, R.QueueP99Ms,
+      static_cast<unsigned long long>(R.Retries),
+      static_cast<unsigned long long>(R.RetryAfterSeen),
+      static_cast<unsigned long long>(R.Reconnects));
+  return Buf;
+}

@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dependency-light POSIX TCP plumbing for the compile server: RAII fd
+/// ownership plus timeout-bounded whole-buffer send and chunk receive.
+/// Everything returns status codes — no exceptions cross this layer, so
+/// connection handlers can turn every failure into "close and account"
+/// without unwinding through socket state.
+///
+/// The fault-injection story lives here too: sendAll() hosts the
+/// NetTornWrite site (the frame is cut short mid-write, then the call
+/// fails — the peer sees a truncated frame followed by EOF) and
+/// recvSome() hosts the NetReadDelay site (a deterministic slow peer).
+/// That is what lets the wire tests replay torn-frame and slow-client
+/// schedules from a seed instead of depending on kernel buffer luck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_NET_SOCKET_H
+#define MPC_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mpc {
+namespace net {
+
+/// Owning file-descriptor handle (move-only).
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  Socket(Socket &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  ~Socket() { close(); }
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Half-close both directions without releasing the fd — wakes a peer
+  /// (or our own reader thread) blocked in poll/read. Idempotent.
+  void shutdownBoth();
+
+  /// Closes the fd. Idempotent.
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Creates a loopback listener. \p Port 0 picks an ephemeral port; on
+/// success \p Port holds the actual bound port. Invalid Socket + \p Err
+/// on failure.
+Socket listenTcp(uint16_t &Port, std::string &Err, int Backlog = 64);
+
+/// Accepts one pending connection (the caller polled readability).
+/// Invalid Socket when the listener is closed or the accept fails.
+Socket acceptConn(int ListenFd);
+
+/// Connects to 127.0.0.1:\p Port with a bounded wait.
+Socket connectTcp(uint16_t Port, int TimeoutMs, std::string &Err);
+
+/// Outcome of one bounded receive.
+enum class RecvStatus : uint8_t {
+  Data,    ///< >=1 byte arrived
+  Timeout, ///< nothing within TimeoutMs
+  Closed,  ///< orderly EOF from the peer
+  Error,   ///< socket error (connection reset, bad fd, ...)
+};
+
+/// Reads at most \p Cap bytes within \p TimeoutMs (-1 = wait forever).
+/// Hosts the NetReadDelay fault site.
+RecvStatus recvSome(int Fd, uint8_t *Buf, size_t Cap, size_t &Got,
+                    int TimeoutMs);
+
+/// Writes the whole buffer, polling for writability between partial
+/// writes; fails (false) if any single wait exceeds \p TimeoutMs — the
+/// slow-client guard: a peer that stops reading cannot pin the writer
+/// for longer than the timeout. Hosts the NetTornWrite fault site.
+/// Writes with SIGPIPE suppressed.
+bool sendAll(int Fd, const uint8_t *Buf, size_t Len, int TimeoutMs);
+
+/// Bounded poll for readability. Returns +1 readable, 0 timeout,
+/// -1 error/hangup-with-nothing-readable.
+int waitReadable(int Fd, int TimeoutMs);
+
+} // namespace net
+} // namespace mpc
+
+#endif // MPC_NET_SOCKET_H

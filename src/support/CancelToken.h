@@ -12,9 +12,12 @@
 /// storage, which is what makes a cancelled job's CompilerContext safely
 /// recyclable (the service's reset() asserts live-bytes == 0).
 ///
-/// Checkpoints only ever run *between* units or phases, never inside a
+/// Checkpoints run *between* units or phases, never inside a tree
 /// traversal, so cancellation latency is bounded by one phase boundary —
-/// the compile service's "a wedged job frees its worker" guarantee.
+/// the compile service's "a wedged job frees its worker" guarantee. The
+/// one exception is the interpreter: its runtime is controlled by the
+/// program under test (a guest loop runs arbitrarily long), so its
+/// dispatch loop polls every 256th step as well.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -32,6 +32,14 @@ bool FaultInjector::decide(FaultSite Site, double Rate) {
   return U < Rate;
 }
 
+void FaultInjector::readDelayPoint() {
+  if (decide(FaultSite::NetReadDelay, Cfg.NetReadDelayRate)) {
+    ++NumReadDelays;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(Cfg.NetReadDelayMicros));
+  }
+}
+
 void FaultInjector::stagePoint(FaultSite Site) {
   assert(Site == FaultSite::FrontendEntry || Site == FaultSite::PhaseEntry);
   if (Cfg.StageHook)

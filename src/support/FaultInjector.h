@@ -18,7 +18,18 @@
 ///                      path under page-sharing);
 ///   - FrontendEntry    the per-source frontend loop;
 ///   - PhaseEntry       the transformation pipeline, once per phase group
-///                      per unit.
+///                      per unit;
+///   - NetTornWrite     src/net's sendAll — the frame is cut short
+///                      mid-write and the connection reports failure (the
+///                      peer observes a truncated frame followed by EOF);
+///   - NetReadDelay     src/net's recvSome — the read is delayed by a
+///                      configured amount (how tests build slow clients
+///                      without depending on machine speed);
+///   - NetDisconnect    chunk boundaries in the server's connection
+///                      reader — the connection is dropped abruptly,
+///                      orphaning any in-flight job (disconnect-mid-job;
+///                      the client sees an unannounced close and must
+///                      reconnect and retry).
 ///
 /// The stage sites (FrontendEntry/PhaseEntry) can throw an InjectedFault
 /// or sleep for a configured delay — the latter is how tests make a job
@@ -63,8 +74,11 @@ enum class FaultSite : unsigned {
   PagePoolTake,
   FrontendEntry,
   PhaseEntry,
+  NetTornWrite,
+  NetReadDelay,
+  NetDisconnect,
 };
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 8;
 
 /// What to inject, and how often. Rates are per-arrival probabilities in
 /// [0, 1]; 0 disables the site.
@@ -87,6 +101,17 @@ struct FaultConfig {
   /// throw/delay decisions). Lets a test gate a worker on a condition
   /// variable to build deterministic queue states. Must be thread-safe.
   std::function<void(FaultSite)> StageHook;
+  /// NetTornWrite: probability one sendAll() cuts the frame short and
+  /// fails (the peer sees a truncated frame, then EOF).
+  double TornWriteRate = 0;
+  /// NetReadDelay: probability one recvSome() sleeps NetReadDelayMicros
+  /// before reading (deterministic slow-client construction).
+  double NetReadDelayRate = 0;
+  unsigned NetReadDelayMicros = 0;
+  /// NetDisconnect: probability a chunk boundary in the server's
+  /// connection reader drops the connection abruptly, orphaning any
+  /// in-flight job.
+  double NetDisconnectRate = 0;
 };
 
 /// The injector: deterministic per-site decisions plus counters of what
@@ -126,6 +151,26 @@ public:
   /// may sleep, may throw InjectedFault. Defined in FaultInjector.cpp.
   void stagePoint(FaultSite Site);
 
+  /// sendAll fault point; true = cut the write short and fail it.
+  bool tearWrite() {
+    bool Fire = decide(FaultSite::NetTornWrite, Cfg.TornWriteRate);
+    if (Fire)
+      ++NumTornWrites;
+    return Fire;
+  }
+
+  /// recvSome fault point: may sleep NetReadDelayMicros. Defined in
+  /// FaultInjector.cpp (it needs <thread>).
+  void readDelayPoint();
+
+  /// Server connection-reader fault point; true = drop the connection now.
+  bool dropConnection() {
+    bool Fire = decide(FaultSite::NetDisconnect, Cfg.NetDisconnectRate);
+    if (Fire)
+      ++NumDisconnects;
+    return Fire;
+  }
+
   /// What actually fired so far (all monotone).
   struct Stats {
     uint64_t PageAllocFailures = 0;
@@ -133,6 +178,9 @@ public:
     uint64_t PoolMisses = 0;
     uint64_t StageThrows = 0;
     uint64_t StageDelays = 0;
+    uint64_t TornWrites = 0;
+    uint64_t ReadDelays = 0;
+    uint64_t Disconnects = 0;
   };
   Stats stats() const {
     Stats S;
@@ -141,6 +189,9 @@ public:
     S.PoolMisses = NumPoolMisses.load();
     S.StageThrows = NumStageThrows.load();
     S.StageDelays = NumStageDelays.load();
+    S.TornWrites = NumTornWrites.load();
+    S.ReadDelays = NumReadDelays.load();
+    S.Disconnects = NumDisconnects.load();
     return S;
   }
 
@@ -157,6 +208,9 @@ private:
   std::atomic<uint64_t> NumPoolMisses{0};
   std::atomic<uint64_t> NumStageThrows{0};
   std::atomic<uint64_t> NumStageDelays{0};
+  std::atomic<uint64_t> NumTornWrites{0};
+  std::atomic<uint64_t> NumReadDelays{0};
+  std::atomic<uint64_t> NumDisconnects{0};
 };
 
 namespace detail {

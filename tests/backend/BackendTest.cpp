@@ -6,9 +6,13 @@
 #include "backend/CodeGen.h"
 #include "backend/Interpreter.h"
 #include "driver/Driver.h"
+#include "support/CancelToken.h"
 #include "workload/Corpus.h"
 
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
 
 using namespace mpc;
 
@@ -139,6 +143,48 @@ object Main {
   ExecResult R = I.runMain(Out.EntryPoints.front());
   EXPECT_TRUE(R.Uncaught);
   EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, DispatchLoopHonorsCancellation) {
+  // A guest infinite loop must be cancellable mid-run: the dispatch loop
+  // polls the context's CancelToken every 256th step, so DeadlineExceeded
+  // unwinds out of runMain (past the guest-level exception handlers)
+  // instead of the worker spinning until the step limit.
+  const char *Spin = R"(
+object Main {
+  def main(args: Array[String]): Unit = {
+    var i = 0
+    while (true) { i = i + 1 }
+  }
+}
+)";
+  {
+    // Pre-expired deadline: the very first poll window throws.
+    CompilerContext Comp;
+    CompileOutput Out = compile(Comp, Spin);
+    CancelToken Token;
+    Token.armDeadline(CancelToken::Clock::now());
+    Comp.setCancelToken(&Token);
+    Interpreter I(Comp, Out.Units, /*StepLimit=*/~uint64_t(0));
+    EXPECT_THROW(I.runMain(Out.EntryPoints.front()), DeadlineExceeded);
+    Comp.setCancelToken(nullptr);
+  }
+  {
+    // Cross-thread cancel() against a loop that would otherwise run
+    // (effectively) forever — the service's "cancel a wedged job" story.
+    CompilerContext Comp;
+    CompileOutput Out = compile(Comp, Spin);
+    CancelToken Token;
+    Comp.setCancelToken(&Token);
+    Interpreter I(Comp, Out.Units, /*StepLimit=*/~uint64_t(0));
+    std::thread Canceller([&Token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      Token.cancel();
+    });
+    EXPECT_THROW(I.runMain(Out.EntryPoints.front()), DeadlineExceeded);
+    Canceller.join();
+    Comp.setCancelToken(nullptr);
+  }
 }
 
 TEST(InterpreterTest, CaseClassEqualityAndToString) {

@@ -24,10 +24,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/CompileService.h"
+#include "support/FaultInjector.h"
 #include "workload/Corpus.h"
 #include "workload/ProgramGenerator.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
 
 using namespace mpc;
 
@@ -451,6 +457,151 @@ TEST(CompileService, PendingJobsTracksBacklog) {
   EXPECT_LE(Service.pendingJobs(), 1u);
   Service.drain();
   EXPECT_EQ(Service.pendingJobs(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// OnResult streaming mode (what the network server builds on)
+//===----------------------------------------------------------------------===//
+
+/// Thread-safe Id -> Result sink for OnResult tests; counts duplicate
+/// deliveries, which must never happen.
+struct ResultSink {
+  std::mutex M;
+  std::map<uint64_t, BatchResult> Results;
+  uint64_t Duplicates = 0;
+
+  std::function<void(uint64_t, BatchResult)> callback() {
+    return [this](uint64_t Id, BatchResult R) {
+      std::lock_guard<std::mutex> L(M);
+      if (!Results.emplace(Id, std::move(R)).second)
+        ++Duplicates;
+    };
+  }
+};
+
+TEST(CompileService, OnResultStreamsEveryJobExactlyOnce) {
+  std::vector<BatchResult> Baseline = serialColdBaseline(serviceJobs());
+
+  ResultSink Sink;
+  ServiceConfig Cfg;
+  Cfg.Threads = 4;
+  Cfg.OnResult = Sink.callback();
+  CompileService Service(Cfg);
+  std::vector<BatchJob> Jobs = serviceJobs();
+  size_t NumJobs = Jobs.size();
+  for (BatchJob &J : Jobs) {
+    AdmitResult A = Service.tryEnqueue(std::move(J));
+    ASSERT_TRUE(A.Accepted);
+  }
+  // stop() returns only after the callback fired for every admitted job
+  // — the guarantee graceful drain is built on. No sleep, no polling:
+  // if this contract breaks, the assertions below race and fail.
+  Service.stop();
+
+  std::lock_guard<std::mutex> L(Sink.M);
+  EXPECT_EQ(Sink.Duplicates, 0u);
+  ASSERT_EQ(Sink.Results.size(), NumJobs);
+  for (size_t I = 0; I < NumJobs; ++I) {
+    auto It = Sink.Results.find(I);
+    ASSERT_NE(It, Sink.Results.end()) << "job " << I << " never delivered";
+    EXPECT_EQ(It->second.Status, JobStatus::Ok) << "job " << I;
+    EXPECT_EQ(It->second.DumpText, Baseline[I].DumpText)
+        << "streamed result diverged from drain-mode baseline, job " << I;
+  }
+}
+
+TEST(CompileService, OnResultDeliversRefusalsImmediately) {
+  // Gate the single worker at its first frontend entry so the queue
+  // state is deterministic: A running (blocked), B queued (depth 1
+  // full), C refused. C's Rejected result must stream out while the
+  // worker is still blocked — refusals never wait for compile capacity.
+  std::mutex GateM;
+  std::condition_variable GateCv;
+  bool Open = false;
+  std::atomic<unsigned> Arrived{0};
+  FaultConfig FC;
+  FC.StageHook = [&](FaultSite Site) {
+    if (Site != FaultSite::FrontendEntry)
+      return;
+    std::unique_lock<std::mutex> L(GateM);
+    ++Arrived;
+    GateCv.notify_all();
+    GateCv.wait(L, [&] { return Open; });
+  };
+  ScopedFaultInjector Injector(FC);
+
+  ResultSink Sink;
+  ServiceConfig Cfg;
+  Cfg.Threads = 1;
+  Cfg.MaxQueueDepth = 1;
+  Cfg.Policy = QueuePolicy::RejectNewest;
+  Cfg.OnResult = Sink.callback();
+  CompileService Service(Cfg);
+
+  auto TinyJob = [] {
+    BatchJob J;
+    J.Sources.push_back({"ok.scala", corpusPrograms()[0].Source});
+    return J;
+  };
+  AdmitResult A = Service.tryEnqueue(TinyJob());
+  ASSERT_TRUE(A.Accepted);
+  {
+    // Wait until the worker holds job A inside the gate.
+    std::unique_lock<std::mutex> L(GateM);
+    GateCv.wait(L, [&] { return Arrived.load() >= 1; });
+  }
+  AdmitResult B = Service.tryEnqueue(TinyJob());
+  ASSERT_TRUE(B.Accepted);
+  AdmitResult C = Service.tryEnqueue(TinyJob());
+  EXPECT_FALSE(C.Accepted);
+  ASSERT_NE(C.Id, InvalidJobId) << "refusal still owes a result";
+
+  // C's refusal has already streamed — the worker is still blocked.
+  {
+    std::lock_guard<std::mutex> L(Sink.M);
+    auto It = Sink.Results.find(C.Id);
+    ASSERT_NE(It, Sink.Results.end());
+    EXPECT_EQ(It->second.Status, JobStatus::Rejected);
+    EXPECT_TRUE(It->second.HadErrors);
+  }
+
+  {
+    std::lock_guard<std::mutex> L(GateM);
+    Open = true;
+  }
+  GateCv.notify_all();
+  Service.stop();
+
+  std::lock_guard<std::mutex> L(Sink.M);
+  EXPECT_EQ(Sink.Duplicates, 0u);
+  ASSERT_EQ(Sink.Results.size(), 3u);
+  EXPECT_EQ(Sink.Results[A.Id].Status, JobStatus::Ok);
+  EXPECT_EQ(Sink.Results[B.Id].Status, JobStatus::Ok);
+}
+
+TEST(CompileService, OnResultModeDrainReturnsNothingButMergesStats) {
+  ResultSink Sink;
+  ServiceConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.OnResult = Sink.callback();
+  CompileService Service(Cfg);
+  unsigned NumJobs = 5;
+  for (uint64_t Seed = 1; Seed <= NumJobs; ++Seed) {
+    WorkloadProfile P = stdlibProfile(0.01);
+    P.Seed = Seed;
+    P.UnitsHint = 1;
+    BatchJob J;
+    J.Sources = generateWorkload(P);
+    ASSERT_TRUE(Service.tryEnqueue(std::move(J)).Accepted);
+  }
+  // Results went to the callback; drain() owes nothing but still
+  // quiesces and merges the worker sheaves.
+  std::vector<BatchResult> Drained = Service.drain();
+  EXPECT_TRUE(Drained.empty());
+  EXPECT_EQ(Service.stats().get("service.jobsCompleted"), NumJobs);
+  std::lock_guard<std::mutex> L(Sink.M);
+  EXPECT_EQ(Sink.Results.size(), NumJobs);
+  EXPECT_EQ(Sink.Duplicates, 0u);
 }
 
 TEST(CompileService, ErrorsStayIsolatedWithoutContexts) {

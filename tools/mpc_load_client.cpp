@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// mpc_load_client: open-loop load generator against a running
+// mpc_served instance.
+//
+//   mpc_load_client --port N [--rps R] [--requests N] [--connections N]
+//                   [--seed N] [--scale F] [--variants N]
+//                   [--deadline-ms N]
+//
+// --rps 0 (the default) runs closed-loop as fast as the connection pool
+// allows — that measures the saturation ceiling; positive --rps offers a
+// fixed open-loop arrival schedule and reports p50/p95/p99 end-to-end
+// latency plus the server-reported queue-wait split.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/LoadGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace mpc::net;
+
+namespace {
+
+double argNum(int Argc, char **Argv, int &I, const char *Flag) {
+  if (I + 1 >= Argc) {
+    std::fprintf(stderr, "mpc_load_client: %s needs a value\n", Flag);
+    std::exit(2);
+  }
+  return std::strtod(Argv[++I], nullptr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadGenConfig Cfg;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--port")
+      Cfg.Port = static_cast<uint16_t>(argNum(Argc, Argv, I, "--port"));
+    else if (A == "--rps")
+      Cfg.Rps = argNum(Argc, Argv, I, "--rps");
+    else if (A == "--requests")
+      Cfg.NumRequests =
+          static_cast<uint64_t>(argNum(Argc, Argv, I, "--requests"));
+    else if (A == "--connections")
+      Cfg.Connections =
+          static_cast<unsigned>(argNum(Argc, Argv, I, "--connections"));
+    else if (A == "--seed")
+      Cfg.Seed = static_cast<uint64_t>(argNum(Argc, Argv, I, "--seed"));
+    else if (A == "--scale")
+      Cfg.SourceScale = argNum(Argc, Argv, I, "--scale");
+    else if (A == "--variants")
+      Cfg.Variants =
+          static_cast<unsigned>(argNum(Argc, Argv, I, "--variants"));
+    else if (A == "--deadline-ms")
+      Cfg.DeadlineMillis =
+          static_cast<uint64_t>(argNum(Argc, Argv, I, "--deadline-ms"));
+    else {
+      std::fprintf(stderr, "mpc_load_client: unknown flag '%s'\n",
+                   A.c_str());
+      return 2;
+    }
+  }
+  if (Cfg.Port == 0) {
+    std::fprintf(stderr, "mpc_load_client: --port is required\n");
+    return 2;
+  }
+
+  LoadGenReport Rep = runLoadGen(Cfg);
+  std::printf("%s\n", formatReport(Rep).c_str());
+  // Transport-level failure of every request = the server was not there.
+  return Rep.Completed > 0 ? 0 : 1;
+}
