@@ -134,6 +134,8 @@ std::string Type::show() const {
            cast<IntersectionType>(this)->right()->show();
   case TypeKind::TypeParam:
     return cast<TypeParamRef>(this)->param()->name().str();
+  case TypeKind::Error:
+    return "<error>";
   }
   return "?";
 }
@@ -145,6 +147,7 @@ std::string Type::show() const {
 TypeContext::TypeContext() {
   for (size_t I = 0; I < NumPrims; ++I)
     Prims[I] = new PrimitiveType(static_cast<PrimKind>(I));
+  ErrorTy = new ErrorType();
 }
 
 TypeContext::~TypeContext() {
@@ -154,6 +157,7 @@ TypeContext::~TypeContext() {
     T->~Type();
   for (const Type *P : Prims)
     delete static_cast<const PrimitiveType *>(P);
+  delete static_cast<const ErrorType *>(ErrorTy);
 }
 
 void TypeContext::reset() {
@@ -310,6 +314,7 @@ const Type *TypeContext::substitute(const Type *T,
     return T;
   switch (T->kind()) {
   case TypeKind::Primitive:
+  case TypeKind::Error:
     return T;
   case TypeKind::TypeParam: {
     Symbol *P = cast<TypeParamRef>(T)->param();
@@ -375,6 +380,10 @@ bool TypeContext::isSubtype(const Type *A, const Type *B) {
     return false;
   // Nothing is a subtype of everything; everything is a subtype of Any.
   if (A->isNothing() || B->isAny())
+    return true;
+  // ErrorType absorbs in both directions: the root cause was already
+  // diagnosed, so conformance checks involving it succeed silently.
+  if (A->isError() || B->isError())
     return true;
   // Null is a subtype of all reference types.
   if (A->isPrim(PrimKind::Null))
@@ -447,6 +456,12 @@ const Type *TypeContext::lub(const Type *A, const Type *B) {
   if (A->isNothing())
     return B;
   if (B->isNothing())
+    return A;
+  // The error type is absorbed by the healthy side so an errored branch
+  // does not poison the join (and the If/Match keeps a useful type).
+  if (A->isError())
+    return B;
+  if (B->isError())
     return A;
   if (isSubtype(A, B))
     return B;

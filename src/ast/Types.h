@@ -43,6 +43,7 @@ enum class TypeKind : uint8_t {
   Union,
   Intersection,
   TypeParam,
+  Error, // poisoned type for diagnosed code; absorbs instead of cascades
 };
 
 /// Built-in non-class types.
@@ -59,6 +60,7 @@ public:
   bool isNothing() const { return isPrim(PrimKind::Nothing); }
   bool isAny() const { return isPrim(PrimKind::Any); }
   bool isUnit() const { return isPrim(PrimKind::Unit); }
+  bool isError() const { return K == TypeKind::Error; }
 
   /// For class types, the class symbol; null otherwise.
   ClassSymbol *classSymbol() const;
@@ -218,6 +220,18 @@ private:
   const Type *L, *R;
 };
 
+/// The poisoned type assigned to expressions and declarations that already
+/// produced a diagnostic. It absorbs in subtyping (both directions) and in
+/// lub so one root cause yields exactly one diagnostic: downstream checks
+/// involving an ErrorType succeed silently instead of piling on secondary
+/// noise. ErrorType never survives a clean frontend run — the driver never
+/// hands trees to the transform pipeline once diagnostics were reported.
+class ErrorType : public Type {
+public:
+  ErrorType() : Type(TypeKind::Error) {}
+  static bool classof(const Type *T) { return T->kind() == TypeKind::Error; }
+};
+
 /// Reference to a class/method type parameter symbol.
 class TypeParamRef : public Type {
 public:
@@ -251,6 +265,10 @@ public:
   const Type *booleanType() const { return Prims[size_t(PrimKind::Boolean)]; }
   const Type *doubleType() const { return Prims[size_t(PrimKind::Double)]; }
   const Type *primType(PrimKind P) const { return Prims[size_t(P)]; }
+
+  /// The poisoned error-type singleton. Like the primitives it survives
+  /// reset(): it carries no references into other tables.
+  const Type *errorType() const { return ErrorTy; }
 
   const Type *classType(ClassSymbol *Cls,
                         std::vector<const Type *> Args = {});
@@ -312,6 +330,7 @@ private:
 
   static constexpr size_t NumPrims = 7;
   const Type *Prims[NumPrims];
+  const Type *ErrorTy;
   std::vector<Slot> Slots;
   std::vector<uint64_t> KeyPool;
   std::vector<uint64_t> KeyScratch; // reused key builder (no recursion

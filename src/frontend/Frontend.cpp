@@ -6,12 +6,15 @@
 #include "support/OStream.h"
 
 #include <cassert>
+#include <stdexcept>
 
 using namespace mpc;
 
 std::vector<CompilationUnit>
 mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
   size_t Names0 = Comp.names().size();
+  size_t Emitted0 = Comp.diags().emittedCount();
+  uint64_t Suppressed0 = Comp.diags().suppressedCount();
   uint64_t ArenaBytes = 0;
   std::vector<ParsedUnit> Parsed;
   std::vector<Token> TokScratch; // one collection buffer for all units
@@ -42,6 +45,10 @@ mpc::runFrontEnd(CompilerContext &Comp, std::vector<SourceInput> Sources) {
   // frontend.scopeProbes is recorded by the typer itself.
   Comp.stats().add("frontend.namesInterned", Comp.names().size() - Names0);
   Comp.stats().add("frontend.arenaBytes", ArenaBytes);
+  Comp.stats().add("frontend.diagsEmitted",
+                   Comp.diags().emittedCount() - Emitted0);
+  Comp.stats().add("frontend.diagsSuppressed",
+                   Comp.diags().suppressedCount() - Suppressed0);
   return Units;
 }
 
@@ -52,8 +59,17 @@ CompilationUnit mpc::compileSingleSource(CompilerContext &Comp,
   Sources.push_back({"<test>", Text});
   std::vector<CompilationUnit> Units = runFrontEnd(Comp, std::move(Sources));
   if (RequireClean && Comp.diags().hasErrors()) {
-    Comp.diags().printAll(errs());
-    assert(false && "frontend reported errors on test source");
+    // Throw (rather than assert) so release builds and long-running fuzz
+    // campaigns fail loudly with the diagnostics attached instead of
+    // sailing past a compiled-out assert.
+    std::string Msg = "frontend reported errors on test source:";
+    for (const Diagnostic &D : Comp.diags().all()) {
+      Msg += "\n  ";
+      Msg += Comp.diags().fileName(D.Loc.FileId);
+      Msg += ":" + std::to_string(D.Loc.Line) + ":" +
+             std::to_string(D.Loc.Col) + ": " + D.Message;
+    }
+    throw std::runtime_error(Msg);
   }
   assert(Units.size() == 1);
   return std::move(Units[0]);

@@ -56,10 +56,100 @@ void Parser::skipSemis() {
 void Parser::error(const char *Message) { Diags.error(cur().Loc, Message); }
 
 //===----------------------------------------------------------------------===//
+// Panic-mode recovery
+//===----------------------------------------------------------------------===//
+
+bool Parser::atTopLevelStart() const {
+  switch (cur().Kind) {
+  case Tok::KwClass:
+  case Tok::KwTrait:
+  case Tok::KwObject:
+  case Tok::KwCase:
+  case Tok::KwFinal:
+  case Tok::KwAbstract:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Parser::atMemberStart() const {
+  switch (cur().Kind) {
+  case Tok::KwDef:
+  case Tok::KwVal:
+  case Tok::KwVar:
+  case Tok::KwLazy:
+  case Tok::KwOverride:
+  case Tok::KwPrivate:
+    return true;
+  default:
+    return atTopLevelStart(); // nested class-likes are members too
+  }
+}
+
+bool Parser::atSync(SyncSet S) const {
+  if (at(Tok::EndOfFile) || at(Tok::Semi))
+    return true;
+  switch (S) {
+  case SyncSet::TopLevel:
+    return atTopLevelStart();
+  case SyncSet::Member:
+    return at(Tok::RBrace) || atMemberStart();
+  case SyncSet::Statement:
+    return at(Tok::RBrace);
+  }
+  return true;
+}
+
+SynNode *Parser::recoverTo(SyncSet S, SourceLoc From, size_t MinPos) {
+  // The failed parse may have consumed modifier tokens and stopped on a
+  // sync token (e.g. `final ;`); if it consumed nothing at all, drop one
+  // token unconditionally so the enclosing loop always makes progress.
+  if (Pos == MinPos)
+    take();
+  while (!atSync(S))
+    take();
+  return Arena.node(SynKind::Error, From);
+}
+
+void Parser::syncStatement(uint64_t ErrorsBefore, bool StopAtCase) {
+  if (Diags.errorCount() == ErrorsBefore)
+    return;
+  // The statement misparsed; tokens up to the next statement boundary are
+  // part of the same root cause, so drop them instead of diagnosing each.
+  while (!atSync(SyncSet::Statement) &&
+         !(StopAtCase && at(Tok::KwCase)))
+    take();
+}
+
+struct Parser::DepthGuard {
+  explicit DepthGuard(Parser &P) : P(P) { ++P.Depth; }
+  ~DepthGuard() { --P.Depth; }
+  Parser &P;
+};
+
+bool Parser::tooDeep() {
+  if (Depth <= MaxNestingDepth)
+    return false;
+  if (!DepthReported) {
+    DepthReported = true;
+    error("nesting too deep; giving up on this construct");
+  }
+  take(); // guarantee progress for every caller loop
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
 // Types
 //===----------------------------------------------------------------------===//
 
 SynType *Parser::parseType() {
+  DepthGuard Guard(*this);
+  if (tooDeep()) {
+    SynType *T = Arena.type(SynType::Named, cur().Loc);
+    T->N = Names.intern("<error>");
+    return T;
+  }
   // Function types: (T1, ..., Tn) => R  |  T => R.
   if (at(Tok::LParen)) {
     // Could be a function type or a parenthesized type; scan for `=>` after
@@ -162,11 +252,13 @@ SynUnit Parser::parseUnit() {
     skipSemis();
   }
   while (!at(Tok::EndOfFile)) {
+    size_t Before = Pos;
+    SourceLoc Loc = cur().Loc;
     SynNode *Def = parseTopLevelDef();
     if (Def)
       Unit.TopLevel.push_back(Def);
     else
-      take(); // error recovery: skip a token
+      Unit.TopLevel.push_back(recoverTo(SyncSet::TopLevel, Loc, Before));
     skipSemis();
   }
   return Unit;
@@ -200,6 +292,9 @@ SynNode *Parser::parseTopLevelDef() {
 }
 
 SynNode *Parser::parseClassLike(uint32_t Flags) {
+  DepthGuard Guard(*this);
+  if (tooDeep())
+    return Arena.node(SynKind::Error, cur().Loc);
   SourceLoc Loc = cur().Loc;
   take(); // class/trait/object keyword
   SynNode *Cls = Arena.node(SynKind::ClassDef, Loc);
@@ -280,6 +375,8 @@ void Parser::parseTemplateBody(std::vector<SynNode *> &Kids) {
   expect(Tok::LBrace, "template body");
   skipSemis();
   while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+    size_t Before = Pos;
+    SourceLoc MemberLoc = cur().Loc;
     uint32_t Mods = 0;
     bool Advanced = true;
     while (Advanced) {
@@ -299,7 +396,7 @@ void Parser::parseTemplateBody(std::vector<SynNode *> &Kids) {
     if (Member)
       Kids.push_back(Member);
     else
-      take(); // error recovery
+      Kids.push_back(recoverTo(SyncSet::Member, MemberLoc, Before));
     skipSemis();
   }
   expect(Tok::RBrace, "template body");
@@ -407,6 +504,9 @@ SynNode *Parser::parseParam() {
 //===----------------------------------------------------------------------===//
 
 SynNode *Parser::parseExpr() {
+  DepthGuard Guard(*this);
+  if (tooDeep())
+    return Arena.node(SynKind::Error, cur().Loc);
   switch (cur().Kind) {
   case Tok::KwIf:
     return parseIfExpr();
@@ -683,6 +783,7 @@ SynNode *Parser::parseBlockExpr() {
   std::vector<SynNode *> Stats;
   skipSemis();
   while (!at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+    uint64_t ErrsBefore = Diags.errorCount();
     SynNode *Stat = nullptr;
     if (at(Tok::KwVal) || at(Tok::KwVar))
       Stat = parseValDef(0);
@@ -695,6 +796,7 @@ SynNode *Parser::parseBlockExpr() {
       Stat = parseExpr();
     if (Stat)
       Stats.push_back(Stat);
+    syncStatement(ErrsBefore, /*StopAtCase=*/false);
     skipSemis();
   }
   expect(Tok::RBrace, "block");
@@ -797,6 +899,7 @@ std::vector<SynNode *> Parser::parseCaseClauses() {
     std::vector<SynNode *> Stats;
     skipSemis();
     while (!at(Tok::KwCase) && !at(Tok::RBrace) && !at(Tok::EndOfFile)) {
+      uint64_t ErrsBefore = Diags.errorCount();
       SynNode *Stat = nullptr;
       if (at(Tok::KwVal) || at(Tok::KwVar))
         Stat = parseValDef(0);
@@ -806,6 +909,7 @@ std::vector<SynNode *> Parser::parseCaseClauses() {
         Stat = parseExpr();
       if (Stat)
         Stats.push_back(Stat);
+      syncStatement(ErrsBefore, /*StopAtCase=*/true);
       skipSemis();
     }
     Body->Kids = Arena.list(Stats);
@@ -830,6 +934,9 @@ SynNode *Parser::parsePattern() {
 }
 
 SynNode *Parser::parseSimplePattern() {
+  DepthGuard Guard(*this);
+  if (tooDeep())
+    return Arena.node(SynKind::PatWild, cur().Loc);
   switch (cur().Kind) {
   case Tok::IntLit:
   case Tok::DoubleLit:

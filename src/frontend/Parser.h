@@ -49,6 +49,26 @@ private:
   void skipSemis();
   void error(const char *Message);
 
+  // Panic-mode recovery: after a failed definition parse, skip forward to
+  // a synchronization token (start of the next definition, or a region
+  // closer) and leave a SynKind::Error node in the tree for the skipped
+  // range. MinPos guarantees progress: if the failed parse consumed
+  // nothing, at least one token is dropped before resynchronizing.
+  enum class SyncSet : uint8_t { TopLevel, Member, Statement };
+  bool atTopLevelStart() const;
+  bool atMemberStart() const;
+  bool atSync(SyncSet S) const;
+  SynNode *recoverTo(SyncSet S, SourceLoc From, size_t MinPos);
+  /// Skips to a statement boundary when a statement parse left errors and
+  /// stopped mid-stream (used by block and case-clause bodies).
+  void syncStatement(uint64_t ErrorsBefore, bool StopAtCase);
+
+  // Recursion-depth guard: arbitrary input can nest expressions, types,
+  // patterns, and classes without bound; the guard turns what would be a
+  // stack overflow into one diagnostic plus an Error node.
+  struct DepthGuard;
+  bool tooDeep();
+
   // Types.
   SynType *parseType();
   SynType *parseInfixType();
@@ -93,6 +113,9 @@ private:
   SynArena &Arena;
   NameTable &Names;
   DiagnosticEngine &Diags;
+  static constexpr unsigned MaxNestingDepth = 200;
+  unsigned Depth = 0;
+  bool DepthReported = false;
 };
 
 } // namespace mpc

@@ -109,6 +109,8 @@ enum class SynKind : uint8_t {
   DefDef,   // N, Ty=result (nullable), Kids=params+rhs(last, nullable)
   Param,    // N, Ty
   ClassDef, // N; params = first NumParams kids; members after
+  // Recovery.
+  Error, // panic-mode recovery placeholder; region already diagnosed
 };
 
 /// One syntax node; a deliberately "wide" struct so the parser stays simple.
@@ -176,7 +178,7 @@ private:
 /// Result of parsing one source file.
 struct SynUnit {
   Name PackageName;              // may be empty
-  std::vector<SynNode *> TopLevel; // ClassDefs
+  std::vector<SynNode *> TopLevel; // ClassDefs (plus Error recovery nodes)
 };
 
 } // namespace mpc

@@ -36,9 +36,10 @@ void Typer::error(SourceLoc Loc, std::string Msg) {
 }
 
 TreePtr Typer::errorTree(SourceLoc Loc) {
-  // Nothing-typed null conforms to everything, keeping error recovery quiet.
+  // ErrorType absorbs in subtyping and lub, so downstream checks on this
+  // tree succeed silently: one root cause, one diagnostic.
   return Comp.trees().makeLiteral(Loc, Constant::makeNull(),
-                                  Comp.types().nothingType());
+                                  Comp.types().errorType());
 }
 
 const Type *Typer::thisTypeOf(ClassSymbol *Cls) {
@@ -184,7 +185,7 @@ const Type *Typer::resolveNamedType(SynType *T) {
       return Types.classType(Cls);
   }
   error(T->Loc, "unknown type " + T->N.str());
-  return Types.anyType();
+  return Types.errorType();
 }
 
 const Type *Typer::resolveType(SynType *T) {
@@ -196,7 +197,7 @@ const Type *Typer::resolveType(SynType *T) {
     if (T->N.text() == "Array") {
       if (T->Args.size() != 1) {
         error(T->Loc, "Array takes exactly one type argument");
-        return Types.anyType();
+        return Types.errorType();
       }
       return Types.arrayType(resolveType(T->Args[0]));
     }
@@ -210,7 +211,7 @@ const Type *Typer::resolveType(SynType *T) {
     }
     if (!Cls) {
       error(T->Loc, "unknown generic type " + T->N.str());
-      return Types.anyType();
+      return Types.errorType();
     }
     if (Cls->typeParams().size() != T->Args.size()) {
       error(T->Loc, "wrong number of type arguments for " + T->N.str());
@@ -277,7 +278,9 @@ void Typer::completeClass(SynNode *ClsSyn) {
   for (SynType *P : ClsSyn->Parents) {
     const Type *PT = resolveType(P);
     if (!isa<ClassType>(PT)) {
-      error(P->Loc, "parent must be a class type");
+      // An already-poisoned parent was diagnosed at its root cause.
+      if (!PT->isError())
+        error(P->Loc, "parent must be a class type");
       continue;
     }
     Parents.push_back(PT);
@@ -318,12 +321,12 @@ void Typer::completeClass(SynNode *ClsSyn) {
     Cls->enterMember(Init);
   }
 
-  // Member signatures.
+  // Member signatures. Anything that is not a val/def — nested classes,
+  // the <superargs> stash, and SynError recovery nodes — is skipped, so
+  // one unparseable member never stops its siblings from being declared.
   for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
     SynNode *M = ClsSyn->Kids[I];
-    if (!M || M->K == SynKind::ClassDef)
-      continue;
-    if (M->N.text() == "<superargs>")
+    if (!M || (M->K != SynKind::ValDef && M->K != SynKind::DefDef))
       continue;
     completeMember(M, Cls);
   }
@@ -455,10 +458,12 @@ void Typer::completeMember(SynNode *M, ClassSymbol *Cls) {
 //===----------------------------------------------------------------------===//
 
 std::vector<CompilationUnit> Typer::run(std::vector<ParsedUnit> &Parsed) {
-  // Pass A over all units.
+  // Pass A over all units. Top-level SynError recovery nodes carry no
+  // declaration; they are simply skipped.
   for (ParsedUnit &PU : Parsed)
     for (SynNode *Cls : PU.Unit.TopLevel)
-      declareClass(Cls, Comp.syms().rootPackage());
+      if (Cls && Cls->K == SynKind::ClassDef)
+        declareClass(Cls, Comp.syms().rootPackage());
   // Pass B in declaration order.
   for (SynNode *Cls : AllClasses)
     completeClass(Cls);
@@ -471,7 +476,8 @@ std::vector<CompilationUnit> Typer::run(std::vector<ParsedUnit> &Parsed) {
     Unit.Source = std::move(PU.Source);
     TreeList TopStats;
     for (SynNode *Cls : PU.Unit.TopLevel)
-      TopStats.push_back(typeClassBody(Cls));
+      if (Cls && Cls->K == SynKind::ClassDef)
+        TopStats.push_back(typeClassBody(Cls));
     Unit.Root = Comp.trees().makePackageDef(
         SourceLoc{PU.FileId, 1, 1}, PU.Unit.PackageName, std::move(TopStats));
     Units.push_back(std::move(Unit));
@@ -565,16 +571,20 @@ TreePtr Typer::typeClassBody(SynNode *ClsSyn) {
     }
   }
 
-  // Members.
+  // Members. Only val/def/class members carry bodies; the <superargs>
+  // stash was consumed above and SynError recovery nodes are skipped so
+  // the siblings of a bad member still get typed.
   BodyCtx ClsCtx{Cls, InitSym};
   for (size_t I = ClsSyn->NumParams; I < ClsSyn->Kids.size(); ++I) {
     SynNode *M = ClsSyn->Kids[I];
-    if (!M || (M->K == SynKind::Apply && M->N.text() == "<superargs>"))
+    if (!M)
       continue;
     if (M->K == SynKind::ClassDef) {
       Body.push_back(typeClassBody(M));
       continue;
     }
+    if (M->K != SynKind::ValDef && M->K != SynKind::DefDef)
+      continue;
     Body.push_back(typeMemberDef(M, Cls, ClsCtx));
   }
 
@@ -737,6 +747,10 @@ TreePtr Typer::selectMember(SourceLoc Loc, TreePtr Qual, Name N,
   SymbolTable &Syms = Comp.syms();
   const Type *QT = Qual->type();
   if (!QT)
+    return errorTree(Loc);
+  // Selection on an already-poisoned qualifier stays silent: the root
+  // cause produced its diagnostic when the qualifier was typed.
+  if (QT->isError())
     return errorTree(Loc);
 
   // isInstanceOf / asInstanceOf on any receiver.
@@ -918,6 +932,10 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
   const Type *FunTy = Fun->type();
   if (!FunTy)
     return Bail();
+  // Calling an already-poisoned function bails silently; the arguments
+  // were still typed (diagnosing their own problems) before we got here.
+  if (FunTy->isError())
+    return Bail();
 
   // Applying an array value indexes it: a(i) -> a.apply(i).
   if (isa<RepeatedType>(FunTy)) {
@@ -997,7 +1015,8 @@ TreePtr Typer::applyCall(SourceLoc Loc, TreePtr Fun,
       bool ArgNumericOk =
           !ArgTy || ArgTy->isPrim(PrimKind::Int) ||
           ArgTy->isPrim(PrimKind::Double) ||
-          ArgTy->isPrim(PrimKind::Boolean) || ArgTy->isNothing();
+          ArgTy->isPrim(PrimKind::Boolean) || ArgTy->isNothing() ||
+          ArgTy->isError();
       if (!ArgNumericOk && (Op == "==" || Op == "!=")) {
         Symbol *ObjEq = Syms.objectClass()->findDeclaredMember(Sym->name());
         Fun = Trees.makeSelect(Loc, TreePtr(cast<Select>(Fun.get())->qual()),
@@ -1443,6 +1462,19 @@ TreePtr Typer::typedPattern(SynNode *P, const Type *Expected, BodyCtx &Ctx) {
 }
 
 TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
+  struct DepthGuard {
+    explicit DepthGuard(unsigned &D) : D(D) { ++D; }
+    ~DepthGuard() { --D; }
+    unsigned &D;
+  } Guard(ExprDepth);
+  if (ExprDepth > MaxExprDepth) {
+    if (!ExprDepthReported) {
+      ExprDepthReported = true;
+      error(E->Loc, "expression nesting too deep; giving up on this "
+                    "expression");
+    }
+    return errorTree(E->Loc);
+  }
   TreeContext &Trees = Comp.trees();
   TypeContext &Types = Comp.types();
   switch (E->K) {
@@ -1514,7 +1546,8 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
       Fun = typedExpr(FunSyn, Ctx);
     const auto *PT = dyn_cast_or_null<PolyType>(Fun->type());
     if (!PT) {
-      error(E->Loc, "type arguments applied to a non-generic expression");
+      if (!Fun->type() || !Fun->type()->isError())
+        error(E->Loc, "type arguments applied to a non-generic expression");
       return errorTree(E->Loc);
     }
     if (PT->typeParams().size() != Targs.size()) {
@@ -1552,6 +1585,8 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
                              Types.arrayType(Elem));
     }
     const Type *ClsTy = resolveType(E->Ty);
+    if (ClsTy->isError())
+      return errorTree(E->Loc); // "unknown type" was already reported
     const auto *CT = dyn_cast<ClassType>(ClsTy);
     if (!CT) {
       error(E->Loc, "cannot instantiate " + ClsTy->show());
@@ -1599,7 +1634,7 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
   case SynKind::If: {
     TreePtr Cond = adapt(typedExpr(E->Kids[0], Ctx));
     if (Cond->type() && !Cond->type()->isPrim(PrimKind::Boolean) &&
-        !Cond->type()->isNothing())
+        !Cond->type()->isNothing() && !Cond->type()->isError())
       error(E->Loc, "condition must be Boolean, found " +
                         Cond->type()->show());
     TreePtr Then = adapt(typedExpr(E->Kids[1], Ctx));
@@ -1680,7 +1715,8 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
       TreePtr Guard;
       if (C->Kids[1]) {
         Guard = adapt(typedExpr(C->Kids[1], CaseCtx));
-        if (Guard->type() && !Guard->type()->isPrim(PrimKind::Boolean))
+        if (Guard->type() && !Guard->type()->isPrim(PrimKind::Boolean) &&
+            !Guard->type()->isError())
           error(C->Loc, "guard must be Boolean");
       }
       TreePtr Body = typedBlock(C->Kids[2], CaseCtx);
@@ -1717,6 +1753,9 @@ TreePtr Typer::typedExpr(SynNode *E, BodyCtx &Ctx) {
   }
   case SynKind::Block:
     return typedBlock(E, Ctx);
+  case SynKind::Error:
+    // Parser recovery node: the parser already diagnosed it.
+    return errorTree(E->Loc);
   case SynKind::Assign: {
     SynNode *Lhs = E->Kids[0];
     // Array update sugar: a(i) = v.

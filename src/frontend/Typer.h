@@ -97,6 +97,14 @@ private:
                        const std::vector<Symbol *> &Params,
                        std::vector<const Type *> &Bindings);
 
+  /// Recovered parses can stitch arbitrarily long left-deep expression
+  /// chains even though the parser caps *nesting*, so expression typing
+  /// carries its own recursion guard: past the cap, the offending
+  /// subtree types to the error tree with one diagnostic.
+  static constexpr unsigned MaxExprDepth = 512;
+  unsigned ExprDepth = 0;
+  bool ExprDepthReported = false;
+
   const Type *thisTypeOf(ClassSymbol *Cls);
   Symbol *lookupUnqualified(Name N, BodyCtx &Ctx, ClassSymbol **FoundIn);
   void error(SourceLoc Loc, std::string Msg);

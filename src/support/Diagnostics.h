@@ -41,22 +41,37 @@ struct Diagnostic {
 };
 
 /// Collects diagnostics; printing is separate from reporting.
+///
+/// To keep pathological inputs (fuzzed or machine-generated garbage) from
+/// flooding memory and logs, each file stores at most MaxPerFile
+/// diagnostics; the first one past the cap is replaced with a single
+/// "too many errors, stopping" summary and the rest are counted but
+/// dropped. Suppressed errors still count toward errorCount(), so
+/// hasErrors() and driver decisions are unaffected by the cap.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
     ++NumErrors;
+    report(DiagSeverity::Error, Loc, std::move(Message));
   }
   void warning(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+    report(DiagSeverity::Warning, Loc, std::move(Message));
   }
   void note(SourceLoc Loc, std::string Message) {
-    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+    report(DiagSeverity::Note, Loc, std::move(Message));
   }
 
   bool hasErrors() const { return NumErrors != 0; }
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Diagnostics actually stored (including per-file cap summaries).
+  size_t emittedCount() const { return Diags.size(); }
+  /// Diagnostics dropped by the per-file cap.
+  uint64_t suppressedCount() const { return NumSuppressed; }
+  /// Sets the per-file diagnostic cap; 0 disables capping.
+  void setMaxDiagnosticsPerFile(uint32_t Max) { MaxPerFile = Max; }
+  uint32_t maxDiagnosticsPerFile() const { return MaxPerFile; }
 
   /// Registers a file name, returning its id for SourceLocs.
   uint32_t addFile(std::string FileName) {
@@ -71,20 +86,47 @@ public:
 
   void clear() {
     Diags.clear();
+    PerFile.clear();
     NumErrors = 0;
+    NumSuppressed = 0;
   }
 
   /// Full reset for context recycling: clears diagnostics AND the file
   /// table, so a warm context assigns the same file ids as a cold one.
+  /// The configured per-file cap survives (it is configuration, not state).
   void reset() {
     clear();
     Files.clear();
   }
 
 private:
+  void report(DiagSeverity Sev, SourceLoc Loc, std::string Message) {
+    if (MaxPerFile != 0) {
+      uint32_t F = Loc.FileId;
+      if (F >= PerFile.size())
+        PerFile.resize(F + 1, 0);
+      uint32_t &Emitted = PerFile[F];
+      if (Emitted >= MaxPerFile) {
+        ++NumSuppressed;
+        if (Emitted == MaxPerFile) {
+          ++Emitted; // sentinel: the summary was written for this file
+          Diags.push_back({DiagSeverity::Note, Loc,
+                           "too many errors, stopping diagnostics for "
+                           "this file"});
+        }
+        return;
+      }
+      ++Emitted;
+    }
+    Diags.push_back({Sev, Loc, std::move(Message)});
+  }
+
   std::vector<Diagnostic> Diags;
   std::vector<std::string> Files;
+  std::vector<uint32_t> PerFile; // diagnostics emitted per FileId
   unsigned NumErrors = 0;
+  uint64_t NumSuppressed = 0;
+  uint32_t MaxPerFile = 64;
 };
 
 } // namespace mpc

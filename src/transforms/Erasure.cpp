@@ -95,6 +95,10 @@ const Type *ErasurePhase::eraseType(const Type *T, CompilerContext &Comp) {
     return eraseType(cast<IntersectionType>(T)->left(), Comp);
   case TypeKind::TypeParam:
     return Comp.syms().objectType();
+  case TypeKind::Error:
+    // Never reached in a clean run: the driver stops before transforms
+    // when the frontend reported errors. Kept total for safety.
+    return T;
   }
   return T;
 }

@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic full-pipeline fuzzing harness. Feeds seeded generator
+/// families (valid and adversarial) through lex -> parse -> type ->
+/// transforms -> interpreter and checks the three totality properties the
+/// compile service depends on:
+///
+///   1. no input crashes the compiler — invalid programs produce
+///      diagnostics, never aborts or unhandled exceptions;
+///   2. diagnostics and program output are deterministic — two cold runs
+///      of the same seed are byte-identical;
+///   3. context recycling is clean — compiling on a warm, reset() -recycled
+///      context (including right after an error-laden job) is
+///      byte-identical to a cold context.
+///
+/// Every case is reproducible from (family, seed, scale) alone; a failure
+/// report names all three.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_WORKLOAD_FUZZER_H
+#define MPC_WORKLOAD_FUZZER_H
+
+#include "core/CompilerContext.h"
+#include "workload/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+/// One fuzz input: a (family, seed) pair at a given size scale.
+struct FuzzCase {
+  Family F = Family::Mixed;
+  uint64_t Seed = 0;
+  double Scale = 0.25;
+};
+
+/// What one compile (+ run, when clean) produced. All fields are
+/// deterministic functions of the input program.
+struct FuzzOutcome {
+  bool Crashed = false;   // an exception escaped the pipeline
+  bool HasErrors = false; // frontend reported diagnostics
+  std::string DiagText;   // rendered diagnostics, stable format
+  std::string Output;     // interpreter stdout (clean compiles only)
+  bool Uncaught = false;  // interpreter uncaught MiniScala exception
+  std::string Error;      // crash / uncaught-exception message
+
+  bool operator==(const FuzzOutcome &O) const {
+    return Crashed == O.Crashed && HasErrors == O.HasErrors &&
+           DiagText == O.DiagText && Output == O.Output &&
+           Uncaught == O.Uncaught && Error == O.Error;
+  }
+};
+
+/// One property violation, with enough context to replay the case.
+struct FuzzViolation {
+  FuzzCase Case;
+  std::string Kind; // "crash" | "valid-family-rejected" |
+                    // "nondeterministic" | "warm-cold-mismatch"
+  std::string Detail;
+};
+
+/// Campaign tallies.
+struct FuzzStats {
+  uint64_t CasesRun = 0;
+  uint64_t CleanCompiles = 0;
+  uint64_t ErrorCompiles = 0;
+  uint64_t DiagsSeen = 0;
+  std::vector<FuzzViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+};
+
+/// Renders diagnostics in the stable "file:line:col: severity: msg" form
+/// used for byte-comparisons.
+std::string renderDiags(const DiagnosticEngine &Diags);
+
+/// Compiles \p Sources on \p Comp with the standard fused pipeline and,
+/// when the compile is clean and has an entry point, interprets it.
+/// Exceptions are captured into the outcome instead of escaping. The
+/// caller owns context hygiene (reset() between jobs); all pipeline
+/// outputs are destroyed before this returns, so a reset() directly after
+/// is legal.
+FuzzOutcome runPipelineOnce(CompilerContext &Comp,
+                            std::vector<SourceInput> Sources);
+
+/// Runs one case's full check triple: cold compile, identical cold rerun
+/// (determinism), and a compile on \p WarmComp — which is reset() after
+/// use — compared byte-for-byte against the cold outcome. Appends any
+/// violations to \p Stats and returns the cold outcome.
+FuzzOutcome runFuzzCase(CompilerContext &WarmComp, const FuzzCase &C,
+                        FuzzStats &Stats);
+
+/// Full campaign over \p Families x [StartSeed, StartSeed + NumSeeds).
+/// One warm context lives across the whole campaign, recycled between
+/// cases, so error-path state leaks surface as warm/cold mismatches in
+/// later cases.
+FuzzStats runFuzzCampaign(const std::vector<Family> &Families,
+                          uint64_t StartSeed, uint64_t NumSeeds,
+                          double Scale);
+
+} // namespace mpc
+
+#endif // MPC_WORKLOAD_FUZZER_H

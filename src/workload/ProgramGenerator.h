@@ -44,6 +44,38 @@ std::vector<SourceInput> generateWorkload(const WorkloadProfile &Profile);
 /// Counts source lines of a generated workload.
 uint64_t countLines(const std::vector<SourceInput> &Sources);
 
+/// Named stress families for fuzzing, differential testing, and soak
+/// traffic. Valid families generate well-typed programs that include an
+/// `object Main { def main(args: Array[String]): Unit }` entry point, so
+/// the full pipeline (transforms + interpreter) can run them. Invalid
+/// families deterministically corrupt a valid base program and exercise
+/// the frontend's error paths: the only acceptable outcome for them is
+/// diagnostics, never a crash.
+enum class Family : uint8_t {
+  // Valid.
+  Mixed,           // the profile-driven generator plus an entry point
+  DeepInheritance, // long override chains, super calls, virtual dispatch
+  ClosureHeavy,    // higher-order methods and capture-heavy lambdas
+  MegaMethods,     // few classes, very long method bodies
+  ManyTinyUnits,   // wide programs: many one-class compilation units
+  // Invalid / adversarial.
+  Truncated,        // a unit cut off mid-token/mid-definition
+  TokenMutation,    // word-level replace/delete/duplicate mutations
+  UnbalancedDelims, // deleted or inserted braces/parens/brackets
+  TypeErrorSeeded,  // parses cleanly, fails in the typer
+};
+
+const char *familyName(Family F);
+bool familyIsValid(Family F);
+/// All families in declaration order (stable across runs, for iteration).
+const std::vector<Family> &allFamilies();
+
+/// Generates one deterministic program for (family, seed). \p Scale
+/// stretches program size; 1.0 is a few hundred lines. Equal arguments
+/// yield byte-identical sources.
+std::vector<SourceInput> generateFamily(Family F, uint64_t Seed,
+                                        double Scale = 1.0);
+
 } // namespace mpc
 
 #endif // MPC_WORKLOAD_PROGRAMGENERATOR_H

@@ -341,10 +341,13 @@ TEST(ServiceAdmission, DeadlineExpiredInQueueCompletesWithoutCompiling) {
 TEST(ServiceAdmission, DeadlineExceededMidCompileRecyclesTheContext) {
   // Injected per-stage delays make the job reliably slower than its
   // deadline without depending on machine speed; the checkpoint at the
-  // next phase boundary cancels it.
+  // next phase boundary cancels it. The deadline must be generous enough
+  // that a loaded machine still dequeues the job before expiry (an
+  // in-queue expiry would never touch a context), yet far below the
+  // injected per-stage delay so the job always dies mid-compile.
   FaultConfig FC;
   FC.StageDelayRate = 1.0;
-  FC.StageDelayMicros = 2000; // 2 ms per stage point vs a 1 ms deadline
+  FC.StageDelayMicros = 100000; // 100 ms per stage point vs a 30 ms deadline
 
   ServiceConfig Cfg;
   Cfg.Threads = 1;
@@ -353,7 +356,7 @@ TEST(ServiceAdmission, DeadlineExceededMidCompileRecyclesTheContext) {
 
   {
     ScopedFaultInjector Injector(FC);
-    Service.enqueue(tinyJob(0, JobPriority::Batch, /*DeadlineSec=*/0.001));
+    Service.enqueue(tinyJob(0, JobPriority::Batch, /*DeadlineSec=*/0.03));
     std::vector<BatchResult> Results = Service.drain();
     ASSERT_EQ(Results.size(), 1u);
     EXPECT_EQ(Results[0].Status, JobStatus::DeadlineExceeded);

@@ -17,6 +17,7 @@
 #include "support/FaultInjector.h"
 #include "support/Rng.h"
 #include "workload/Corpus.h"
+#include "workload/ProgramGenerator.h"
 
 #include <gtest/gtest.h>
 
@@ -54,15 +55,24 @@ TEST(ServiceSoak, MixedFaultedStreamReachesResourceFixedPoint) {
     for (unsigned I = 0; I < JobsPerRound; ++I) {
       BatchJob J;
       uint64_t Roll = R.next() % 100;
-      if (Roll < 60) {
+      if (Roll < 55) {
         const auto &Corpus = corpusPrograms();
         const CorpusProgram &P = Corpus[R.next() % Corpus.size()];
         J.Sources.push_back({P.Name + ".scala", P.Source});
-      } else if (Roll < 75) {
+      } else if (Roll < 65) {
         J.Sources.push_back({"parse_err.scala", "class { def broken("});
-      } else if (Roll < 90) {
+      } else if (Roll < 75) {
         J.Sources.push_back(
             {"type_err.scala", "class C { def f(): Int = missing }"});
+      } else if (Roll < 90) {
+        // Adversarial generator families: truncated, token-mutated,
+        // delimiter-broken, and type-error-seeded programs stress parse
+        // recovery and the poisoned-type path on recycled contexts.
+        static const Family Adversarial[] = {
+            Family::Truncated, Family::TokenMutation,
+            Family::UnbalancedDelims, Family::TypeErrorSeeded};
+        Family F = Adversarial[R.next() % 4];
+        J.Sources = generateFamily(F, R.next() % 64, /*Scale=*/0.1);
       } else {
         // Deadline-doomed: expires while queued or at the first
         // checkpoint (the injected delays make sure checkpoints see it).

@@ -197,4 +197,94 @@ TEST(ParserTest, ErrorRecoveryKeepsGoing) {
   EXPECT_TRUE(SawD);
 }
 
+TEST(ParserTest, RecoverySyncsToNextTopLevelDef) {
+  NameTable Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  // Garbage between two classes: panic mode must leave an Error node and
+  // resynchronize at `class D`, not diagnose every junk token.
+  SynUnit U = parse("class C { }\n) 12 zzz =>\nclass D { }", Arena, Names,
+                    Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  bool SawC = false, SawD = false, SawError = false;
+  for (SynNode *T : U.TopLevel) {
+    if (T->K == SynKind::ClassDef && T->N.text() == "C")
+      SawC = true;
+    if (T->K == SynKind::ClassDef && T->N.text() == "D")
+      SawD = true;
+    if (T->K == SynKind::Error)
+      SawError = true;
+  }
+  EXPECT_TRUE(SawC);
+  EXPECT_TRUE(SawD);
+  EXPECT_TRUE(SawError) << "skipped region must leave a recovery node";
+}
+
+TEST(ParserTest, RecoverySyncsToNextMember) {
+  NameTable Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  // Junk inside a template body: the following member must still parse.
+  SynUnit U = parse("class C {\n  %%% ??? \n  val ok: Int = 1\n}", Arena,
+                    Names, Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(U.TopLevel.size(), 1u);
+  bool SawOk = false;
+  for (SynNode *M : U.TopLevel[0]->Kids)
+    if (M && M->K == SynKind::ValDef && M->N.text() == "ok")
+      SawOk = true;
+  EXPECT_TRUE(SawOk) << "member after junk must survive recovery";
+}
+
+TEST(ParserTest, DeepExpressionNestingIsDiagnosedNotFatal) {
+  NameTable Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  std::string Src = "class C { def f(): Int = ";
+  for (int I = 0; I < 3000; ++I)
+    Src += "(1 + ";
+  Src += "0";
+  for (int I = 0; I < 3000; ++I)
+    Src += ")";
+  Src += " }";
+  SynUnit U = parse(Src.c_str(), Arena, Names, Diags);
+  (void)U;
+  EXPECT_TRUE(Diags.hasErrors());
+  bool SawDepth = false;
+  for (const Diagnostic &D : Diags.all())
+    if (D.Message.find("nesting too deep") != std::string::npos)
+      SawDepth = true;
+  EXPECT_TRUE(SawDepth);
+}
+
+TEST(ParserTest, DeepClassNestingIsDiagnosedNotFatal) {
+  NameTable Names;
+  DiagnosticEngine Diags;
+  SynArena Arena;
+  std::string Src;
+  for (int I = 0; I < 2000; ++I)
+    Src += "class C" + std::to_string(I) + " { ";
+  SynUnit U = parse(Src.c_str(), Arena, Names, Diags);
+  (void)U;
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, EveryPrefixOfAValidProgramParses) {
+  // Truncation totality: parseUnit must terminate and produce a tree for
+  // every prefix of a realistic program.
+  const char *Full = "class A(x: Int) extends B { def f(y: Int): Int = "
+                     "y match { case 0 => 1 case n => n * x } }\n"
+                     "object Main { def main(args: Array[String]): Unit = "
+                     "println(new A(2).f(3)) }";
+  size_t Len = std::string(Full).size();
+  for (size_t Cut = 0; Cut <= Len; ++Cut) {
+    NameTable Names;
+    DiagnosticEngine Diags;
+    SynArena Arena;
+    std::string Prefix = std::string(Full).substr(0, Cut);
+    SynUnit U = parse(Prefix.c_str(), Arena, Names, Diags);
+    (void)U; // reaching here without a crash/hang is the assertion
+  }
+}
+
 } // namespace

@@ -69,6 +69,43 @@ TEST(DiagnosticsTest, CollectsAndPrints) {
   EXPECT_NE(OS.str().find("warning: be careful"), std::string::npos);
 }
 
+TEST(DiagnosticsTest, PerFileCapSuppressesFloods) {
+  DiagnosticEngine D;
+  D.setMaxDiagnosticsPerFile(5);
+  uint32_t A = D.addFile("a.scala");
+  uint32_t B = D.addFile("b.scala");
+  for (unsigned I = 1; I <= 20; ++I)
+    D.error({A, I, 1}, "broken " + std::to_string(I));
+  // Errors past the cap still count, but only cap + summary are stored.
+  EXPECT_EQ(D.errorCount(), 20u);
+  EXPECT_EQ(D.emittedCount(), 6u); // 5 + the "too many errors" summary
+  EXPECT_EQ(D.suppressedCount(), 15u);
+  EXPECT_NE(D.all().back().Message.find("too many errors, stopping"),
+            std::string::npos);
+  // The cap is per file: a second file reports normally.
+  D.error({B, 1, 1}, "other file");
+  EXPECT_EQ(D.emittedCount(), 7u);
+  EXPECT_EQ(D.all().back().Message, "other file");
+  // clear() resets counters so a recycled engine caps afresh.
+  D.clear();
+  EXPECT_EQ(D.emittedCount(), 0u);
+  EXPECT_EQ(D.suppressedCount(), 0u);
+  D.error({A, 1, 1}, "fresh");
+  EXPECT_EQ(D.emittedCount(), 1u);
+  // The configured cap itself survives clear() and reset().
+  EXPECT_EQ(D.maxDiagnosticsPerFile(), 5u);
+}
+
+TEST(DiagnosticsTest, CapDisabledWithZero) {
+  DiagnosticEngine D;
+  D.setMaxDiagnosticsPerFile(0);
+  uint32_t A = D.addFile("a.scala");
+  for (unsigned I = 1; I <= 200; ++I)
+    D.error({A, I, 1}, "e");
+  EXPECT_EQ(D.emittedCount(), 200u);
+  EXPECT_EQ(D.suppressedCount(), 0u);
+}
+
 TEST(OStreamTest, Formatting) {
   StringOStream OS;
   OS << "x=" << 42 << ", y=" << -3 << ", d=" << 1.5 << ", b=" << true;

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+// Differential testing across generator families (ROADMAP 4a): for every
+// valid stress family and a sweep of seeds, the fused pipeline, the
+// unfused pipeline, and the legacy (always-copy) baseline must produce
+// byte-identical interpreter output. This is the paper's §6 soundness
+// claim applied to adversarially-shaped — but well-typed — programs
+// rather than the fixed corpus.
+//
+// Sharded via GTEST_TOTAL_SHARDS/GTEST_SHARD_INDEX (see CMakeLists).
+//===----------------------------------------------------------------------===//
+
+#include "backend/Interpreter.h"
+#include "driver/Driver.h"
+#include "workload/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace mpc;
+
+namespace {
+
+struct RunResult {
+  std::string Output;
+  bool Clean = false;
+  std::string Problem;
+};
+
+RunResult runFamilyWith(Family F, uint64_t Seed, PipelineKind Kind) {
+  RunResult R;
+  CompilerContext Comp;
+  Comp.options().CheckTrees = true;
+  CompileOutput Out =
+      compileProgram(Comp, generateFamily(F, Seed, 0.3), Kind);
+  if (Comp.diags().hasErrors()) {
+    R.Problem = "diagnostics on a valid family";
+    return R;
+  }
+  for (const CheckFailure &C : Out.CheckFailures) {
+    R.Problem += "checker: " + C.Message + "\n";
+    return R;
+  }
+  if (Out.EntryPoints.empty()) {
+    R.Problem = "no entry point";
+    return R;
+  }
+  Interpreter I(Comp, Out.Units);
+  ExecResult E = I.runMain(Out.EntryPoints.front());
+  if (E.Uncaught) {
+    R.Problem = "uncaught: " + E.Error;
+    return R;
+  }
+  R.Output = E.Output;
+  R.Clean = true;
+  return R;
+}
+
+std::string familyTestName(Family F) {
+  std::string N = familyName(F);
+  for (char &C : N)
+    if (C == '-')
+      C = '_';
+  return N;
+}
+
+std::vector<Family> validFamilies() {
+  std::vector<Family> V;
+  for (Family F : allFamilies())
+    if (familyIsValid(F))
+      V.push_back(F);
+  return V;
+}
+
+class FamilyDifferential
+    : public ::testing::TestWithParam<std::tuple<Family, uint64_t>> {};
+
+TEST_P(FamilyDifferential, FusedUnfusedLegacyAgree) {
+  const auto &[F, Seed] = GetParam();
+
+  RunResult Fused = runFamilyWith(F, Seed, PipelineKind::StandardFused);
+  ASSERT_TRUE(Fused.Clean) << familyName(F) << " seed " << Seed << ": "
+                           << Fused.Problem;
+  EXPECT_FALSE(Fused.Output.empty());
+
+  RunResult Unfused = runFamilyWith(F, Seed, PipelineKind::StandardUnfused);
+  ASSERT_TRUE(Unfused.Clean) << familyName(F) << " seed " << Seed << ": "
+                             << Unfused.Problem;
+  EXPECT_EQ(Fused.Output, Unfused.Output)
+      << familyName(F) << " seed " << Seed << ": fused vs unfused";
+
+  RunResult Legacy = runFamilyWith(F, Seed, PipelineKind::Legacy);
+  ASSERT_TRUE(Legacy.Clean) << familyName(F) << " seed " << Seed << ": "
+                            << Legacy.Problem;
+  EXPECT_EQ(Fused.Output, Legacy.Output)
+      << familyName(F) << " seed " << Seed << ": fused vs legacy";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValidFamilies, FamilyDifferential,
+    ::testing::Combine(::testing::ValuesIn(validFamilies()),
+                       ::testing::Values(0u, 1u, 2u, 5u, 11u, 23u, 47u,
+                                         101u)),
+    [](const ::testing::TestParamInfo<std::tuple<Family, uint64_t>> &Info) {
+      return familyTestName(std::get<0>(Info.param)) + "_seed" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+} // namespace
