@@ -119,6 +119,7 @@ void SymbolTable::reset() {
   NextId = 1;
   FreshCounter = 0;
   PrimOpIdxByOrdinal.clear();
+  PrimOpKindByOrdinal.clear();
   NumPrimOpNames = 0;
   for (auto &Row : PrimOpTable)
     for (Symbol *&S : Row)
@@ -350,8 +351,8 @@ void SymbolTable::initBuiltins() {
     }
     return PrimOpIdxByOrdinal[Ord];
   };
-  auto AddOp = [&](PrimKind P, const char *Op, const Type *Ret,
-                   bool Unary = false) {
+  auto AddOp = [&](PrimKind P, const char *Op, PrimOpKind Kind,
+                   const Type *Ret, bool Unary = false) {
     Name OpName = Names.intern(Op);
     std::vector<const Type *> Params;
     if (!Unary)
@@ -361,18 +362,41 @@ void SymbolTable::initBuiltins() {
                              SymFlag::PrimOp,
                          Types.methodType(std::move(Params), Ret));
     PrimOpTable[static_cast<unsigned>(P)][OpIndexOf(OpName)] = S;
+    // Record the operator's dense kind next to its name ordinal (the
+    // kind depends on the name only, never on the primitive type).
+    uint32_t Ord = OpName.ordinal();
+    if (Ord >= PrimOpKindByOrdinal.size())
+      PrimOpKindByOrdinal.resize(Ord + 1, -1);
+    PrimOpKindByOrdinal[Ord] = static_cast<int8_t>(Kind);
   };
+  using POK = PrimOpKind;
+  constexpr std::pair<const char *, POK> Arith[] = {
+      {"+", POK::Add}, {"-", POK::Sub}, {"*", POK::Mul},
+      {"/", POK::Div}, {"%", POK::Rem}};
+  constexpr std::pair<const char *, POK> Cmp[] = {
+      {"<", POK::CmpLt}, {"<=", POK::CmpLe}, {">", POK::CmpGt},
+      {">=", POK::CmpGe}, {"==", POK::CmpEq}, {"!=", POK::CmpNe}};
   for (PrimKind P : {PrimKind::Int, PrimKind::Double}) {
     const Type *Self = Types.primType(P);
-    for (const char *Op : {"+", "-", "*", "/", "%"})
-      AddOp(P, Op, Self);
-    for (const char *Op : {"<", "<=", ">", ">=", "==", "!="})
-      AddOp(P, Op, Types.booleanType());
-    AddOp(P, "unary_-", Self, /*Unary=*/true);
+    for (auto [Op, K] : Arith)
+      AddOp(P, Op, K, Self);
+    for (auto [Op, K] : Cmp)
+      AddOp(P, Op, K, Types.booleanType());
+    AddOp(P, "unary_-", POK::Neg, Self, /*Unary=*/true);
   }
-  for (const char *Op : {"&&", "||", "==", "!="})
-    AddOp(PrimKind::Boolean, Op, Types.booleanType());
-  AddOp(PrimKind::Boolean, "unary_!", Types.booleanType(), /*Unary=*/true);
+  AddOp(PrimKind::Boolean, "&&", POK::And, Types.booleanType());
+  AddOp(PrimKind::Boolean, "||", POK::Or, Types.booleanType());
+  AddOp(PrimKind::Boolean, "==", POK::CmpEq, Types.booleanType());
+  AddOp(PrimKind::Boolean, "!=", POK::CmpNe, Types.booleanType());
+  AddOp(PrimKind::Boolean, "unary_!", POK::Not, Types.booleanType(),
+        /*Unary=*/true);
+}
+
+PrimOpKind SymbolTable::primOpKindOf(Name Op) const {
+  uint32_t Ord = Op.ordinal();
+  if (Ord >= PrimOpKindByOrdinal.size())
+    return PrimOpKind::None;
+  return static_cast<PrimOpKind>(PrimOpKindByOrdinal[Ord]);
 }
 
 Symbol *SymbolTable::primOp(PrimKind P, Name Op) const {

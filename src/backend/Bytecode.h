@@ -25,6 +25,8 @@ enum class Op : uint8_t {
   Nop,
   // Constants.
   ConstUnit,
+  ConstBool,   // operand: Imm (0/1) — kept distinct from ConstInt: the
+               // runtime value kinds differ (show/equality observe it)
   ConstInt,    // operand: Imm
   ConstDouble, // operand: Num
   ConstStr,    // operand: Str
@@ -71,6 +73,11 @@ struct Instr {
   std::string Str;
   Symbol *Sym = nullptr;
   const Type *TypeRef = nullptr;
+  /// InvokeSuper only: the statically-known superclass the call
+  /// dispatches into (`Super::target()` at the call site). The linker
+  /// resolves super calls at link time and needs the class the symbol
+  /// alone does not carry.
+  ClassSymbol *SuperCls = nullptr;
   int32_t Target = -1;
   uint32_t ArgCount = 0;
 };
@@ -81,6 +88,10 @@ struct Handler {
   uint32_t End = 0;
   uint32_t Entry = 0;
   const Type *CatchType = nullptr;
+  /// A finally route: catches *everything* thrown in the range, runs the
+  /// finalizer block at Entry, and rethrows (the block ends in AThrow).
+  /// CatchType is null for these entries.
+  bool IsFinally = false;
 };
 
 /// One compiled method.
@@ -106,10 +117,22 @@ struct ClassFile {
   }
 };
 
+/// One bytecode-verifier diagnostic (produced by backend/Verifier.h,
+/// carried on the Program so callers see structural codegen bugs as
+/// typed failures instead of VM crashes).
+struct VerifyFailure {
+  Symbol *Method = nullptr;
+  uint32_t Pc = 0;
+  std::string Message;
+};
+
 /// The compiled program.
 struct Program {
   std::vector<ClassFile> Classes;
   std::vector<Symbol *> EntryPoints;
+  /// Filled by generateCode when CompilerOptions::VerifyBytecode is set
+  /// (tests run the verifier unconditionally via verifyProgram).
+  std::vector<VerifyFailure> VerifyFailures;
 
   uint64_t totalInstructions() const {
     uint64_t N = 0;

@@ -1,6 +1,7 @@
 #include "backend/CodeGen.h"
 
 #include "ast/TreeUtils.h"
+#include "backend/Verifier.h"
 
 #include <cassert>
 #include <map>
@@ -34,40 +35,46 @@ private:
     emit(Op::Pop);
   }
 
-  /// True for the primitive operator symbols; maps name to opcode.
+  /// The type's default value (the interpreter's defaultValue) as a
+  /// constant push.
+  void emitDefault(const Type *Ty) {
+    if (Ty && Ty->isPrim(PrimKind::Int))
+      emit(Op::ConstInt).Imm = 0;
+    else if (Ty && Ty->isPrim(PrimKind::Boolean))
+      emit(Op::ConstBool).Imm = 0;
+    else if (Ty && Ty->isPrim(PrimKind::Double))
+      emit(Op::ConstDouble).Num = 0;
+    else if (Ty && Ty->isUnit())
+      emit(Op::ConstUnit);
+    else
+      emit(Op::ConstNull);
+  }
+
+  /// True for the primitive operator symbols; maps the operator's dense
+  /// kind (no name-text comparisons) to an opcode. && and || have no
+  /// opcode: the frontend desugars short-circuiting into If, so a
+  /// surviving symbol goes through the generic invoke path (evaluated
+  /// eagerly there, like the tree interpreter).
   bool tryPrimOp(Symbol *Sym, Op &Code) {
     if (!Comp.syms().isPrimOp(Sym))
       return false;
-    std::string_view N = Sym->name().text();
-    if (N == "+")
-      Code = Op::Add;
-    else if (N == "-")
-      Code = Op::Sub;
-    else if (N == "*")
-      Code = Op::Mul;
-    else if (N == "/")
-      Code = Op::Div;
-    else if (N == "%")
-      Code = Op::Rem;
-    else if (N == "<")
-      Code = Op::CmpLt;
-    else if (N == "<=")
-      Code = Op::CmpLe;
-    else if (N == ">")
-      Code = Op::CmpGt;
-    else if (N == ">=")
-      Code = Op::CmpGe;
-    else if (N == "==")
-      Code = Op::CmpEq;
-    else if (N == "!=")
-      Code = Op::CmpNe;
-    else if (N == "unary_-")
-      Code = Op::Neg;
-    else if (N == "unary_!")
-      Code = Op::Not;
-    else
+    switch (Comp.syms().primOpKindOf(Sym->name())) {
+    case PrimOpKind::Add:   Code = Op::Add;   return true;
+    case PrimOpKind::Sub:   Code = Op::Sub;   return true;
+    case PrimOpKind::Mul:   Code = Op::Mul;   return true;
+    case PrimOpKind::Div:   Code = Op::Div;   return true;
+    case PrimOpKind::Rem:   Code = Op::Rem;   return true;
+    case PrimOpKind::CmpLt: Code = Op::CmpLt; return true;
+    case PrimOpKind::CmpLe: Code = Op::CmpLe; return true;
+    case PrimOpKind::CmpGt: Code = Op::CmpGt; return true;
+    case PrimOpKind::CmpGe: Code = Op::CmpGe; return true;
+    case PrimOpKind::CmpEq: Code = Op::CmpEq; return true;
+    case PrimOpKind::CmpNe: Code = Op::CmpNe; return true;
+    case PrimOpKind::Neg:   Code = Op::Neg;   return true;
+    case PrimOpKind::Not:   Code = Op::Not;   return true;
+    default:
       return false;
-    return true;
+    }
   }
 
   void genExpr(Tree *T) {
@@ -81,6 +88,8 @@ private:
         emit(Op::ConstUnit);
         break;
       case Constant::Bool:
+        emit(Op::ConstBool).Imm = C.intValue();
+        break;
       case Constant::Int:
         emit(Op::ConstInt).Imm = C.intValue();
         break;
@@ -161,10 +170,12 @@ private:
       for (unsigned I = 0; I < B->numStats(); ++I) {
         Tree *Stat = B->stat(I);
         if (auto *VD = dyn_cast<ValDef>(Stat)) {
-          if (VD->rhs()) {
+          if (VD->rhs())
             genExpr(VD->rhs());
-            emit(Op::Store).Sym = VD->sym();
-          }
+          else
+            emitDefault(VD->sym()->info()); // interpreter binds the
+                                            // type default here
+          emit(Op::Store).Sym = VD->sym();
           ++Out.MaxLocals;
           continue;
         }
@@ -204,15 +215,19 @@ private:
     }
     case TreeKind::Labeled: {
       auto *L = cast<Labeled>(T);
-      uint32_t Start = here();
-      LabelStarts[L->label()] = Start;
+      LabelStarts[L->label()] = {here(), Finalizers.size()};
       genExpr(L->body());
       return;
     }
     case TreeKind::Goto: {
       auto It = LabelStarts.find(cast<Goto>(T)->label());
       assert(It != LabelStarts.end() && "jump to unseen label");
-      emit(Op::Jump).Target = static_cast<int32_t>(It->second);
+      // A backward jump crossing try bodies entered since the label runs
+      // their finalizers first (the interpreter's ContinueSignal unwinds
+      // through evalTry's catch-all, which does the same).
+      for (size_t D = Finalizers.size(); D > It->second.FinalizerDepth; --D)
+        genStat(Finalizers[D - 1]);
+      emit(Op::Jump).Target = static_cast<int32_t>(It->second.Pc);
       return;
     }
     case TreeKind::Return: {
@@ -221,6 +236,12 @@ private:
         genExpr(R->expr());
       else
         emit(Op::ConstUnit);
+      // A return unwinding out of enclosing try bodies runs their
+      // finalizers innermost-first, with the return value parked on the
+      // stack (mirrors the interpreter: ReturnSignal hits evalTry's
+      // catch-all, which runs the finalizer and rethrows).
+      for (size_t D = Finalizers.size(); D > 0; --D)
+        genStat(Finalizers[D - 1]);
       emit(Op::ReturnValue);
       return;
     }
@@ -231,8 +252,19 @@ private:
     case TreeKind::Try: {
       auto *Y = cast<Try>(T);
       uint32_t Start = here();
+      // While generating the body, returns and label-crossing gotos must
+      // inline this try's finalizer; catch bodies must not (a throwing
+      // matched-catch body skips the finalizer in the interpreter too).
+      if (Y->finalizer())
+        Finalizers.push_back(Y->finalizer());
       genExpr(Y->body());
-      uint32_t SkipIdx = here();
+      if (Y->finalizer())
+        Finalizers.pop_back();
+      // Jumps to the code after the whole try; patched by index below
+      // (never via a sentinel scan — a nested try inside a later catch
+      // body must not steal this try's pending patches).
+      std::vector<uint32_t> EndJumps;
+      EndJumps.push_back(here());
       emit(Op::Jump);
       uint32_t End = here();
       for (unsigned I = 0; I < Y->numCatches(); ++I) {
@@ -259,14 +291,29 @@ private:
         else
           emit(Op::Pop);
         genExpr(C->body());
-        if (I + 1 < Y->numCatches() || Y->finalizer())
-          emit(Op::Jump).Target = -2; // patched below to the end
+        if (I + 1 < Y->numCatches() || Y->finalizer()) {
+          EndJumps.push_back(here());
+          emit(Op::Jump);
+        }
       }
-      Out.Code[SkipIdx].Target = static_cast<int32_t>(here());
-      // Patch intermediate jumps to the end.
-      for (Instr &I : Out.Code)
-        if (I.Code == Op::Jump && I.Target == -2)
-          I.Target = static_cast<int32_t>(here());
+      // Finally route: a catch-all handler over the body range that runs
+      // the finalizer with the in-flight exception parked on the stack,
+      // then rethrows it. It is last in the table, so typed catches win
+      // on the exceptions they match and only the rest unwind through
+      // here — exactly the interpreter's evalTry ordering.
+      if (Y->finalizer()) {
+        Handler H;
+        H.Start = Start;
+        H.End = End;
+        H.Entry = here();
+        H.CatchType = nullptr;
+        H.IsFinally = true;
+        Out.Handlers.push_back(H);
+        genStat(Y->finalizer());
+        emit(Op::AThrow);
+      }
+      for (uint32_t J : EndJumps)
+        Out.Code[J].Target = static_cast<int32_t>(here());
       if (Y->finalizer()) {
         genStat(Y->finalizer());
       }
@@ -360,12 +407,13 @@ private:
         return;
       }
       // Super (incl. parent constructor) calls dispatch statically.
-      if (isa<Super>(Sel->qual())) {
+      if (auto *Sup = dyn_cast<Super>(Sel->qual())) {
         genExpr(Sel->qual());
         for (unsigned I = 0; I < T->numArgs(); ++I)
           genExpr(T->arg(I));
         Instr &I = emit(Op::InvokeSuper);
         I.Sym = Sym;
+        I.SuperCls = Sup->target();
         I.ArgCount = T->numArgs();
         return;
       }
@@ -383,7 +431,16 @@ private:
 
   CompilerContext &Comp;
   MethodCode &Out;
-  std::map<Symbol *, uint32_t> LabelStarts;
+  struct LabelInfo {
+    uint32_t Pc = 0;
+    /// Finalizers.size() when the label was defined — a Goto back to it
+    /// inlines every finalizer pushed since.
+    size_t FinalizerDepth = 0;
+  };
+  std::map<Symbol *, LabelInfo> LabelStarts;
+  /// Finalizer blocks of the try bodies currently being generated,
+  /// outermost first.
+  std::vector<Tree *> Finalizers;
 };
 
 } // namespace
@@ -428,5 +485,9 @@ Program mpc::generateCode(const std::vector<CompilationUnit> &Units,
       Prog.Classes.push_back(std::move(CF));
     }
   }
+  // Debug option: catch structural codegen bugs here as typed failures
+  // instead of VM crashes later. Test suites verify unconditionally.
+  if (Comp.options().VerifyBytecode)
+    Prog.VerifyFailures = verifyProgram(Prog);
   return Prog;
 }

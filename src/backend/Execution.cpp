@@ -1,0 +1,34 @@
+#include "backend/Execution.h"
+
+#include "backend/Linker.h"
+#include "backend/VM.h"
+
+using namespace mpc;
+
+ExecOptions mpc::execOptionsFrom(const CompilerContext &Comp) {
+  ExecOptions Opts;
+  Opts.Engine = Comp.options().Engine;
+  return Opts;
+}
+
+ExecResult mpc::executeProgram(CompilerContext &Comp,
+                               const std::vector<CompilationUnit> &Units,
+                               const Program &Prog, Symbol *EntryPoint,
+                               const ExecOptions &Opts,
+                               const std::vector<std::string> &Args) {
+  if (!EntryPoint) {
+    ExecResult R;
+    R.Uncaught = true;
+    R.Error = "no entry point";
+    return R;
+  }
+  if (Opts.Engine == ExecEngine::VM) {
+    LinkOptions LO;
+    LO.Superinstructions = Opts.Superinstructions;
+    LinkedProgram Linked = linkProgram(Prog, Comp, LO);
+    VM M(Comp, Linked, Opts.StepLimit);
+    return M.runMain(EntryPoint, Args);
+  }
+  Interpreter I(Comp, Units, Opts.StepLimit);
+  return I.runMain(EntryPoint, Args);
+}

@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One entry point for "run the compiled program": dispatches to the
+/// definitional tree interpreter or to the link-and-execute bytecode VM
+/// according to ExecOptions (defaulting to CompilerOptions::Engine).
+/// Driver-level callers (fuzzer, examples, service wiring) go through
+/// here so flipping the engine is one option, not a code change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPC_BACKEND_EXECUTION_H
+#define MPC_BACKEND_EXECUTION_H
+
+#include "backend/Bytecode.h"
+#include "backend/Interpreter.h"
+
+namespace mpc {
+
+/// Execution knobs. Engine defaults to the context's option so services
+/// configure it once per job.
+struct ExecOptions {
+  ExecEngine Engine = ExecEngine::TreeWalk;
+  uint64_t StepLimit = 50'000'000;
+  /// VM only: fuse the measured superinstruction pairs at link time.
+  bool Superinstructions = true;
+};
+
+/// Runs `main(args)` on \p EntryPoint with the selected engine. The
+/// tree-walker executes \p Units; the VM links and executes \p Prog.
+/// Both report through the same ExecResult shape (output, uncaught flag,
+/// error text) and both honor the step limit and the context's
+/// CancelToken.
+ExecResult executeProgram(CompilerContext &Comp,
+                          const std::vector<CompilationUnit> &Units,
+                          const Program &Prog, Symbol *EntryPoint,
+                          const ExecOptions &Opts = {},
+                          const std::vector<std::string> &Args = {});
+
+/// Convenience: ExecOptions prefilled from \p Comp's options().
+ExecOptions execOptionsFrom(const CompilerContext &Comp);
+
+} // namespace mpc
+
+#endif // MPC_BACKEND_EXECUTION_H

@@ -591,9 +591,29 @@ private:
     auto It = V.O->Fields.find(Field);
     if (It != V.O->Fields.end())
       return It->second;
-    for (auto &[Sym, FV] : V.O->Fields)
-      if (Sym->name() == Field->name())
-        return FV;
+    // Trait copies use fresh symbols, so the exact symbol can miss.
+    // Resolve the stand-in once per (class, field) — same-class objects
+    // share a field-key set — instead of rescanning the map on every
+    // show/equals of a case-class-heavy structure.
+    auto Key = std::make_pair(V.O->Cls, Field);
+    auto Memo = CaseFieldMemo.find(Key);
+    Symbol *Resolved;
+    if (Memo != CaseFieldMemo.end()) {
+      Resolved = Memo->second;
+    } else {
+      Resolved = nullptr;
+      for (auto &[Sym, FV] : V.O->Fields)
+        if (Sym->name() == Field->name()) {
+          Resolved = Sym;
+          break;
+        }
+      CaseFieldMemo.emplace(Key, Resolved);
+    }
+    if (Resolved) {
+      auto FIt = V.O->Fields.find(Resolved);
+      if (FIt != V.O->Fields.end())
+        return FIt->second;
+    }
     return Value::null();
   }
 
@@ -749,11 +769,12 @@ private:
 
     Symbol *Sym = Sel->sym();
 
-    // Primitive operators.
+    // Primitive operators, dispatched on the dense kind fixed at builtin
+    // registration (no name-text comparison on the hot path).
     if (Syms.isPrimOp(Sym)) {
       Value L = eval(Sel->qual(), F, Self);
       Value R = T->numArgs() ? eval(T->arg(0), F, Self) : Value::unit();
-      return primOp(Sym->name().text(), L, R, T->numArgs());
+      return primOp(Syms.primOpKindOf(Sym->name()), L, R, T->numArgs());
     }
     // Array intrinsics.
     if (Sym == Syms.arrayApply() || Sym == Syms.arrayUpdate() ||
@@ -860,50 +881,52 @@ private:
   /// arithmetic (including INT_MIN / -1).
   static int64_t wrap32(int64_t V) { return static_cast<int32_t>(V); }
 
-  Value primOp(std::string_view Op, Value L, Value R, unsigned NumArgs) {
+  Value primOp(PrimOpKind Op, Value L, Value R, unsigned NumArgs) {
     bool Dbl = L.Kind == Value::Double ||
                (NumArgs && R.Kind == Value::Double);
-    if (Op == "unary_-")
+    switch (Op) {
+    case PrimOpKind::Neg:
       return Dbl ? Value::dbl(-L.asDouble()) : Value::integer(wrap32(-L.I));
-    if (Op == "unary_!")
+    case PrimOpKind::Not:
       return Value::boolean(!L.truthy());
-    if (Op == "+")
+    case PrimOpKind::Add:
       return Dbl ? Value::dbl(L.asDouble() + R.asDouble())
                  : Value::integer(wrap32(L.I + R.I));
-    if (Op == "-")
+    case PrimOpKind::Sub:
       return Dbl ? Value::dbl(L.asDouble() - R.asDouble())
                  : Value::integer(wrap32(L.I - R.I));
-    if (Op == "*")
+    case PrimOpKind::Mul:
       return Dbl ? Value::dbl(L.asDouble() * R.asDouble())
                  : Value::integer(wrap32(L.I * R.I));
-    if (Op == "/") {
+    case PrimOpKind::Div:
       if (!Dbl && R.I == 0)
         throw ThrownValue{makeError("ArithmeticException: / by zero")};
       return Dbl ? Value::dbl(L.asDouble() / R.asDouble())
                  : Value::integer(wrap32(L.I / R.I));
-    }
-    if (Op == "%") {
+    case PrimOpKind::Rem:
       if (!Dbl && R.I == 0)
         throw ThrownValue{makeError("ArithmeticException: % by zero")};
       return Dbl ? Value::dbl(std::fmod(L.asDouble(), R.asDouble()))
                  : Value::integer(wrap32(L.I % R.I));
-    }
-    if (Op == "<")
+    case PrimOpKind::CmpLt:
       return Value::boolean(L.asDouble() < R.asDouble());
-    if (Op == "<=")
+    case PrimOpKind::CmpLe:
       return Value::boolean(L.asDouble() <= R.asDouble());
-    if (Op == ">")
+    case PrimOpKind::CmpGt:
       return Value::boolean(L.asDouble() > R.asDouble());
-    if (Op == ">=")
+    case PrimOpKind::CmpGe:
       return Value::boolean(L.asDouble() >= R.asDouble());
-    if (Op == "==")
+    case PrimOpKind::CmpEq:
       return Value::boolean(valueEquals(L, R));
-    if (Op == "!=")
+    case PrimOpKind::CmpNe:
       return Value::boolean(!valueEquals(L, R));
-    if (Op == "&&")
+    case PrimOpKind::And:
       return Value::boolean(L.truthy() && R.truthy());
-    if (Op == "||")
+    case PrimOpKind::Or:
       return Value::boolean(L.truthy() || R.truthy());
+    case PrimOpKind::None:
+      break;
+    }
     throw InterpError{"unknown primitive operator"};
   }
 
@@ -912,6 +935,9 @@ private:
   uint64_t Steps = 0;
   std::map<ClassSymbol *, ClassDef *> Classes;
   std::map<ClassSymbol *, Value> Modules;
+  /// (class, case field) -> the stand-in field symbol instances of that
+  /// class actually carry (or null when none matches by name).
+  std::map<std::pair<ClassSymbol *, Symbol *>, Symbol *> CaseFieldMemo;
   std::string Output;
 };
 

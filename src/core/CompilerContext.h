@@ -37,6 +37,12 @@ enum class FusionStrategy {
   IndexedByKind,
 };
 
+/// Which engine executes guest programs after compilation (driver,
+/// fuzzer, differential tests): the definitional tree-walker or the
+/// direct-threaded bytecode VM. The tree-walker stays the semantic
+/// oracle; the VM must match it byte for byte.
+enum class ExecEngine : uint8_t { TreeWalk, VM };
+
 /// Tunable behaviour, mirroring the evaluation's configurations.
 struct CompilerOptions {
   /// True: miniphases fuse into blocks (Table 2 grouping). False: every
@@ -76,6 +82,15 @@ struct CompilerOptions {
   /// reset() — the backend cannot change while the heap holds
   /// allocations.
   bool SlabHeap = true;
+  /// Run the bytecode verifier over generateCode's output (jump targets,
+  /// stack balance, handler well-formedness) and record failures on
+  /// Program::VerifyFailures. A debug option, off by default; the VM
+  /// test suites verify unconditionally.
+  bool VerifyBytecode = false;
+  /// Guest-execution engine for post-compile runs routed through
+  /// backend/Execution.h (executeProgram honors this unless the caller
+  /// overrides it explicitly).
+  ExecEngine Engine = ExecEngine::TreeWalk;
   FusionStrategy Strategy = FusionStrategy::IndexedByKind;
 };
 

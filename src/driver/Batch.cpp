@@ -29,6 +29,10 @@ using namespace mpc;
 //                      pruning ablation never shares entries (conservative)
 //     DagMemoize       sharing changes allocation clock
 //     Strategy         dispatch strategy, mixed conservatively
+//     VerifyBytecode   fills Program::VerifyFailures; callers reading
+//                      verifier output must never replay an entry from a
+//                      non-verified job (conservative — rendered text is
+//                      identical today)
 //
 //   Cache-IRRELEVANT (excluded deliberately):
 //     SlabHeap         selects the real-storage backend only; the
@@ -36,7 +40,12 @@ using namespace mpc;
 //                      byte-identical either way (pinned by the
 //                      SlabAllocatorTest invariance suite), so slab-on
 //                      and slab-off jobs may share one cache entry.
-static_assert(sizeof(CompilerOptions) == 12,
+//     Engine           selects which engine executes the program AFTER
+//                      compilation (tree-walker vs bytecode VM); the
+//                      cached artifact is the compile output, which is
+//                      identical either way, and the VM differential
+//                      suite pins engine-equivalence of the execution.
+static_assert(sizeof(CompilerOptions) == 16,
               "CompilerOptions changed: audit the cache-relevance lists "
               "above, extend optionsFingerprint(), then update this size");
 
@@ -51,7 +60,7 @@ Fingerprint optionsFingerprint(const CompilerOptions &O) {
       static_cast<unsigned char>(O.SubtreePruning),
       static_cast<unsigned char>(O.DagMemoize),
       static_cast<unsigned char>(O.Strategy),
-      0, // reserved
+      static_cast<unsigned char>(O.VerifyBytecode),
   };
   return fingerprintBytes(Bits, sizeof(Bits));
 }

@@ -1,6 +1,6 @@
 #include "workload/Fuzzer.h"
 
-#include "backend/Interpreter.h"
+#include "backend/Execution.h"
 #include "driver/Driver.h"
 
 #include <exception>
@@ -43,8 +43,11 @@ FuzzOutcome mpc::runPipelineOnce(CompilerContext &Comp,
     O.HasErrors = Comp.diags().hasErrors();
     O.DiagText = renderDiags(Comp.diags());
     if (!O.HasErrors && !Out.EntryPoints.empty()) {
-      Interpreter I(Comp, Out.Units);
-      ExecResult R = I.runMain(Out.EntryPoints.front());
+      // Engine selection flows from the context's options, so the same
+      // fuzz harness exercises the tree-walker or the bytecode VM.
+      ExecResult R =
+          executeProgram(Comp, Out.Units, Out.Prog, Out.EntryPoints.front(),
+                         execOptionsFrom(Comp));
       O.Output = R.Output;
       O.Uncaught = R.Uncaught;
       if (R.Uncaught)

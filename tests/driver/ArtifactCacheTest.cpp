@@ -82,6 +82,8 @@ TEST(JobKey, EveryCacheRelevantOptionFlipsTheKey) {
   EXPECT_NE(
       WithOptions([](CompilerOptions &O) { O.Strategy = FusionStrategy::Naive; }),
       Base);
+  EXPECT_NE(WithOptions([](CompilerOptions &O) { O.VerifyBytecode = true; }),
+            Base);
 }
 
 TEST(JobKey, SlabHeapIsExplicitlyCacheIrrelevant) {
